@@ -1,0 +1,45 @@
+// Ablation: flash backbone organization. Sweeps channel and package counts
+// around the paper's 4x4 design point and reports the delivered sequential
+// read bandwidth, showing why the prototype's geometry (with die-level
+// pipelining behind each channel bus) sustains its Table-1 estimate and
+// where the SRIO link becomes the ceiling.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/flash/flash_backbone.h"
+
+namespace fabacus {
+namespace {
+
+double SequentialReadGBps(int channels, int packages) {
+  NandConfig cfg;
+  cfg.channels = channels;
+  cfg.packages_per_channel = packages;
+  FlashBackbone bb(cfg);
+  constexpr int kGroups = 512;
+  Tick done = 0;
+  for (int g = 0; g < kGroups; ++g) {
+    done = std::max(done, bb.ReadGroup(0, static_cast<std::uint64_t>(g), nullptr).done);
+  }
+  return kGroups * static_cast<double>(cfg.GroupBytes()) / static_cast<double>(done);
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  using namespace fabacus;
+  PrintHeader("Ablation: flash geometry — sequential read bandwidth (GB/s)");
+  PrintRow({"channels\\pkgs", "1", "2", "4", "8"}, 14);
+  for (int channels : {1, 2, 4, 8}) {
+    std::vector<std::string> row{Fmt(channels, 0)};
+    for (int packages : {1, 2, 4, 8}) {
+      row.push_back(Fmt(SequentialReadGBps(channels, packages), 2));
+    }
+    PrintRow(row, 14);
+  }
+  std::printf("\nThe paper's 4 channels x 4 packages lands where the channel buses\n"
+              "(4 x 0.8 GB/s) meet the SRIO ceiling (2.5 GB/s); fewer packages starve\n"
+              "the bus on tR, more channels are wasted behind SRIO.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: Flashvisor's red-black-tree range lock vs the two alternatives
+// the paper rejects (§4.3 "Protection and access control"):
+//  * a single global lock over the whole flash address space — serializes
+//    every concurrent mapping request even when ranges are disjoint;
+//  * per-page permission bits in the (persistent) mapping table — modelled
+//    as an extra mapping-table write per page group on every map request.
+// The study maps N disjoint kernel data sections concurrently and reports
+// how many requests waited and the added metadata traffic.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/range_lock.h"
+
+namespace fabacus {
+namespace {
+
+struct LockStats {
+  std::uint64_t grants = 0;
+  std::uint64_t waits = 0;
+};
+
+LockStats DriveDisjoint(bool global_lock, int sections, int rounds) {
+  RangeLock lock;
+  LockStats stats;
+  constexpr std::uint64_t kSpan = 1u << 20;  // whole logical space in groups
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<RangeLock::LockId> held;
+    int waited = 0;
+    for (int s = 0; s < sections; ++s) {
+      const std::uint64_t first =
+          global_lock ? 0 : static_cast<std::uint64_t>(s) * (kSpan / sections);
+      const std::uint64_t last = global_lock ? kSpan - 1 : first + kSpan / sections - 1;
+      RangeLock::LockId id = 0;
+      if (lock.TryAcquire(first, last, LockMode::kWrite, &id)) {
+        held.push_back(id);
+      } else {
+        ++waited;  // would block: a serialized mapping request
+      }
+    }
+    stats.grants += held.size();
+    stats.waits += static_cast<std::uint64_t>(waited);
+    for (RangeLock::LockId id : held) {
+      lock.Release(id);
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  using namespace fabacus;
+  constexpr int kSections = 24;  // 24 concurrent kernel instances (Fig 10b)
+  constexpr int kRounds = 1000;
+
+  PrintHeader("Ablation: range lock vs global lock vs per-page permissions");
+  const LockStats range = DriveDisjoint(false, kSections, kRounds);
+  const LockStats global = DriveDisjoint(true, kSections, kRounds);
+  PrintRow({"scheme", "granted", "blocked", "extra map writes"}, 20);
+  PrintRow({"range lock", Fmt(static_cast<double>(range.grants), 0),
+            Fmt(static_cast<double>(range.waits), 0), "0"},
+           20);
+  PrintRow({"global lock", Fmt(static_cast<double>(global.grants), 0),
+            Fmt(static_cast<double>(global.waits), 0), "0"},
+           20);
+  // Per-page permissions: no blocking among disjoint sections either, but
+  // every page group mapped costs a permission update that must also be
+  // journaled (it lives in the persistent table). For a 640 MB section at
+  // 64 KB groups that is 10240 extra persistent-table writes per map.
+  const double per_page_writes =
+      static_cast<double>(kSections) * kRounds * (640.0 * 1024 / 64);
+  PrintRow({"per-page bits", Fmt(static_cast<double>(range.grants), 0), "0",
+            Fmt(per_page_writes, 0)},
+           20);
+  std::printf(
+      "\nThe range lock grants all disjoint mappings concurrently with zero persistent\n"
+      "metadata traffic; a global lock blocks %.0f%% of them; per-page permission bits\n"
+      "add %.0f persistent-table updates (journal pressure + flash wear) per round.\n",
+      100.0 * static_cast<double>(global.waits) /
+          static_cast<double>(global.waits + global.grants),
+      per_page_writes / kRounds);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 11: per-kernel latency (max / avg / min across instances),
+// normalized to SIMD's average, for homogeneous (a) and heterogeneous (b)
+// workloads. Paper anchors: on data-intensive homogeneous workloads SIMD's
+// avg/max/min run 39%/87%/113% longer than FlashAbacus; InterDy cuts
+// InterSt's average by ~57%; IntraO3 beats InterDy by 10% (avg) and 19%
+// (max) on heterogeneous workloads.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace fabacus {
+namespace {
+
+void PrintLatencyTable(const std::string& label, const std::vector<const Workload*>& apps,
+                       int instances_per_app) {
+  std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
+  const double simd_avg = runs[0].result.kernel_latency_ms.Mean();
+  std::vector<std::string> row{label};
+  for (const BenchRun& r : runs) {
+    const Histogram& h = r.result.kernel_latency_ms;
+    row.push_back(Fmt(h.Max() / simd_avg, 2) + "/" + Fmt(h.Mean() / simd_avg, 2) + "/" +
+                  Fmt(h.Min() / simd_avg, 2));
+  }
+  PrintRow(row, 18);
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  using namespace fabacus;
+  PrintHeader("Fig 11a: latency max/avg/min normalized to SIMD avg, homogeneous");
+  PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
+  for (const Workload* wl : WorkloadRegistry::Get().polybench()) {
+    PrintLatencyTable(wl->name(), {wl}, 6);
+  }
+
+  PrintHeader("Fig 11b: latency max/avg/min normalized to SIMD avg, heterogeneous");
+  PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
+  for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
+    PrintLatencyTable("MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
+  }
+  std::printf(
+      "\npaper anchors: SIMD avg/max/min 39%%/87%%/113%% above FlashAbacus on data-intensive;"
+      "\nIntraO3 beats InterDy by 10%% (avg) / 19%% (max) on heterogeneous workloads\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 12: CDF of kernel completion times for (a) homogeneous ATAX
+// (6 instances) and (b) heterogeneous MX1 (24 instances). Prints the sorted
+// completion times per system — the stair pattern reproduces the paper's
+// qualitative story: IntraIo/IntraO3 finish the first kernel earliest,
+// InterDy completes all six nearly simultaneously, SIMD trails badly on the
+// data-intensive prefix of MX1.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace fabacus {
+namespace {
+
+void PrintCdf(const std::string& title, const std::vector<const Workload*>& apps,
+              int instances_per_app) {
+  PrintHeader(title);
+  std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
+  PrintRow({"#done", "SIMD(s)", "InterSt(s)", "IntraIo(s)", "InterDy(s)", "IntraO3(s)"});
+  std::vector<std::vector<Tick>> sorted;
+  for (BenchRun& r : runs) {
+    std::sort(r.result.completion_times.begin(), r.result.completion_times.end());
+    sorted.push_back(r.result.completion_times);
+  }
+  const std::size_t n = sorted[0].size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<std::string> row{Fmt(static_cast<double>(k + 1), 0)};
+    for (const auto& times : sorted) {
+      row.push_back(Fmt(TicksToSeconds(times[k]), 3));
+    }
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  using namespace fabacus;
+  const Workload* atax = WorkloadRegistry::Get().Find("ATAX");
+  PrintCdf("Fig 12a: completion-time CDF, ATAX x6 (homogeneous)", {atax}, 6);
+  PrintCdf("Fig 12b: completion-time CDF, MX1 x24 (heterogeneous)",
+           WorkloadRegistry::Get().Mix(1), 4);
+  std::printf(
+      "\npaper anchors: InterDy completes the first ATAX kernel later than IntraIo/IntraO3;"
+      "\nIntraO3 outperforms SIMD by ~42%% on MX1's kernels overall\n");
+  return 0;
+}

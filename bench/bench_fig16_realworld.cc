@@ -1,0 +1,60 @@
+// Figure 16: graph / bigdata applications (bfs, wc, nn, nw, path).
+//  (a) throughput of the five systems;
+//  (b) energy decomposition normalized to SIMD.
+// Paper anchors: IntraIo/InterDy/IntraO3 average 2.1x/3.4x/3.4x SIMD's
+// throughput; InterSt/IntraIo/InterDy/IntraO3 save 74%/83%/88%/88% of
+// SIMD's energy; data transfers are ~79% of SIMD's energy.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fabacus;
+  PrintHeader("Fig 16a: throughput (MB/s), graph/bigdata workloads, 6 instances each");
+  PrintRow({"app", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3", "verified"});
+  double gains[3] = {0, 0, 0};
+  std::vector<std::vector<BenchRun>> all;
+  for (const Workload* wl : WorkloadRegistry::Get().graph()) {
+    std::vector<BenchRun> runs = RunAllSystems({wl}, 6);
+    std::vector<std::string> row{wl->name()};
+    bool verified = true;
+    for (const BenchRun& r : runs) {
+      row.push_back(Fmt(r.result.throughput_mb_s));
+      verified = verified && r.verified;
+    }
+    row.push_back(verified ? "yes" : "NO");
+    PrintRow(row);
+    gains[0] += runs[2].result.throughput_mb_s / runs[0].result.throughput_mb_s;
+    gains[1] += runs[3].result.throughput_mb_s / runs[0].result.throughput_mb_s;
+    gains[2] += runs[4].result.throughput_mb_s / runs[0].result.throughput_mb_s;
+    all.push_back(std::move(runs));
+  }
+  const double n = static_cast<double>(WorkloadRegistry::Get().graph().size());
+  std::printf("\nmean speedup vs SIMD: IntraIo %.1fx, InterDy %.1fx, IntraO3 %.1fx "
+              "(paper: 2.1x / 3.4x / 3.4x)\n",
+              gains[0] / n, gains[1] / n, gains[2] / n);
+
+  PrintHeader("Fig 16b: energy move/compute/storage normalized to SIMD total");
+  PrintRow({"app", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
+  double saved[4] = {0, 0, 0, 0};
+  std::size_t idx = 0;
+  for (const Workload* wl : WorkloadRegistry::Get().graph()) {
+    const std::vector<BenchRun>& runs = all[idx++];
+    const double simd_total = runs[0].result.EnergyTotal();
+    std::vector<std::string> row{wl->name()};
+    for (const BenchRun& r : runs) {
+      row.push_back(Fmt(r.result.EnergyDataMovement() / simd_total, 2) + "/" +
+                    Fmt(r.result.EnergyComputation() / simd_total, 2) + "/" +
+                    Fmt(r.result.EnergyStorage() / simd_total, 2));
+    }
+    PrintRow(row, 18);
+    for (int s = 0; s < 4; ++s) {
+      saved[s] += 1.0 - runs[static_cast<std::size_t>(s + 1)].result.EnergyTotal() / simd_total;
+    }
+  }
+  std::printf("\nmean energy saved vs SIMD: InterSt %.0f%%, IntraIo %.0f%%, InterDy %.0f%%, "
+              "IntraO3 %.0f%% (paper: 74%% / 83%% / 88%% / 88%%)\n",
+              100 * saved[0] / n, 100 * saved[1] / n, 100 * saved[2] / n, 100 * saved[3] / n);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 3: performance-bottleneck analysis of low-power heterogeneous
+// computing (the conventional SIMD accelerator + NVMe SSD system).
+//  (b) throughput vs LWP count for serialized-execution fractions 0-50%
+//  (c) core utilization for the same sweep
+//  (d) execution-time breakdown (accelerator / SSD / host storage stack)
+//  (e) energy breakdown for the same applications
+// Paper anchors: 30% serial => ~44% throughput loss and <46% utilization;
+// data-intensive apps spend ~77% of time and ~85% of energy on transfers.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace fabacus {
+namespace {
+
+void RunScalingSweep() {
+  const std::vector<double> ratios = {0.5, 0.4, 0.3, 0.2, 0.1, 0.0};
+
+  PrintHeader("Fig 3b: workload throughput (GB/s) vs cores x serial ratio");
+  std::vector<std::string> head{"cores"};
+  for (double r : ratios) {
+    head.push_back(Fmt(r * 100, 0) + "%");
+  }
+  PrintRow(head);
+  // Keep the per-(cores, ratio) results for the utilization table too.
+  std::vector<std::vector<double>> util(9, std::vector<double>(ratios.size(), 0.0));
+  for (int cores = 1; cores <= 8; ++cores) {
+    std::vector<std::string> row{Fmt(cores, 0)};
+    for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+      std::unique_ptr<Workload> syn = MakeSynthetic(ratios[ri], 640.0, /*io_free=*/true);
+      BenchRun run = RunSimdSystem({syn.get()}, 6, kBenchScale, 42, cores);
+      const double gb_s = run.result.input_bytes / 1e9 / TicksToSeconds(run.result.makespan);
+      row.push_back(Fmt(gb_s, 2));
+      util[static_cast<std::size_t>(cores)][ri] = run.result.worker_utilization * 100.0;
+    }
+    PrintRow(row);
+  }
+
+  PrintHeader("Fig 3c: core utilization (%) vs cores x serial ratio");
+  PrintRow(head);
+  for (int cores = 1; cores <= 8; ++cores) {
+    std::vector<std::string> row{Fmt(cores, 0)};
+    for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+      row.push_back(Fmt(util[static_cast<std::size_t>(cores)][ri], 1));
+    }
+    PrintRow(row);
+  }
+  std::printf(
+      "\npaper anchors: 30%% serial -> ~44%% throughput loss vs 0%%; utilization <46%%\n");
+}
+
+void RunBreakdowns() {
+  // The eleven applications of Fig 3d/3e, paper order.
+  const std::vector<std::string> apps = {"ATAX", "BICG", "2DCON", "MVT",  "SYRK", "3MM",
+                                         "GESUM", "ADI",  "COVAR", "FDTD"};
+  PrintHeader("Fig 3d: execution-time breakdown on SIMD+NVMe (fractions of makespan)");
+  PrintRow({"app", "accelerator", "ssd", "host stack"});
+  struct Energy {
+    std::string app;
+    double accel;
+    double ssd;
+    double stack;
+  };
+  std::vector<Energy> energies;
+  for (const std::string& name : apps) {
+    const Workload* wl = WorkloadRegistry::Get().Find(name);
+    BenchRun run = RunSimdSystem({wl}, 6);
+    const double total = static_cast<double>(run.result.makespan);
+    const double accel = static_cast<double>(run.result.trace.UnionTime(TraceTag::kLwpCompute));
+    const double ssd = static_cast<double>(run.result.trace.UnionTime(TraceTag::kSsdOp));
+    // Host-side transfer work: storage-stack CPU time plus the PCIe DMA the
+    // host drives between its DRAM and the accelerator (paper: "CPU latency
+    // that the host storage stack takes to transfer the data").
+    const double stack = static_cast<double>(run.result.trace.UnionTime(TraceTag::kHostStack) +
+                                             run.result.trace.UnionTime(TraceTag::kPcieXfer));
+    const double sum = accel + ssd + stack;
+    PrintRow({name, Fmt(accel / sum, 2), Fmt(ssd / sum, 2), Fmt(stack / sum, 2)});
+    (void)total;
+    energies.push_back({name, run.result.EnergyComputation(), run.result.EnergyStorage(),
+                        run.result.EnergyDataMovement()});
+  }
+  std::printf("\npaper anchor: ATAX/BICG/MVT spend ~77%% of time on data transfers\n");
+
+  PrintHeader("Fig 3e: energy breakdown on SIMD+NVMe (fractions of total)");
+  PrintRow({"app", "accelerator", "ssd", "host stack"});
+  for (const Energy& e : energies) {
+    const double sum = e.accel + e.ssd + e.stack;
+    PrintRow({e.app, Fmt(e.accel / sum, 2), Fmt(e.ssd / sum, 2), Fmt(e.stack / sum, 2)});
+  }
+  std::printf("\npaper anchor: storage-stack accesses consume ~85%% of total energy\n");
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  fabacus::RunScalingSweep();
+  fabacus::RunBreakdowns();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// google-benchmark microbenchmarks for the scheduling substrate: event-queue
+// throughput, simulator dispatch, and execution-chain ready-screen queries
+// under many concurrent applications.
+#include <benchmark/benchmark.h>
+
+#include "src/core/execution_chain.h"
+#include "src/core/kernel.h"
+#include "src/sim/simulator.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.Push(static_cast<Tick>((i * 37) % 97), []() {});
+    }
+    Tick when = 0;
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.Pop(&when));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 256; ++i) {
+      sim.Schedule(static_cast<Tick>(i), [&fired]() { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SimulatorDispatch);
+
+void BM_ChainNextReadyScreen(benchmark::State& state) {
+  const int apps = static_cast<int>(state.range(0));
+  const Workload* wl = WorkloadRegistry::Get().Find("FDTD");
+  std::vector<std::unique_ptr<AppInstance>> instances;
+  ExecutionChain chain;
+  for (int a = 0; a < apps; ++a) {
+    instances.push_back(std::make_unique<AppInstance>(a, 0, &wl->spec(), 1.0 / 256));
+    chain.AddApp(instances.back().get(), 6);
+    chain.MarkLoadDone(instances.back().get());
+  }
+  for (auto _ : state) {
+    ScreenRef ref;
+    if (chain.NextReadyScreen(&ref)) {
+      chain.OnDispatched(ref);
+      chain.OnScreenComplete(ref);
+    }
+    benchmark::DoNotOptimize(ref.inst);
+  }
+}
+BENCHMARK(BM_ChainNextReadyScreen)->Arg(6)->Arg(24)->Arg(96);
+
+}  // namespace
+}  // namespace fabacus
+
+BENCHMARK_MAIN();

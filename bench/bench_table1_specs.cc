@@ -1,0 +1,66 @@
+// Table 1: hardware specification of the baseline platform. Prints the
+// configured simulator parameters next to the paper's figures so config
+// drift is visible at a glance.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fabacus;
+  FlashAbacusConfig cfg;
+  PrintHeader("Table 1: hardware specification (configured vs paper)");
+  PrintRow({"component", "configured", "paper"}, 34);
+  PrintRow({"LWP", Fmt(cfg.num_lwps, 0) + " cores @ " + Fmt(cfg.lwp.clock_ghz, 1) + " GHz",
+            "8 processors @ 1 GHz"},
+           34);
+  PrintRow({"LWP FUs (mul/alu/ldst)",
+            Fmt(cfg.lwp.mul_fus, 0) + "/" + Fmt(cfg.lwp.alu_fus, 0) + "/" +
+                Fmt(cfg.lwp.ldst_fus, 0),
+            "2/4/2 per LWP"},
+           34);
+  PrintRow({"L1/L2 cache",
+            Fmt(cfg.cache.l1_bytes / 1024.0, 0) + " KB / " +
+                Fmt(cfg.cache.l2_bytes / 1024.0, 0) + " KB",
+            "64 KB / 512 KB"},
+           34);
+  PrintRow({"Scratchpad",
+            Fmt(cfg.scratchpad.capacity_bytes / 1048576.0, 0) + " MB, " +
+                Fmt(cfg.scratchpad.total_gb_per_s, 0) + " GB/s",
+            "4 MB, 16 GB/s"},
+           34);
+  PrintRow({"DDR3L",
+            Fmt(cfg.dram.capacity_bytes / (1 << 30), 0) + " GB, " +
+                Fmt(cfg.dram.total_gb_per_s, 1) + " GB/s",
+            "1 GB, 6.4 GB/s"},
+           34);
+  const NandConfig& nand = cfg.nand;
+  PrintRow({"SSD (flash backbone)",
+            Fmt(nand.total_dies(), 0) + " packages, " +
+                Fmt(nand.TotalBytes() / (1ULL << 30), 0) + " GB",
+            "16 dies, 32 GB, 3.2 GB/s"},
+           34);
+  PrintRow({"Flash page / read / program",
+            Fmt(nand.page_bytes / 1024.0, 0) + " KB / " + Fmt(TicksToUs(nand.read_latency), 0) +
+                " us / " + Fmt(TicksToMs(nand.program_latency), 1) + " ms",
+            "8 KB / 81 us / 2.6 ms"},
+           34);
+  PrintRow({"Page group", Fmt(nand.GroupBytes() / 1024.0, 0) + " KB",
+            "64 KB (4 ch x 2 planes x 8 KB)"},
+           34);
+  PrintRow({"Mapping table",
+            Fmt(nand.TotalGroups() * 4.0 / 1048576.0, 1) + " MB in scratchpad", "2 MB"},
+           34);
+  PrintRow({"PCIe", Fmt(cfg.pcie_gb_per_s, 1) + " GB/s", "v2.0 x2, 1 GB/s"}, 34);
+  PrintRow({"Tier-1 crossbar", Fmt(cfg.tier1.fabric_gb_per_s, 1) + " GB/s", "16 GB/s"}, 34);
+  SrioConfig srio;
+  PrintRow({"SRIO to flash backbone",
+            Fmt(srio.lanes, 0) + " lanes @ " + Fmt(srio.gbps_per_lane, 0) + " Gbps",
+            "4 lanes @ 5 Gbps"},
+           34);
+  PowerModel p;
+  PrintRow({"LWP power", Fmt(p.lwp_active_w, 1) + " W/core", "0.8 W/core"}, 34);
+  PrintRow({"DDR3L power", Fmt(p.ddr3l_active_w, 1) + " W", "0.7 W"}, 34);
+  PrintRow({"SSD power", Fmt(p.flash_active_w, 1) + " W", "11 W"}, 34);
+  PrintRow({"PCIe power", Fmt(p.pcie_active_w, 2) + " W", "0.17 W"}, 34);
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+
+namespace fabacus {
+namespace {
+
+struct InstanceSet {
+  std::vector<std::unique_ptr<AppInstance>> owned;
+  std::vector<AppInstance*> raw;
+};
+
+InstanceSet BuildInstances(const std::vector<const Workload*>& apps, int instances_per_app,
+                           double model_scale, std::uint64_t seed) {
+  InstanceSet set;
+  Rng rng(seed);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (int i = 0; i < instances_per_app; ++i) {
+      auto inst = std::make_unique<AppInstance>(static_cast<int>(a), i, &apps[a]->spec(),
+                                                model_scale);
+      apps[a]->Prepare(*inst, rng);
+      set.raw.push_back(inst.get());
+      set.owned.push_back(std::move(inst));
+    }
+  }
+  return set;
+}
+
+bool VerifyAll(const std::vector<const Workload*>& apps, const InstanceSet& set) {
+  bool ok = true;
+  for (const auto& inst : set.owned) {
+    ok = ok && apps[static_cast<std::size_t>(inst->app_id())]->Verify(*inst);
+  }
+  return ok;
+}
+
+}  // namespace
+
+BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int instances_per_app,
+                              SchedulerKind kind, double model_scale, std::uint64_t seed) {
+  Simulator sim;
+  FlashAbacusConfig cfg;
+  cfg.model_scale = model_scale;
+  FlashAbacus dev(&sim, cfg);
+  InstanceSet set = BuildInstances(apps, instances_per_app, model_scale, seed);
+  for (AppInstance* inst : set.raw) {
+    dev.InstallData(inst, [](Tick) {});
+  }
+  sim.Run();
+  BenchRun run;
+  run.system = SchedulerKindName(kind);
+  bool done = false;
+  dev.Run(set.raw, kind, [&](RunResult r) {
+    run.result = std::move(r);
+    done = true;
+  });
+  sim.Run();
+  if (!done) {
+    std::fprintf(stderr, "ERROR: %s run did not complete\n", run.system.c_str());
+  }
+  run.verified = VerifyAll(apps, set);
+  return run;
+}
+
+BenchRun RunSimdSystem(const std::vector<const Workload*>& apps, int instances_per_app,
+                       double model_scale, std::uint64_t seed, int num_lwps) {
+  Simulator sim;
+  SimdConfig cfg;
+  cfg.model_scale = model_scale;
+  cfg.num_lwps = num_lwps;
+  SimdSystem simd(&sim, cfg);
+  InstanceSet set = BuildInstances(apps, instances_per_app, model_scale, seed);
+  for (AppInstance* inst : set.raw) {
+    simd.InstallData(inst);
+  }
+  BenchRun run;
+  run.system = "SIMD";
+  bool done = false;
+  simd.Run(set.raw, [&](RunResult r) {
+    run.result = std::move(r);
+    done = true;
+  });
+  sim.Run();
+  if (!done) {
+    std::fprintf(stderr, "ERROR: SIMD run did not complete\n");
+  }
+  run.verified = VerifyAll(apps, set);
+  return run;
+}
+
+std::vector<BenchRun> RunAllSystems(const std::vector<const Workload*>& apps,
+                                    int instances_per_app, double model_scale,
+                                    std::uint64_t seed) {
+  std::vector<BenchRun> runs;
+  runs.push_back(RunSimdSystem(apps, instances_per_app, model_scale, seed));
+  runs.push_back(RunFlashAbacusSystem(apps, instances_per_app, SchedulerKind::kInterStatic,
+                                      model_scale, seed));
+  runs.push_back(RunFlashAbacusSystem(apps, instances_per_app, SchedulerKind::kIntraInOrder,
+                                      model_scale, seed));
+  runs.push_back(RunFlashAbacusSystem(apps, instances_per_app, SchedulerKind::kInterDynamic,
+                                      model_scale, seed));
+  runs.push_back(RunFlashAbacusSystem(apps, instances_per_app,
+                                      SchedulerKind::kIntraOutOfOrder, model_scale, seed));
+  return runs;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (const std::string& c : cells) {
+    std::printf("%-*s", width, c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace fabacus

@@ -1,0 +1,53 @@
+// Shared harness for the figure/table reproduction benches: runs a workload
+// set on the five accelerated systems of the paper's evaluation (SIMD,
+// InterSt, InterDy, IntraIo, IntraO3) on fresh devices and returns the
+// RunResults, plus small table-printing helpers.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/flashabacus.h"
+#include "src/host/simd_system.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+
+// Default modelled-data scale for benches: 1/16 of the paper's input sizes.
+// Throughput (MB/s) is nearly scale-invariant since both bytes and time
+// shrink together; see EXPERIMENTS.md.
+inline constexpr double kBenchScale = 1.0 / 16.0;
+
+struct BenchRun {
+  std::string system;
+  RunResult result;
+  // The instances' verification outcome (true = every output matched its
+  // reference implementation).
+  bool verified = true;
+};
+
+// Builds `instances_per_app` instances of every workload in `apps` (app_id =
+// index within `apps`) and runs them on one system. Fresh simulator + device
+// per call.
+BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int instances_per_app,
+                              SchedulerKind kind, double model_scale = kBenchScale,
+                              std::uint64_t seed = 42);
+BenchRun RunSimdSystem(const std::vector<const Workload*>& apps, int instances_per_app,
+                       double model_scale = kBenchScale, std::uint64_t seed = 42,
+                       int num_lwps = 8);
+
+// All five systems, paper order: SIMD, InterSt, IntraIo, InterDy, IntraO3.
+std::vector<BenchRun> RunAllSystems(const std::vector<const Workload*>& apps,
+                                    int instances_per_app, double model_scale = kBenchScale,
+                                    std::uint64_t seed = 42);
+
+// Formatting helpers.
+void PrintHeader(const std::string& title);
+void PrintRow(const std::vector<std::string>& cells, int width = 12);
+std::string Fmt(double v, int precision = 1);
+
+}  // namespace fabacus
+
+#endif  // BENCH_BENCH_UTIL_H_

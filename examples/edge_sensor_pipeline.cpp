@@ -1,0 +1,120 @@
+// Edge sensor pipeline: the paper's low-power motivation in miniature. An
+// embedded platform captures sensor frames into flash and must denoise them
+// (2D convolution) and run a field simulation step (FDTD) under a watt-scale
+// power budget. The demo compares the conventional architecture (host +
+// external NVMe SSD, "SIMD") against the self-governing FlashAbacus and
+// reports the energy both would draw from a battery.
+//
+//   $ ./build/examples/edge_sensor_pipeline
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/flashabacus.h"
+#include "src/host/simd_system.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/workloads/workload.h"
+
+namespace {
+
+struct PipelineResult {
+  fabacus::RunResult run;
+  bool verified = true;
+};
+
+PipelineResult RunOnFlashAbacus(const std::vector<const fabacus::Workload*>& stages,
+                                int frames) {
+  using namespace fabacus;
+  Simulator sim;
+  FlashAbacusConfig config;
+  config.model_scale = 1.0 / 32.0;
+  FlashAbacus device(&sim, config);
+  Rng rng(11);
+  std::vector<std::unique_ptr<AppInstance>> owned;
+  std::vector<AppInstance*> instances;
+  for (int f = 0; f < frames; ++f) {
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      owned.push_back(std::make_unique<AppInstance>(static_cast<int>(s), f,
+                                                    &stages[s]->spec(), config.model_scale));
+      stages[s]->Prepare(*owned.back(), rng);
+      instances.push_back(owned.back().get());
+    }
+  }
+  for (AppInstance* inst : instances) {
+    device.InstallData(inst, [](Tick) {});
+  }
+  sim.Run();
+  PipelineResult out;
+  device.Run(instances, SchedulerKind::kIntraOutOfOrder,
+             [&](RunResult r) { out.run = std::move(r); });
+  sim.Run();
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    out.verified = out.verified &&
+                   stages[owned[i]->app_id()]->Verify(*owned[i]);
+  }
+  return out;
+}
+
+PipelineResult RunOnConventional(const std::vector<const fabacus::Workload*>& stages,
+                                 int frames) {
+  using namespace fabacus;
+  Simulator sim;
+  SimdConfig config;
+  config.model_scale = 1.0 / 32.0;
+  SimdSystem system(&sim, config);
+  Rng rng(11);
+  std::vector<std::unique_ptr<AppInstance>> owned;
+  std::vector<AppInstance*> instances;
+  for (int f = 0; f < frames; ++f) {
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      owned.push_back(std::make_unique<AppInstance>(static_cast<int>(s), f,
+                                                    &stages[s]->spec(), config.model_scale));
+      stages[s]->Prepare(*owned.back(), rng);
+      system.InstallData(owned.back().get());
+      instances.push_back(owned.back().get());
+    }
+  }
+  PipelineResult out;
+  system.Run(instances, [&](RunResult r) { out.run = std::move(r); });
+  sim.Run();
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    out.verified = out.verified &&
+                   stages[owned[i]->app_id()]->Verify(*owned[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fabacus;
+  const std::vector<const Workload*> stages = {
+      WorkloadRegistry::Get().Find("2DCON"),  // denoise
+      WorkloadRegistry::Get().Find("FDTD"),   // field simulation step
+  };
+  constexpr int kFrames = 3;
+  std::printf("pipeline: denoise (2DCON) + field step (FDTD), %d frames each\n\n", kFrames);
+
+  const PipelineResult fa = RunOnFlashAbacus(stages, kFrames);
+  const PipelineResult simd = RunOnConventional(stages, kFrames);
+
+  std::printf("%-24s %-14s %-12s %-12s %-8s\n", "system", "makespan(ms)", "energy(J)",
+              "avg power(W)", "verified");
+  auto report = [](const char* name, const PipelineResult& r) {
+    const double seconds = TicksToSeconds(r.run.makespan);
+    std::printf("%-24s %-14.2f %-12.3f %-12.2f %-8s\n", name, TicksToMs(r.run.makespan),
+                r.run.EnergyTotal(), r.run.EnergyTotal() / seconds,
+                r.verified ? "yes" : "NO");
+  };
+  report("FlashAbacus (IntraO3)", fa);
+  report("host + NVMe (SIMD)", simd);
+
+  const double battery_wh = 5.0;  // a small drone/sensor battery
+  const double fa_frames = battery_wh * 3600.0 / (fa.run.EnergyTotal() / kFrames);
+  const double simd_frames = battery_wh * 3600.0 / (simd.run.EnergyTotal() / kFrames);
+  std::printf("\non a %.0f Wh battery: ~%.0f frames (FlashAbacus) vs ~%.0f frames "
+              "(conventional) — %.1fx more work per charge\n",
+              battery_wh, fa_frames, simd_frames, fa_frames / simd_frames);
+  return fa.verified && simd.verified ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, then regenerates every paper
+# table/figure plus the ablations. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo
+    echo "##### $b"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt

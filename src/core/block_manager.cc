@@ -1,0 +1,82 @@
+#include "src/core/block_manager.h"
+
+namespace fabacus {
+
+BlockManager::BlockManager(const NandConfig& config)
+    : total_(config.TotalBlockGroups()),
+      groups_per_block_(config.GroupsPerBlockGroup()),
+      valid_(total_),
+      valid_count_(total_, 0),
+      is_retired_(total_, false) {
+  for (std::uint64_t bg = 0; bg < total_; ++bg) {
+    free_.push_back(bg);
+    valid_[bg].assign(groups_per_block_, false);
+  }
+}
+
+std::uint64_t BlockManager::AllocBlockGroup() {
+  if (free_.empty()) {
+    return kNone;
+  }
+  const std::uint64_t bg = free_.front();
+  free_.pop_front();
+  return bg;
+}
+
+void BlockManager::SealBlockGroup(std::uint64_t bg) {
+  FAB_CHECK_LT(bg, total_);
+  FAB_CHECK(!is_retired_[bg]);
+  used_.push_back(bg);
+}
+
+std::uint64_t BlockManager::PickVictim() {
+  if (used_.empty()) {
+    return kNone;
+  }
+  const std::uint64_t bg = used_.front();
+  used_.pop_front();
+  return bg;
+}
+
+void BlockManager::OnErased(std::uint64_t bg) {
+  FAB_CHECK_LT(bg, total_);
+  FAB_CHECK(!is_retired_[bg]);
+  FAB_CHECK_EQ(valid_count_[bg], 0u) << "erase of block group with valid data";
+  valid_[bg].assign(groups_per_block_, false);
+  free_.push_back(bg);
+}
+
+void BlockManager::Retire(std::uint64_t bg) {
+  FAB_CHECK_LT(bg, total_);
+  if (!is_retired_[bg]) {
+    is_retired_[bg] = true;
+    ++retired_count_;
+  }
+}
+
+void BlockManager::MarkValid(std::uint64_t bg, std::uint32_t slot) {
+  FAB_CHECK_LT(bg, total_);
+  FAB_CHECK_LT(slot, groups_per_block_);
+  if (!valid_[bg][slot]) {
+    valid_[bg][slot] = true;
+    ++valid_count_[bg];
+  }
+}
+
+void BlockManager::MarkInvalid(std::uint64_t bg, std::uint32_t slot) {
+  FAB_CHECK_LT(bg, total_);
+  FAB_CHECK_LT(slot, groups_per_block_);
+  if (valid_[bg][slot]) {
+    valid_[bg][slot] = false;
+    FAB_CHECK_GT(valid_count_[bg], 0u);
+    --valid_count_[bg];
+  }
+}
+
+bool BlockManager::IsValid(std::uint64_t bg, std::uint32_t slot) const {
+  FAB_CHECK_LT(bg, total_);
+  FAB_CHECK_LT(slot, groups_per_block_);
+  return valid_[bg][slot];
+}
+
+}  // namespace fabacus

@@ -1,0 +1,61 @@
+// Block-group lifecycle for Flashvisor/Storengine. A block group is the
+// GC/erase unit: one block at the same index on every plane of one package,
+// striped across all four channels (paper §4.3). The manager tracks the free
+// pool, the used pool in allocation order (Storengine picks GC victims from
+// it round-robin rather than by valid-count, §4.3 "Storage management"),
+// per-group valid bitmaps, and retired (bad) block groups.
+#ifndef SRC_CORE_BLOCK_MANAGER_H_
+#define SRC_CORE_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/flash/nand_config.h"
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+class BlockManager {
+ public:
+  explicit BlockManager(const NandConfig& config);
+
+  // Pulls a block group from the free pool. Returns kNone when empty.
+  std::uint64_t AllocBlockGroup();
+  // Moves a fully-written block group into the used pool (GC candidates).
+  void SealBlockGroup(std::uint64_t bg);
+  // Round-robin GC victim: the oldest sealed block group. kNone when empty.
+  std::uint64_t PickVictim();
+  // Returns an erased block group to the free pool.
+  void OnErased(std::uint64_t bg);
+  // Permanently retires a block group (uncorrectable error / erase failure).
+  void Retire(std::uint64_t bg);
+
+  // Valid-page-group bookkeeping. `slot` indexes the group within its block
+  // group [0, GroupsPerBlockGroup).
+  void MarkValid(std::uint64_t bg, std::uint32_t slot);
+  void MarkInvalid(std::uint64_t bg, std::uint32_t slot);
+  bool IsValid(std::uint64_t bg, std::uint32_t slot) const;
+  std::uint32_t ValidCount(std::uint64_t bg) const { return valid_count_[bg]; }
+
+  std::size_t free_count() const { return free_.size(); }
+  std::size_t used_count() const { return used_.size(); }
+  std::size_t retired_count() const { return retired_count_; }
+  std::uint64_t total_block_groups() const { return total_; }
+
+  static constexpr std::uint64_t kNone = ~0ULL;
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t groups_per_block_;
+  std::deque<std::uint64_t> free_;
+  std::deque<std::uint64_t> used_;  // allocation order; front = oldest
+  std::vector<std::vector<bool>> valid_;
+  std::vector<std::uint32_t> valid_count_;
+  std::vector<bool> is_retired_;
+  std::size_t retired_count_ = 0;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_CORE_BLOCK_MANAGER_H_

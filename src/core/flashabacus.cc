@@ -1,0 +1,599 @@
+#include "src/core/flashabacus.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kInterStatic:
+      return "InterSt";
+    case SchedulerKind::kInterDynamic:
+      return "InterDy";
+    case SchedulerKind::kIntraInOrder:
+      return "IntraIo";
+    case SchedulerKind::kIntraOutOfOrder:
+      return "IntraO3";
+  }
+  return "?";
+}
+
+struct FlashAbacus::RunState {
+  SchedulerKind kind = SchedulerKind::kIntraOutOfOrder;
+  std::vector<AppInstance*> instances;
+  std::function<void(RunResult)> done_cb;
+  ExecutionChain chain;
+  Tick start_time = 0;
+
+  std::vector<bool> worker_free;
+  std::vector<std::deque<AppInstance*>> static_queues;  // per worker
+  std::deque<AppInstance*> dynamic_queue;
+
+  // Inter-kernel: worker stalled waiting for an instance's load.
+  std::unordered_map<AppInstance*, int> waiting_worker;
+  std::unordered_map<AppInstance*, int> loads_pending;  // head requests (compute gate)
+  std::unordered_map<AppInstance*, int> tails_pending;  // streamed tails
+  std::unordered_map<AppInstance*, bool> awaiting_tail; // compute done, tails not
+  std::unordered_map<AppInstance*, int> stores_pending;
+
+  int instances_remaining = 0;
+  bool finished = false;
+  RunResult result;
+};
+
+FlashAbacus::FlashAbacus(Simulator* sim, const FlashAbacusConfig& config)
+    : sim_(sim), config_(config) {
+  FAB_CHECK_GE(config_.num_lwps, 3) << "need at least Flashvisor + Storengine + 1 worker";
+  dram_ = std::make_unique<Dram>(config_.dram);
+  scratchpad_ = std::make_unique<Scratchpad>(config_.scratchpad);
+  tier1_ = std::make_unique<Crossbar>(config_.tier1);
+  backbone_ = std::make_unique<FlashBackbone>(config_.nand);
+  backbone_->set_op_observer(
+      [this](Tick start, Tick end) { trace_.Add(TraceTag::kFlashOp, start, end); });
+  flashvisor_ = std::make_unique<Flashvisor>(sim_, backbone_.get(), dram_.get(),
+                                             scratchpad_.get(), config_.flashvisor);
+  storengine_ = std::make_unique<Storengine>(sim_, flashvisor_.get(), config_.storengine);
+  pcie_ = std::make_unique<BandwidthResource>("pcie", config_.pcie_gb_per_s,
+                                              config_.pcie_latency);
+  const int n_workers = config_.num_lwps - 2;  // LWP0 Flashvisor, LWP1 Storengine
+  for (int i = 0; i < n_workers; ++i) {
+    workers_.push_back(
+        std::make_unique<Lwp>(i + 2, config_.lwp, dram_.get(), tier1_.get(), config_.cache));
+  }
+}
+
+FlashAbacus::~FlashAbacus() = default;
+
+std::uint64_t FlashAbacus::SectionFuncBytes(const AppInstance& inst,
+                                            const DataSection& s) const {
+  if (s.spec->buffer_index < 0) {
+    return 0;
+  }
+  return inst.buffer(s.spec->buffer_index).size() * sizeof(float);
+}
+
+void FlashAbacus::InstallData(AppInstance* inst, std::function<void(Tick)> done) {
+  // Materialize the instance's data sections: allocate logical flash extents
+  // and stream the input buffers in through Flashvisor's normal write path.
+  inst->sections().clear();
+  for (const DataSectionSpec& spec : inst->spec().sections) {
+    DataSection s;
+    s.spec = &spec;
+    std::uint64_t func_bytes = 0;
+    if (spec.buffer_index >= 0) {
+      func_bytes = inst->buffer(spec.buffer_index).size() * sizeof(float);
+    }
+    const double model = inst->model_input_bytes() * spec.model_fraction;
+    s.model_bytes = std::max<std::uint64_t>(static_cast<std::uint64_t>(model), func_bytes);
+    s.model_bytes = std::max<std::uint64_t>(s.model_bytes, 1);
+    s.flash_addr = flashvisor_->AllocLogicalExtent(s.model_bytes);
+    inst->sections().push_back(s);
+  }
+
+  auto pending = std::make_shared<int>(0);
+  auto latest = std::make_shared<Tick>(sim_->Now());
+  for (DataSection& s : inst->sections()) {
+    if (s.spec->dir != DataSectionSpec::Dir::kIn) {
+      continue;
+    }
+    ++*pending;
+    Flashvisor::IoRequest req;
+    req.type = Flashvisor::IoRequest::Type::kWrite;
+    req.flash_addr = s.flash_addr;
+    req.model_bytes = s.model_bytes;
+    if (s.spec->buffer_index >= 0) {
+      req.func_data = inst->buffer(s.spec->buffer_index).data();
+      req.func_bytes = SectionFuncBytes(*inst, s);
+    }
+    req.on_complete = [pending, latest, done](Tick t) {
+      *latest = std::max(*latest, t);
+      if (--*pending == 0) {
+        done(*latest);
+      }
+    };
+    flashvisor_->SubmitIo(std::move(req));
+  }
+  if (*pending == 0) {
+    sim_->Schedule(0, [done, latest]() { done(*latest); });
+  }
+}
+
+void FlashAbacus::ReadSectionFromFlash(AppInstance* inst, int section_idx,
+                                       std::vector<float>* out,
+                                       std::function<void(Tick)> done) {
+  DataSection& s = inst->sections().at(static_cast<std::size_t>(section_idx));
+  const std::uint64_t func_bytes = SectionFuncBytes(*inst, s);
+  out->assign(func_bytes / sizeof(float), 0.0f);
+  Flashvisor::IoRequest req;
+  req.type = Flashvisor::IoRequest::Type::kRead;
+  req.flash_addr = s.flash_addr;
+  req.model_bytes = s.model_bytes;
+  req.func_data = out->data();
+  req.func_bytes = func_bytes;
+  req.on_complete = std::move(done);
+  flashvisor_->SubmitIo(std::move(req));
+}
+
+void FlashAbacus::Run(std::vector<AppInstance*> instances, SchedulerKind kind,
+                      std::function<void(RunResult)> done) {
+  FAB_CHECK(run_ == nullptr || run_->finished) << "device already running a workload";
+  FAB_CHECK(!instances.empty());
+  run_ = std::make_unique<RunState>();
+  RunState* rs = run_.get();
+  rs->kind = kind;
+  rs->instances = std::move(instances);
+  rs->done_cb = std::move(done);
+  rs->start_time = sim_->Now();
+  rs->worker_free.assign(workers_.size(), true);
+  rs->static_queues.assign(workers_.size(), {});
+  rs->instances_remaining = static_cast<int>(rs->instances.size());
+  rs->result.system = SchedulerKindName(kind);
+
+  storengine_->Start();
+
+  // Inter-kernel modes execute each kernel as a single instruction stream,
+  // so their chain nodes have exactly one screen per microblock.
+  const bool inter = kind == SchedulerKind::kInterStatic || kind == SchedulerKind::kInterDynamic;
+  const int fanout = inter ? 1 : num_workers();
+  for (AppInstance* inst : rs->instances) {
+    rs->chain.AddApp(inst, fanout);
+    inst->submit_time = sim_->Now();
+    OffloadKernel(rs, inst);
+  }
+}
+
+void FlashAbacus::OffloadKernel(RunState* rs, AppInstance* inst) {
+  // Host-side toolchain: serialize the kernel into its description table
+  // (real bytes — an ELF-like object, see kernel_table.h), then write it
+  // through the PCIe BAR into DDR3L and raise an interrupt that Flashvisor
+  // services (paper §4, "Offload"/"Execution"). The transferred payload is
+  // the table plus the .text/.heap/.stack images it declares.
+  auto table = std::make_shared<std::vector<std::uint8_t>>(
+      SerializeKernelTable(inst->spec()));
+  const double table_bytes =
+      static_cast<double>(table->size()) + static_cast<double>(inst->spec().text_bytes);
+  const BandwidthResource::Reservation r = pcie_->Reserve(sim_->Now(), table_bytes);
+  trace_.Add(TraceTag::kPcieXfer, r.start, r.end);
+  const Tick dram_done = dram_->BulkAccess(r.end, table_bytes);
+  sim_->ScheduleAt(dram_done, [this, rs, inst, table]() {
+    // Interrupt -> Flashvisor parses and validates the description table
+    // before registering the kernel (a corrupted offload must not execute).
+    KernelSpec parsed;
+    std::string error;
+    FAB_CHECK(ParseKernelTable(*table, &parsed, &error))
+        << "kernel table rejected: " << error;
+    FAB_CHECK_EQ(parsed.name, inst->spec().name);
+    FAB_CHECK_EQ(parsed.num_microblocks(), inst->spec().num_microblocks());
+    FAB_CHECK_EQ(parsed.sections.size(), inst->spec().sections.size());
+    StartLoad(rs, inst);
+    switch (rs->kind) {
+      case SchedulerKind::kInterStatic:
+        rs->static_queues[static_cast<std::size_t>(inst->app_id()) % workers_.size()]
+            .push_back(inst);
+        break;
+      case SchedulerKind::kInterDynamic:
+        rs->dynamic_queue.push_back(inst);
+        break;
+      default:
+        break;
+    }
+    TryDispatch(rs);
+  });
+}
+
+void FlashAbacus::StartLoad(RunState* rs, AppInstance* inst) {
+  // Streamed loads (paper §2.2: DDR3L hides flash latency): each input
+  // section splits into a *head* request — the prefix the kernel needs
+  // before its first microblock can run — and a background *tail* that
+  // streams in under the compute. Functional bytes ride whichever request
+  // covers their offsets; both hold read locks until the kernel finishes.
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  const double head_frac = std::clamp(config_.load_stream_fraction, 0.0, 1.0);
+
+  int n_heads = 0;
+  int n_tails = 0;
+  struct Piece {
+    DataSection* section;
+    std::uint64_t addr;
+    std::uint64_t model_bytes;
+    void* func_data;
+    std::uint64_t func_bytes;
+    bool is_head;
+  };
+  std::vector<Piece> pieces;
+  for (DataSection& s : inst->sections()) {
+    if (s.spec->dir != DataSectionSpec::Dir::kIn) {
+      continue;
+    }
+    const std::uint64_t n_groups = (s.model_bytes + group_bytes - 1) / group_bytes;
+    std::uint64_t head_groups = static_cast<std::uint64_t>(
+        static_cast<double>(n_groups) * head_frac + 0.999);
+    head_groups = std::max<std::uint64_t>(1, std::min(head_groups, n_groups));
+    const std::uint64_t head_bytes = std::min(head_groups * group_bytes, s.model_bytes);
+    std::uint8_t* func = nullptr;
+    std::uint64_t func_bytes = 0;
+    if (s.spec->buffer_index >= 0) {
+      func = reinterpret_cast<std::uint8_t*>(inst->buffer(s.spec->buffer_index).data());
+      func_bytes = SectionFuncBytes(*inst, s);
+    }
+    pieces.push_back(Piece{&s, s.flash_addr, head_bytes, func,
+                           std::min(func_bytes, head_bytes), true});
+    ++n_heads;
+    if (head_bytes < s.model_bytes) {
+      const std::uint64_t tail_func =
+          func_bytes > head_bytes ? func_bytes - head_bytes : 0;
+      pieces.push_back(Piece{&s, s.flash_addr + head_groups * group_bytes,
+                             s.model_bytes - head_bytes,
+                             tail_func > 0 ? func + head_bytes : nullptr, tail_func, false});
+      ++n_tails;
+    }
+  }
+  rs->loads_pending[inst] = n_heads;
+  rs->tails_pending[inst] = n_tails;
+  rs->awaiting_tail[inst] = false;
+  if (n_heads == 0) {
+    inst->load_done_time = sim_->Now();
+    rs->chain.MarkLoadDone(inst);
+    TryDispatch(rs);
+    return;
+  }
+  for (Piece& p : pieces) {
+    Flashvisor::IoRequest req;
+    req.type = Flashvisor::IoRequest::Type::kRead;
+    req.flash_addr = p.addr;
+    req.model_bytes = p.model_bytes;
+    req.func_data = p.func_data;
+    req.func_bytes = p.func_bytes;
+    req.hold_lock = true;
+    DataSection* section = p.section;
+    req.lock_holder = [section](RangeLock::LockId id) { section->lock_ids.push_back(id); };
+    if (p.is_head) {
+      req.on_complete = [this, rs, inst](Tick t) {
+        if (--rs->loads_pending[inst] == 0) {
+          inst->load_done_time = t;
+          rs->chain.MarkLoadDone(inst);
+          // Wake a worker stalled on this kernel's data (inter-kernel modes).
+          auto it = rs->waiting_worker.find(inst);
+          if (it != rs->waiting_worker.end()) {
+            const int w = it->second;
+            rs->waiting_worker.erase(it);
+            RunKernelMicroblock(rs, inst, w, 0);
+          } else {
+            TryDispatch(rs);
+          }
+        }
+      };
+      flashvisor_->SubmitIo(std::move(req));
+    } else {
+      // Tails self-pace: one outstanding chunk per section, so background
+      // streaming never books the whole device ahead of other kernels'
+      // demand (head) fetches.
+      StreamTail(rs, inst, p.section, p.addr, p.model_bytes,
+                 static_cast<std::uint8_t*>(p.func_data), p.func_bytes);
+    }
+  }
+}
+
+void FlashAbacus::StreamTail(RunState* rs, AppInstance* inst, DataSection* section,
+                             std::uint64_t addr, std::uint64_t remaining,
+                             std::uint8_t* func_data, std::uint64_t func_remaining) {
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  const std::uint64_t chunk = std::min<std::uint64_t>(remaining, 16 * group_bytes);
+  Flashvisor::IoRequest req;
+  req.type = Flashvisor::IoRequest::Type::kRead;
+  req.flash_addr = addr;
+  req.model_bytes = chunk;
+  req.func_data = func_remaining > 0 ? func_data : nullptr;
+  req.func_bytes = std::min(func_remaining, chunk);
+  req.hold_lock = true;
+  req.lock_holder = [section](RangeLock::LockId id) { section->lock_ids.push_back(id); };
+  req.on_complete = [this, rs, inst, section, addr, remaining, chunk, func_data,
+                     func_remaining](Tick) {
+    if (remaining > chunk) {
+      const std::uint64_t consumed_func = std::min(func_remaining, chunk);
+      StreamTail(rs, inst, section, addr + chunk, remaining - chunk,
+                 func_data == nullptr ? nullptr : func_data + consumed_func,
+                 func_remaining - consumed_func);
+      return;
+    }
+    if (--rs->tails_pending[inst] == 0 && rs->awaiting_tail[inst]) {
+      rs->awaiting_tail[inst] = false;
+      StartWriteback(rs, inst);
+    }
+  };
+  flashvisor_->SubmitIo(std::move(req));
+}
+
+void FlashAbacus::OnComputeDone(RunState* rs, AppInstance* inst) {
+  inst->compute_done_time = sim_->Now();
+  if (rs->tails_pending[inst] > 0) {
+    // The kernel consumed its streamed input no faster than it arrived:
+    // completion waits for the last tail bytes.
+    rs->awaiting_tail[inst] = true;
+    return;
+  }
+  StartWriteback(rs, inst);
+}
+
+void FlashAbacus::TryDispatch(RunState* rs) {
+  if (rs->finished) {
+    return;
+  }
+  if (rs->kind == SchedulerKind::kInterStatic || rs->kind == SchedulerKind::kInterDynamic) {
+    DispatchInterKernel(rs);
+  } else {
+    DispatchIntraKernel(rs);
+  }
+}
+
+void FlashAbacus::DispatchInterKernel(RunState* rs) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!rs->worker_free[w]) {
+      continue;
+    }
+    AppInstance* inst = nullptr;
+    if (rs->kind == SchedulerKind::kInterStatic) {
+      if (!rs->static_queues[w].empty()) {
+        inst = rs->static_queues[w].front();
+        rs->static_queues[w].pop_front();
+      }
+    } else {
+      if (!rs->dynamic_queue.empty()) {
+        inst = rs->dynamic_queue.front();
+        rs->dynamic_queue.pop_front();
+      }
+    }
+    if (inst == nullptr) {
+      continue;
+    }
+    rs->worker_free[w] = false;
+    const int worker = static_cast<int>(w);
+    flashvisor_->RunSchedulingTask([this, rs, inst, worker](Tick t) {
+      trace_.Add(TraceTag::kSchedule, t - flashvisor_->config().scheduling_cost, t);
+      RunWholeKernel(rs, inst, worker);
+    });
+  }
+}
+
+void FlashAbacus::RunWholeKernel(RunState* rs, AppInstance* inst, int worker) {
+  // PSC wake/boot sequence, then execute the kernel as a single instruction
+  // stream: every microblock in order on this one LWP.
+  workers_[static_cast<std::size_t>(worker)]->BootKernel(sim_->Now());
+  if (!rs->chain.IsLoadDone(inst)) {
+    // Stall (occupied but not utilized) until the data sections arrive.
+    rs->waiting_worker[inst] = worker;
+    return;
+  }
+  RunKernelMicroblock(rs, inst, worker, 0);
+}
+
+void FlashAbacus::RunKernelMicroblock(RunState* rs, AppInstance* inst, int worker, int mblk) {
+  Lwp& lwp = *workers_[static_cast<std::size_t>(worker)];
+  const ScreenWork work = ComputeScreenWork(*inst, mblk, 0, 1);
+  const Lwp::ScreenTiming t = lwp.ExecuteScreen(sim_->Now(), work);
+  trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy);
+  ScreenRef ref{inst, mblk, 0, 1};
+  rs->chain.OnDispatched(ref);
+  sim_->ScheduleAt(t.end, [this, rs, inst, worker, mblk, ref]() {
+    const MicroblockSpec& spec = inst->spec().microblocks[static_cast<std::size_t>(mblk)];
+    if (spec.body) {
+      spec.body(*inst, 0, spec.func_iterations);
+    }
+    const bool kernel_done = rs->chain.OnScreenComplete(ref);
+    if (!kernel_done) {
+      RunKernelMicroblock(rs, inst, worker, mblk + 1);
+      return;
+    }
+    rs->worker_free[static_cast<std::size_t>(worker)] = true;
+    OnComputeDone(rs, inst);
+    TryDispatch(rs);
+  });
+}
+
+void FlashAbacus::DispatchIntraKernel(RunState* rs) {
+  while (true) {
+    int worker = -1;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (rs->worker_free[w]) {
+        worker = static_cast<int>(w);
+        break;
+      }
+    }
+    if (worker < 0) {
+      return;
+    }
+    ScreenRef ref;
+    const bool found = rs->kind == SchedulerKind::kIntraInOrder
+                           ? rs->chain.NextReadyScreenInOrder(&ref)
+                           : rs->chain.NextReadyScreen(&ref);
+    if (!found) {
+      return;
+    }
+    rs->chain.OnDispatched(ref);
+    rs->worker_free[static_cast<std::size_t>(worker)] = false;
+    // Each screen dispatch is a Flashvisor decision plus queue round trips —
+    // the fine-granularity overhead the paper measures against IntraO3.
+    flashvisor_->RunSchedulingTask([this, rs, ref, worker](Tick t) {
+      trace_.Add(TraceTag::kSchedule, t - flashvisor_->config().scheduling_cost, t);
+      ExecuteScreenOn(rs, ref, worker);
+    });
+  }
+}
+
+void FlashAbacus::ExecuteScreenOn(RunState* rs, const ScreenRef& ref, int worker) {
+  Lwp& lwp = *workers_[static_cast<std::size_t>(worker)];
+  const ScreenWork work = ComputeScreenWork(*ref.inst, ref.mblk, ref.screen, ref.num_screens);
+  const Tick start = sim_->Now() + flashvisor_->config().queue_latency;
+  const Lwp::ScreenTiming t = lwp.ExecuteScreen(start, work);
+  trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy);
+  sim_->ScheduleAt(t.end, [this, rs, ref, worker]() {
+    const MicroblockSpec& spec =
+        ref.inst->spec().microblocks[static_cast<std::size_t>(ref.mblk)];
+    if (spec.body) {
+      std::size_t begin = 0;
+      std::size_t end = 0;
+      ScreenFuncRange(*ref.inst, ref.mblk, ref.screen, ref.num_screens, &begin, &end);
+      spec.body(*ref.inst, begin, end);
+    }
+    const bool kernel_done = rs->chain.OnScreenComplete(ref);
+    rs->worker_free[static_cast<std::size_t>(worker)] = true;
+    if (kernel_done) {
+      OnComputeDone(rs, ref.inst);
+    }
+    TryDispatch(rs);
+  });
+}
+
+void FlashAbacus::StartWriteback(RunState* rs, AppInstance* inst) {
+  // The kernel no longer uses its input mappings: release the read locks.
+  for (DataSection& s : inst->sections()) {
+    for (std::uint64_t id : s.lock_ids) {
+      flashvisor_->ReleaseLock(id);
+    }
+    s.lock_ids.clear();
+  }
+  int n_outputs = 0;
+  for (DataSection& s : inst->sections()) {
+    if (s.spec->dir == DataSectionSpec::Dir::kOut) {
+      ++n_outputs;
+    }
+  }
+  rs->stores_pending[inst] = n_outputs;
+  if (n_outputs == 0) {
+    FinishInstance(rs, inst, sim_->Now());
+    return;
+  }
+  for (DataSection& s : inst->sections()) {
+    if (s.spec->dir != DataSectionSpec::Dir::kOut) {
+      continue;
+    }
+    Flashvisor::IoRequest req;
+    req.type = Flashvisor::IoRequest::Type::kWrite;
+    req.flash_addr = s.flash_addr;
+    req.model_bytes = s.model_bytes;
+    if (s.spec->buffer_index >= 0) {
+      req.func_data = inst->buffer(s.spec->buffer_index).data();
+      req.func_bytes = SectionFuncBytes(*inst, s);
+    }
+    req.on_complete = [this, rs, inst](Tick t) {
+      if (--rs->stores_pending[inst] == 0) {
+        FinishInstance(rs, inst, t);
+      }
+    };
+    flashvisor_->SubmitIo(std::move(req));
+  }
+}
+
+void FlashAbacus::FinishInstance(RunState* rs, AppInstance* inst, Tick when) {
+  inst->complete_time = when;
+  inst->done = true;
+  rs->result.completion_times.push_back(when - rs->start_time);
+  rs->result.kernel_latency_ms.Record(TicksToMs(when - inst->submit_time));
+  --rs->instances_remaining;
+  MaybeFinishRun(rs);
+}
+
+void FlashAbacus::MaybeFinishRun(RunState* rs) {
+  if (rs->finished || rs->instances_remaining > 0) {
+    return;
+  }
+  rs->finished = true;
+  storengine_->Stop();
+  FinalizeResult(rs);
+  // Hand the result out; keep run_ alive until the next Run() replaces it.
+  if (rs->done_cb) {
+    rs->done_cb(std::move(rs->result));
+  }
+}
+
+void FlashAbacus::FinalizeResult(RunState* rs) {
+  RunResult& res = rs->result;
+  const Tick end = sim_->Now();
+  res.makespan = end - rs->start_time;
+  double input_bytes = 0.0;
+  for (const AppInstance* inst : rs->instances) {
+    input_bytes += inst->model_input_bytes();
+  }
+  res.input_bytes = input_bytes;
+  res.throughput_mb_s =
+      res.makespan == 0 ? 0.0
+                        : input_bytes / (1024.0 * 1024.0) / TicksToSeconds(res.makespan);
+
+  // Utilization over the run window only (workers are idle during the
+  // pre-run data install, which must not dilute the denominator).
+  double util = 0.0;
+  for (const auto& w : workers_) {
+    util += res.makespan == 0
+                ? 0.0
+                : static_cast<double>(std::min(w->BusyTime(end), res.makespan)) /
+                      static_cast<double>(res.makespan);
+  }
+  res.worker_utilization = workers_.empty() ? 0.0 : util / static_cast<double>(workers_.size());
+
+  // ---- Energy (accelerator only; no host in the loop) ----
+  const PowerModel& p = config_.power;
+  EnergyMeter& e = res.energy;
+  const Tick T = res.makespan;
+  for (const auto& w : workers_) {
+    const Tick busy = std::min(w->BusyTime(end), T);
+    // PSC sleep accounting (paper §4, "Execution": Flashvisor parks idle
+    // LWPs through the power/sleep controller): long idle gaps draw the
+    // deep-sleep power instead of the idle power.
+    const Tick sleep = std::min(w->SleepTime(rs->start_time, end), T - busy);
+    e.AddActive(EnergyBucket::kComputation, "lwp", p.lwp_active_w, 0, busy);
+    e.AddStatic(EnergyBucket::kComputation, "lwp", p.lwp_sleep_w, sleep);
+    e.AddStatic(EnergyBucket::kComputation, "lwp", p.lwp_idle_w, T - busy - sleep);
+  }
+  // Flashvisor and Storengine poll their queues for the whole run — the paper
+  // charges them as always-active cores (InterSt's energy penalty).
+  e.AddStatic(EnergyBucket::kComputation, "flashvisor", p.lwp_active_w, T);
+  e.AddStatic(EnergyBucket::kComputation, "storengine", p.lwp_active_w, T);
+
+  const Tick dram_busy = std::min(dram_->BusyTime(end), T);
+  e.AddActive(EnergyBucket::kComputation, "ddr3l", p.ddr3l_active_w, 0, dram_busy);
+  e.AddStatic(EnergyBucket::kComputation, "ddr3l", p.ddr3l_idle_w, T - dram_busy);
+
+  const Tick spm_busy = std::min(scratchpad_->BusyTime(end), T);
+  e.AddActive(EnergyBucket::kComputation, "scratchpad", p.scratchpad_active_w, 0, spm_busy);
+  e.AddStatic(EnergyBucket::kComputation, "scratchpad", p.scratchpad_idle_w, T - spm_busy);
+
+  // Scope the device-lifetime trace to this run (drops install activity and
+  // re-bases interval times to the run start).
+  res.trace = trace_.Window(rs->start_time, end);
+
+  const Tick flash_busy = std::min(res.trace.UnionTime(TraceTag::kFlashOp), T);
+  e.AddActive(EnergyBucket::kStorageAccess, "flash", p.flash_active_w, 0, flash_busy);
+  e.AddStatic(EnergyBucket::kStorageAccess, "flash", p.flash_idle_w, T - flash_busy);
+
+  const Tick pcie_busy = std::min(res.trace.UnionTime(TraceTag::kPcieXfer), T);
+  e.AddActive(EnergyBucket::kDataMovement, "pcie", p.pcie_active_w, 0, pcie_busy);
+  e.AddStatic(EnergyBucket::kDataMovement, "pcie", p.pcie_idle_w, T - pcie_busy);
+}
+
+}  // namespace fabacus

@@ -1,0 +1,155 @@
+// The FlashAbacus accelerator device: 8 LWPs over tier-1/tier-2 crossbars,
+// DDR3L + scratchpad, the flash backbone behind SRIO, Flashvisor and
+// Storengine on two dedicated LWPs, and the remaining six LWPs as workers
+// executing offloaded multi-kernel workloads under one of four scheduling
+// models (paper §4.1-4.2):
+//   InterSt  — static inter-kernel   (kernel -> LWP by app id)
+//   InterDy  — dynamic inter-kernel  (kernel -> first free LWP)
+//   IntraIo  — in-order intra-kernel (screens of the head microblock fan out)
+//   IntraO3  — out-of-order intra-kernel (screens steal across kernels/apps)
+#ifndef SRC_CORE_FLASHABACUS_H_
+#define SRC_CORE_FLASHABACUS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/execution_chain.h"
+#include "src/core/flashvisor.h"
+#include "src/core/kernel.h"
+#include "src/core/kernel_table.h"
+#include "src/core/lwp.h"
+#include "src/core/storengine.h"
+#include "src/core/trace.h"
+#include "src/flash/flash_backbone.h"
+#include "src/mem/dram.h"
+#include "src/mem/scratchpad.h"
+#include "src/noc/crossbar.h"
+#include "src/power/energy_meter.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace fabacus {
+
+enum class SchedulerKind { kInterStatic, kInterDynamic, kIntraInOrder, kIntraOutOfOrder };
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+struct FlashAbacusConfig {
+  int num_lwps = 8;  // two of them host Flashvisor and Storengine
+  LwpConfig lwp;
+  CacheConfig cache;
+  NandConfig nand;
+  DramConfig dram;
+  ScratchpadConfig scratchpad;
+  CrossbarConfig tier1{.name = "tier1",
+                       .ports = 12,
+                       .port_gb_per_s = 16.0,
+                       .fabric_gb_per_s = 16.0,
+                       .hop_latency = 10};
+  FlashvisorConfig flashvisor;
+  StorengineConfig storengine;
+  double pcie_gb_per_s = 1.0;  // Table 1: PCIe v2.0 x2
+  Tick pcie_latency = 1 * kUs;
+  // Global scale on modelled data volumes (paper-sized inputs are hundreds of
+  // MB; see EXPERIMENTS.md for the scaling discussion).
+  double model_scale = 1.0 / 16.0;
+  // Streamed section loads (paper §2.2: DDR3L "hides the long latency
+  // imposed by flash accesses"): kernels start computing once this fraction
+  // of their input sections is resident; the tail streams in behind the
+  // compute. 1.0 reverts to fully-gated loads.
+  double load_stream_fraction = 0.2;
+  PowerModel power;
+};
+
+// Outcome of one accelerated run (one workload, one scheduler).
+struct RunResult {
+  std::string system;
+  Tick makespan = 0;
+  double input_bytes = 0.0;   // modelled bytes processed (all instances)
+  double throughput_mb_s = 0.0;
+  Histogram kernel_latency_ms;      // per-instance submit->complete
+  std::vector<Tick> completion_times;  // for the Fig-12 CDFs
+  double worker_utilization = 0.0;  // mean across worker LWPs
+  EnergyMeter energy;
+  RunTrace trace;
+  // Energy decomposition shorthand (joules).
+  double EnergyDataMovement() const { return energy.BucketJoules(EnergyBucket::kDataMovement); }
+  double EnergyComputation() const { return energy.BucketJoules(EnergyBucket::kComputation); }
+  double EnergyStorage() const { return energy.BucketJoules(EnergyBucket::kStorageAccess); }
+  double EnergyTotal() const { return energy.TotalJoules(); }
+};
+
+class FlashAbacus {
+ public:
+  explicit FlashAbacus(Simulator* sim, const FlashAbacusConfig& config = FlashAbacusConfig{});
+  ~FlashAbacus();
+  FlashAbacus(const FlashAbacus&) = delete;
+  FlashAbacus& operator=(const FlashAbacus&) = delete;
+
+  // Allocates flash extents for the instance's data sections and writes the
+  // input buffers to flash (device-resident dataset). `done` fires when the
+  // data is accepted; durable after DrainWrites().
+  void InstallData(AppInstance* inst, std::function<void(Tick)> done);
+
+  // Offloads and executes the instances under `kind`; `done` receives the
+  // result when every instance has completed (including output writeback to
+  // the DDR3L write buffer).
+  void Run(std::vector<AppInstance*> instances, SchedulerKind kind,
+           std::function<void(RunResult)> done);
+
+  // Reads an output section's current flash contents into `out` (sized to the
+  // section's functional bytes) — used by tests to verify end-to-end flow.
+  void ReadSectionFromFlash(AppInstance* inst, int section_idx, std::vector<float>* out,
+                            std::function<void(Tick)> done);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  Flashvisor& flashvisor() { return *flashvisor_; }
+  Storengine& storengine() { return *storengine_; }
+  FlashBackbone& backbone() { return *backbone_; }
+  Dram& dram() { return *dram_; }
+  Lwp& worker(int i) { return *workers_[static_cast<std::size_t>(i)]; }
+  const FlashAbacusConfig& config() const { return config_; }
+  RunTrace& trace() { return trace_; }
+  Simulator& sim() { return *sim_; }
+
+ private:
+  struct RunState;
+
+  void OffloadKernel(RunState* rs, AppInstance* inst);
+  void StartLoad(RunState* rs, AppInstance* inst);
+  void TryDispatch(RunState* rs);
+  void DispatchInterKernel(RunState* rs);
+  void DispatchIntraKernel(RunState* rs);
+  void RunWholeKernel(RunState* rs, AppInstance* inst, int worker);
+  void RunKernelMicroblock(RunState* rs, AppInstance* inst, int worker, int mblk);
+  void ExecuteScreenOn(RunState* rs, const ScreenRef& ref, int worker);
+  void StreamTail(RunState* rs, AppInstance* inst, DataSection* section, std::uint64_t addr,
+                  std::uint64_t remaining, std::uint8_t* func_data,
+                  std::uint64_t func_remaining);
+  void OnComputeDone(RunState* rs, AppInstance* inst);
+  void StartWriteback(RunState* rs, AppInstance* inst);
+  void FinishInstance(RunState* rs, AppInstance* inst, Tick when);
+  void MaybeFinishRun(RunState* rs);
+  void FinalizeResult(RunState* rs);
+  std::uint64_t SectionFuncBytes(const AppInstance& inst, const DataSection& s) const;
+
+  Simulator* sim_;
+  FlashAbacusConfig config_;
+  std::unique_ptr<Dram> dram_;
+  std::unique_ptr<Scratchpad> scratchpad_;
+  std::unique_ptr<Crossbar> tier1_;
+  std::unique_ptr<FlashBackbone> backbone_;
+  std::unique_ptr<Flashvisor> flashvisor_;
+  std::unique_ptr<Storengine> storengine_;
+  std::unique_ptr<BandwidthResource> pcie_;
+  std::vector<std::unique_ptr<Lwp>> workers_;
+  RunTrace trace_;
+  std::unique_ptr<RunState> run_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_CORE_FLASHABACUS_H_

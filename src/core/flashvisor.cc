@@ -1,0 +1,367 @@
+#include "src/core/flashvisor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+namespace {
+
+// Block groups held back from the logical capacity so garbage collection
+// always has somewhere to migrate into (standard SSD over-provisioning).
+constexpr double kOverProvisionFraction = 0.08;
+
+}  // namespace
+
+Flashvisor::Flashvisor(Simulator* sim, FlashBackbone* backbone, Dram* dram,
+                       Scratchpad* scratchpad, const FlashvisorConfig& config)
+    : sim_(sim),
+      backbone_(backbone),
+      dram_(dram),
+      config_(config),
+      core_("flashvisor"),
+      map_(backbone->config(), scratchpad),
+      blocks_(backbone->config()),
+      inbound_(sim, "flashvisor.inq", config.queue_latency) {
+  inbound_.set_sink([this](IoRequest req, MessageQueue<IoRequest>::Done done) {
+    HandleIo(std::move(req), std::move(done));
+  });
+  EnsureActiveBlockGroup(0);
+}
+
+std::uint32_t Flashvisor::DataSlotsPerBlockGroup() const {
+  // The last two slots of each block group hold the block's mapping summary.
+  // (The paper places the summary in the first two pages; NAND program-order
+  // discipline in our model requires the footer position — see DESIGN.md.)
+  return static_cast<std::uint32_t>(backbone_->config().GroupsPerBlockGroup()) - 2;
+}
+
+// A block group is a superblock: block index `bg` across every package.
+// Slot s maps to page s / P on package s % P, so consecutive slots stride
+// the packages and the write point pipelines die programs.
+std::uint64_t Flashvisor::BlockGroupOf(std::uint32_t phys_group) const {
+  const auto& cfg = backbone_->config();
+  return (phys_group / cfg.packages_per_channel) / cfg.pages_per_block;
+}
+
+std::uint32_t Flashvisor::SlotOf(std::uint32_t phys_group) const {
+  const auto& cfg = backbone_->config();
+  const std::uint32_t package = phys_group % cfg.packages_per_channel;
+  const std::uint32_t page =
+      static_cast<std::uint32_t>((phys_group / cfg.packages_per_channel) % cfg.pages_per_block);
+  return page * cfg.packages_per_channel + package;
+}
+
+std::uint32_t Flashvisor::GroupOfSlot(std::uint64_t bg, std::uint32_t slot) const {
+  const auto& cfg = backbone_->config();
+  const std::uint32_t package = slot % cfg.packages_per_channel;
+  const std::uint32_t page = slot / cfg.packages_per_channel;
+  return static_cast<std::uint32_t>(
+      (bg * cfg.pages_per_block + page) * cfg.packages_per_channel + package);
+}
+
+std::uint64_t Flashvisor::LogicalCapacityBytes() const {
+  const auto& cfg = backbone_->config();
+  const double usable =
+      static_cast<double>(cfg.TotalBlockGroups()) * (1.0 - kOverProvisionFraction);
+  return static_cast<std::uint64_t>(usable) * DataSlotsPerBlockGroup() * cfg.GroupBytes();
+}
+
+std::uint64_t Flashvisor::AllocLogicalExtent(std::uint64_t bytes) {
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  const std::uint64_t aligned = (bytes + group_bytes - 1) / group_bytes * group_bytes;
+  FAB_CHECK_LE(logical_alloc_cursor_ + aligned, LogicalCapacityBytes())
+      << "logical flash space exhausted";
+  const std::uint64_t addr = logical_alloc_cursor_;
+  logical_alloc_cursor_ += aligned;
+  return addr;
+}
+
+void Flashvisor::SubmitIo(IoRequest req) {
+  FAB_CHECK(req.on_complete) << "IoRequest without completion callback";
+  FAB_CHECK_EQ(req.flash_addr % backbone_->config().GroupBytes(), 0u)
+      << "flash address must be group aligned";
+  FAB_CHECK(inbound_.TrySend(std::move(req))) << "flashvisor inbound queue overflow";
+}
+
+void Flashvisor::ReleaseLock(RangeLock::LockId id) { lock_.Release(id); }
+
+void Flashvisor::RunSchedulingTask(std::function<void(Tick)> done) {
+  const SerialCore::Interval iv = core_.Occupy(sim_->Now(), config_.scheduling_cost);
+  sim_->ScheduleAt(iv.end, [done = std::move(done), end = iv.end]() { done(end); });
+}
+
+void Flashvisor::HandleIo(IoRequest req, std::function<void(Tick)> core_done) {
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  const std::uint64_t n_groups = std::max<std::uint64_t>(
+      1, (req.model_bytes + group_bytes - 1) / group_bytes);
+  // Translation + issue occupies the Flashvisor core serially.
+  const Tick service =
+      config_.request_fixed_cost + static_cast<Tick>(n_groups) * config_.per_group_translate;
+  const SerialCore::Interval iv = core_.Occupy(sim_->Now(), service);
+
+  sim_->ScheduleAt(iv.end, [this, req = std::move(req), end = iv.end,
+                            core_done = std::move(core_done)]() mutable {
+    // The core is free for the next queue message once translation is done;
+    // the flash operations themselves proceed in the controllers.
+    core_done(end);
+    if (req.type == IoRequest::Type::kRead) {
+      DoRead(std::move(req), end);
+    } else {
+      DoWrite(std::move(req), end);
+    }
+  });
+}
+
+void Flashvisor::DoRead(IoRequest req, Tick service_end) {
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  const std::uint64_t first_lg = req.flash_addr / group_bytes;
+  const std::uint64_t n_groups =
+      std::max<std::uint64_t>(1, (req.model_bytes + group_bytes - 1) / group_bytes);
+  const std::uint64_t last_lg = first_lg + n_groups - 1;
+
+  // Shared state captured for the (possibly deferred) grant continuation.
+  auto work = [this, req = std::move(req), first_lg, n_groups,
+               group_bytes](RangeLock::LockId lock_id) mutable {
+    const Tick start = sim_->Now();
+    Tick flash_done = start;
+    std::vector<std::uint8_t> group_buf(group_bytes);
+    for (std::uint64_t i = 0; i < n_groups; ++i) {
+      const std::uint64_t lg = first_lg + i;
+      const std::uint32_t phys = map_.Lookup(lg);
+      const std::uint64_t req_off = i * group_bytes;
+      const bool carries_data = req.func_data != nullptr && req_off < req.func_bytes;
+      if (phys == MappingTable::kUnmapped) {
+        // Never-written logical space reads back as zeros with no device op.
+        if (carries_data) {
+          const std::uint64_t n = std::min(group_bytes, req.func_bytes - req_off);
+          std::memset(static_cast<std::uint8_t*>(req.func_data) + req_off, 0, n);
+        }
+        continue;
+      }
+      FlashBackbone::OpResult r =
+          backbone_->ReadGroup(start, phys, carries_data ? group_buf.data() : nullptr);
+      if (r.ecc_event) {
+        ++ecc_events_;
+      }
+      flash_done = std::max(flash_done, r.done);
+      if (carries_data) {
+        const std::uint64_t n = std::min(group_bytes, req.func_bytes - req_off);
+        std::memcpy(static_cast<std::uint8_t*>(req.func_data) + req_off, group_buf.data(), n);
+      }
+    }
+    ++reads_served_;
+    const bool hold = req.hold_lock;
+    if (hold) {
+      FAB_CHECK(req.lock_holder) << "hold_lock without lock_holder";
+      req.lock_holder(lock_id);
+    }
+    // The DDR3L landing is booked at the flash-completion *event* (not at
+    // the analytic future time) so memory bandwidth is granted in simulated
+    // time order and concurrent kernel compute is not queued behind
+    // transfers that have not started yet.
+    const double model_bytes = static_cast<double>(req.model_bytes);
+    sim_->ScheduleAt(flash_done, [this, model_bytes, cb = std::move(req.on_complete), hold,
+                                  lock_id]() mutable {
+      const Tick done = dram_->BulkAccess(sim_->Now(), model_bytes);
+      sim_->ScheduleAt(done, [this, cb = std::move(cb), done, hold, lock_id]() {
+        if (!hold) {
+          lock_.Release(lock_id);
+        }
+        cb(done);
+      });
+    });
+  };
+
+  (void)service_end;
+  lock_.Acquire(first_lg, last_lg, LockMode::kRead,
+                [work = std::move(work)](RangeLock::LockId id) mutable { work(id); });
+}
+
+void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  const std::uint64_t first_lg = req.flash_addr / group_bytes;
+  const std::uint64_t n_groups =
+      std::max<std::uint64_t>(1, (req.model_bytes + group_bytes - 1) / group_bytes);
+  const std::uint64_t last_lg = first_lg + n_groups - 1;
+
+  auto work = [this, req = std::move(req), first_lg, n_groups,
+               group_bytes](RangeLock::LockId lock_id) mutable {
+    const Tick start = sim_->Now();
+    // Stage the data out of the kernel's data section in DDR3L.
+    const Tick staged = dram_->BulkAccess(start, static_cast<double>(req.model_bytes));
+    Tick flash_done = staged;
+    std::vector<std::uint8_t> group_buf(group_bytes);
+    for (std::uint64_t i = 0; i < n_groups; ++i) {
+      const std::uint64_t lg = first_lg + i;
+      Tick alloc_io = staged;
+      const std::uint32_t phys = AllocatePhysicalGroup(staged, &alloc_io);
+      const std::uint32_t old = map_.Update(lg, phys);
+      if (old != MappingTable::kUnmapped) {
+        blocks_.MarkInvalid(BlockGroupOf(old), SlotOf(old));
+      }
+      blocks_.MarkValid(BlockGroupOf(phys), SlotOf(phys));
+      const std::uint64_t req_off = i * group_bytes;
+      const bool carries_data = req.func_data != nullptr && req_off < req.func_bytes;
+      const void* payload = nullptr;
+      if (carries_data) {
+        const std::uint64_t n = std::min(group_bytes, req.func_bytes - req_off);
+        std::memset(group_buf.data(), 0, group_bytes);
+        std::memcpy(group_buf.data(), static_cast<const std::uint8_t*>(req.func_data) + req_off,
+                    n);
+        payload = group_buf.data();
+      }
+      FlashBackbone::OpResult r =
+          backbone_->ProgramGroup(std::max(staged, alloc_io), phys, payload);
+      flash_done = std::max(flash_done, r.done);
+    }
+    write_drain_horizon_ = std::max(write_drain_horizon_, flash_done);
+    ++writes_served_;
+    // The caller sees completion once the DDR3L write buffer holds the data
+    // — but the buffer is finite: acceptance stalls until enough earlier
+    // writes have programmed out. The range lock is held until the programs
+    // land so overlapping readers see the paper's blocking behaviour.
+    const Tick accepted = AdmitWrite(staged, req.model_bytes, flash_done);
+    sim_->ScheduleAt(accepted,
+                     [cb = std::move(req.on_complete), accepted]() { cb(accepted); });
+    sim_->ScheduleAt(flash_done, [this, lock_id]() { lock_.Release(lock_id); });
+  };
+
+  (void)service_end;
+  lock_.Acquire(first_lg, last_lg, LockMode::kWrite,
+                [work = std::move(work)](RangeLock::LockId id) mutable { work(id); });
+}
+
+Tick Flashvisor::AdmitWrite(Tick staged, std::uint64_t bytes, Tick flash_done) {
+  Tick accept = staged;
+  // Reclaim buffer space from writes whose programs already landed.
+  while (!write_buffer_.empty() && write_buffer_.top().first <= accept) {
+    write_buffer_used_ -= write_buffer_.top().second;
+    write_buffer_.pop();
+  }
+  const std::uint64_t cap = config_.write_buffer_bytes;
+  if (bytes >= cap) {
+    // Larger than the whole buffer: the request effectively streams to
+    // flash; acceptance tracks its own drain.
+    accept = std::max(accept, flash_done);
+  } else {
+    while (write_buffer_used_ + bytes > cap && !write_buffer_.empty()) {
+      accept = std::max(accept, write_buffer_.top().first);
+      write_buffer_used_ -= write_buffer_.top().second;
+      write_buffer_.pop();
+    }
+  }
+  write_buffer_.push({flash_done, bytes});
+  write_buffer_used_ += bytes;
+  return accept;
+}
+
+void Flashvisor::EnsureActiveBlockGroup(Tick now) {
+  while (active_bg_ == BlockManager::kNone) {
+    const std::uint64_t bg = blocks_.AllocBlockGroup();
+    if (bg == BlockManager::kNone) {
+      // Background reclamation fell behind the write stream: reclaim inline
+      // (the queued device time is the foreground-GC stall the paper's
+      // Storengine design exists to avoid).
+      ForegroundReclaim(now);
+      continue;
+    }
+    if (backbone_->IsBadBlockGroup(static_cast<int>(bg))) {
+      blocks_.Retire(bg);
+      continue;
+    }
+    active_bg_ = bg;
+    active_slot_ = 0;
+  }
+  if (blocks_.free_count() < config_.gc_low_watermark && gc_trigger_) {
+    gc_trigger_(now);
+  }
+}
+
+void Flashvisor::ForegroundReclaim(Tick now) {
+  FAB_CHECK_LT(reclaim_depth_, 8) << "flash capacity exhausted (reclaim cannot make progress)";
+  ++reclaim_depth_;
+  const std::uint64_t victim = blocks_.PickVictim();
+  FAB_CHECK_NE(victim, BlockManager::kNone) << "no sealed block groups to reclaim";
+  ++foreground_reclaims_;
+  // Inline reclamation monopolizes the Flashvisor core (the overhead the
+  // Storengine split exists to avoid): queued requests wait behind it.
+  core_.Occupy(now, 20 * kUs);
+  // This runs atomically within one simulation event (Flashvisor's own
+  // context), so no kernel mapping can interleave: the range lock is not
+  // needed here. Valid groups migrate to the active write point; device time
+  // queues naturally in the controllers, stalling subsequent writes.
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  std::vector<std::uint8_t> buf(group_bytes);
+  const std::uint32_t data_slots = DataSlotsPerBlockGroup();
+  for (std::uint32_t slot = 0; slot < data_slots; ++slot) {
+    if (!blocks_.IsValid(victim, slot)) {
+      continue;
+    }
+    const std::uint32_t phys_old = GroupOfSlot(victim, slot);
+    const std::uint32_t lg = map_.ReverseLookup(phys_old);
+    if (lg == MappingTable::kUnmapped) {
+      blocks_.MarkInvalid(victim, slot);
+      continue;
+    }
+    FlashBackbone::OpResult rd = backbone_->ReadGroup(now, phys_old, buf.data());
+    Tick alloc_io = rd.done;
+    const std::uint32_t phys_new = AllocatePhysicalGroup(rd.done, &alloc_io);
+    FlashBackbone::OpResult pr =
+        backbone_->ProgramGroup(std::max(rd.done, alloc_io), phys_new, buf.data());
+    write_drain_horizon_ = std::max(write_drain_horizon_, pr.done);
+    map_.Update(lg, phys_new);
+    blocks_.MarkInvalid(victim, slot);
+    blocks_.MarkValid(BlockGroupOf(phys_new), SlotOf(phys_new));
+  }
+  // The per-package busy horizon already serializes this erase behind the
+  // reads above, so issuing it "now" is safe.
+  FlashBackbone::OpResult er = backbone_->EraseBlockGroup(now, static_cast<int>(victim));
+  if (er.became_bad) {
+    blocks_.Retire(victim);
+  } else {
+    blocks_.OnErased(victim);
+  }
+  --reclaim_depth_;
+}
+
+std::uint32_t Flashvisor::AllocatePhysicalGroup(Tick now, Tick* io_done) {
+  // Lazy seal: once the previous allocation handed out the last data slot,
+  // the caller's program for it has been issued by the time the *next*
+  // allocation arrives — only then may the footer pages program (NAND blocks
+  // must be written strictly in page order).
+  if (active_bg_ != BlockManager::kNone && active_slot_ >= DataSlotsPerBlockGroup()) {
+    SealActiveBlockGroup(now);
+  }
+  EnsureActiveBlockGroup(now);
+  const std::uint32_t phys = GroupOfSlot(active_bg_, active_slot_);
+  ++active_slot_;
+  *io_done = now;
+  return phys;
+}
+
+void Flashvisor::SealActiveBlockGroup(Tick now) {
+  const auto& cfg = backbone_->config();
+  // Build the block summary: the logical group currently stored in each data
+  // slot (kUnmapped for slots already invalidated). Two footer slots hold it.
+  const std::uint32_t data_slots = DataSlotsPerBlockGroup();
+  std::vector<std::uint32_t> summary(data_slots);
+  for (std::uint32_t s = 0; s < data_slots; ++s) {
+    summary[s] = map_.ReverseLookup(GroupOfSlot(active_bg_, s));
+  }
+  std::vector<std::uint8_t> footer(2 * cfg.GroupBytes(), 0);
+  std::memcpy(footer.data(), summary.data(),
+              std::min<std::uint64_t>(summary.size() * sizeof(std::uint32_t), footer.size()));
+  for (std::uint32_t f = 0; f < 2; ++f) {
+    const std::uint32_t phys = GroupOfSlot(active_bg_, data_slots + f);
+    FlashBackbone::OpResult r =
+        backbone_->ProgramGroup(now, phys, footer.data() + f * cfg.GroupBytes());
+    write_drain_horizon_ = std::max(write_drain_horizon_, r.done);
+  }
+  blocks_.SealBlockGroup(active_bg_);
+  active_bg_ = BlockManager::kNone;
+  active_slot_ = 0;
+}
+
+}  // namespace fabacus

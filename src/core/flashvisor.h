@@ -1,0 +1,165 @@
+// Flashvisor (paper §3.3, §4.3): the LWP dedicated to self-governing the
+// flash backbone. It virtualizes flash into the processors' shared memory
+// address space: kernels send queue messages naming a logical flash range and
+// a DDR3L data-section pointer; Flashvisor translates through the
+// scratchpad-resident page-group mapping table, enforces the range lock, and
+// drives the FPGA controllers. Writes are log-structured: every write
+// allocates the next page-group slot in the active block group, and sealed
+// block groups carry a two-slot mapping summary for persistence.
+//
+// Real data flows: the functional prefix of every section round-trips through
+// the byte-accurate flash store, so FTL correctness (including under GC) is
+// observable by tests.
+#ifndef SRC_CORE_FLASHVISOR_H_
+#define SRC_CORE_FLASHVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/core/block_manager.h"
+#include "src/core/mapping_table.h"
+#include "src/core/range_lock.h"
+#include "src/core/serial_core.h"
+#include "src/flash/flash_backbone.h"
+#include "src/mem/dram.h"
+#include "src/mem/scratchpad.h"
+#include "src/noc/message_queue.h"
+#include "src/sim/simulator.h"
+
+namespace fabacus {
+
+struct FlashvisorConfig {
+  Tick per_group_translate = 150;   // ns of Flashvisor core time per group
+  Tick request_fixed_cost = 500;    // ns per queue message (parse + reply)
+  Tick queue_latency = 100;         // ns hardware-queue delivery
+  Tick scheduling_cost = 1500;      // ns per scheduling decision (intra modes)
+  std::size_t gc_low_watermark = 4; // free block groups that trigger GC help
+  // DDR3L write-buffer budget (paper §2.2: DDR3L "buffer[s] the majority of
+  // flash writes"). A write is accepted once staged in this buffer; when the
+  // outstanding un-programmed bytes exceed the budget, acceptance stalls
+  // until enough programs drain.
+  std::uint64_t write_buffer_bytes = 256ULL << 20;
+};
+
+class Flashvisor {
+ public:
+  struct IoRequest {
+    enum class Type { kRead, kWrite };
+    Type type = Type::kRead;
+    std::uint64_t flash_addr = 0;    // logical byte address, group-aligned
+    std::uint64_t model_bytes = 0;   // modeled transfer length (timing)
+    void* func_data = nullptr;       // functional payload buffer
+    std::uint64_t func_bytes = 0;    // bytes of real data (<= model_bytes)
+    // Fires when the request is complete: read data resident in DDR3L, or
+    // write accepted into the DDR3L write buffer.
+    std::function<void(Tick)> on_complete;
+    // Reads: when true the section's read lock is held after completion and
+    // its id is handed to `lock_holder`; the owner calls ReleaseLock() later
+    // (at kernel completion). Writes always hold their lock until the flash
+    // programs land.
+    bool hold_lock = false;
+    std::function<void(RangeLock::LockId)> lock_holder;
+  };
+
+  Flashvisor(Simulator* sim, FlashBackbone* backbone, Dram* dram, Scratchpad* scratchpad,
+             const FlashvisorConfig& config = FlashvisorConfig{});
+
+  // Enqueues an I/O request over the hardware message queue.
+  void SubmitIo(IoRequest req);
+
+  void ReleaseLock(RangeLock::LockId id);
+
+  // Occupies the Flashvisor core for a scheduling decision; `done` fires when
+  // the decision completes. Used by the intra-kernel schedulers.
+  void RunSchedulingTask(std::function<void(Tick)> done);
+
+  // Logical capacity exposed to applications (total minus an over-provisioned
+  // reserve that keeps GC able to make progress).
+  std::uint64_t LogicalCapacityBytes() const;
+
+  // Simple logical-extent allocator for data sections (group aligned).
+  std::uint64_t AllocLogicalExtent(std::uint64_t bytes);
+
+  MappingTable& mapping() { return map_; }
+  BlockManager& blocks() { return blocks_; }
+  RangeLock& range_lock() { return lock_; }
+  FlashBackbone& backbone() { return *backbone_; }
+  SerialCore& core() { return core_; }
+  const FlashvisorConfig& config() const { return config_; }
+  Simulator& sim() { return *sim_; }
+  Dram& dram() { return *dram_; }
+
+  // Pending flash writes become durable once their program reservations
+  // complete; this is the latest such completion (tests run the simulator to
+  // this horizon before checking flash contents).
+  Tick write_drain_horizon() const { return write_drain_horizon_; }
+  std::uint64_t reads_served() const { return reads_served_; }
+  std::uint64_t writes_served() const { return writes_served_; }
+  std::uint64_t ecc_events() const { return ecc_events_; }
+  // Emergency reclaims performed inline on the write path because the free
+  // pool was exhausted (paper §4.3: "garbage collection [is] invoked on
+  // demand" when background reclamation falls behind).
+  std::uint64_t foreground_reclaims() const { return foreground_reclaims_; }
+
+  // Storengine hook: invoked (with current time) when the free pool dips
+  // below the GC watermark.
+  void set_gc_trigger(std::function<void(Tick)> cb) { gc_trigger_ = std::move(cb); }
+
+  // --- Storengine-facing FTL internals (also used by recovery tooling) ---
+  // Allocates the next physical page-group slot in the active block group,
+  // sealing it (with a summary write) when full. Returns the physical group.
+  std::uint32_t AllocatePhysicalGroup(Tick now, Tick* io_done);
+  // Number of data slots per block group (excludes the summary footer).
+  std::uint32_t DataSlotsPerBlockGroup() const;
+  std::uint64_t BlockGroupOf(std::uint32_t phys_group) const;
+  std::uint32_t SlotOf(std::uint32_t phys_group) const;
+  std::uint32_t GroupOfSlot(std::uint64_t bg, std::uint32_t slot) const;
+
+ private:
+  void HandleIo(IoRequest req, std::function<void(Tick)> core_done);
+  void DoRead(IoRequest req, Tick service_end);
+  void DoWrite(IoRequest req, Tick service_end);
+  void SealActiveBlockGroup(Tick now);
+  void EnsureActiveBlockGroup(Tick now);
+  void ForegroundReclaim(Tick now);
+  // Admits a staged write into the finite DDR3L write buffer; returns the
+  // time the caller may consider the write accepted.
+  Tick AdmitWrite(Tick staged, std::uint64_t bytes, Tick flash_done);
+
+  Simulator* sim_;
+  FlashBackbone* backbone_;
+  Dram* dram_;
+  FlashvisorConfig config_;
+  SerialCore core_;
+  MappingTable map_;
+  BlockManager blocks_;
+  RangeLock lock_;
+  MessageQueue<IoRequest> inbound_;
+
+  // Outstanding write-buffer entries: (program-completion time, bytes),
+  // earliest-draining first.
+  std::priority_queue<std::pair<Tick, std::uint64_t>,
+                      std::vector<std::pair<Tick, std::uint64_t>>,
+                      std::greater<std::pair<Tick, std::uint64_t>>>
+      write_buffer_;
+  std::uint64_t write_buffer_used_ = 0;
+
+  std::uint64_t active_bg_ = BlockManager::kNone;
+  std::uint32_t active_slot_ = 0;
+  std::uint64_t logical_alloc_cursor_ = 0;
+  Tick write_drain_horizon_ = 0;
+  std::uint64_t reads_served_ = 0;
+  std::uint64_t writes_served_ = 0;
+  std::uint64_t ecc_events_ = 0;
+  std::uint64_t foreground_reclaims_ = 0;
+  int reclaim_depth_ = 0;
+  std::function<void(Tick)> gc_trigger_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_CORE_FLASHVISOR_H_

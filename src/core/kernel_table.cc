@@ -1,0 +1,278 @@
+#include "src/core/kernel_table.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+namespace {
+
+// Simple growable byte writer with a string pool at the end of the table.
+class Writer {
+ public:
+  std::uint32_t Tell() const { return static_cast<std::uint32_t>(bytes_.size()); }
+
+  template <typename T>
+  void Append(const T& value) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + sizeof(T));
+    std::memcpy(bytes_.data() + at, &value, sizeof(T));
+  }
+
+  std::uint32_t AppendString(const std::string& s) {
+    const std::uint32_t at = Tell();
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    bytes_.push_back(0);
+    return at;
+  }
+
+  void Patch(std::size_t offset, const void* data, std::size_t len) {
+    FAB_CHECK_LE(offset + len, bytes_.size());
+    std::memcpy(bytes_.data() + offset, data, len);
+  }
+
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// Bounds-checked reader.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(std::uint32_t offset, T* out) const {
+    if (static_cast<std::size_t>(offset) + sizeof(T) > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + offset, sizeof(T));
+    return true;
+  }
+
+  bool ReadString(std::uint32_t offset, std::string* out) const {
+    if (offset >= bytes_.size()) {
+      return false;
+    }
+    const auto* begin = bytes_.data() + offset;
+    const auto* end = bytes_.data() + bytes_.size();
+    const auto* nul = std::find(begin, end, 0);
+    if (nul == end) {
+      return false;  // unterminated string
+    }
+    out->assign(begin, nul);
+    return true;
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+};
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) {
+    *error = msg;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t KdtChecksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> SerializeKernelTable(const KernelSpec& spec) {
+  Writer w;
+  KdtHeader header;
+  header.model_input_mb = spec.model_input_mb;
+  header.ldst_ratio = spec.ldst_ratio;
+  header.bki = spec.bki;
+  w.Append(header);  // patched below once offsets are known
+
+  // Section table: the three ELF-ish sections plus one entry per data
+  // section. Name offsets are patched after the string pool is emitted.
+  struct PendingName {
+    std::size_t field_offset;  // where the u32 name_offset lives
+    std::string text;
+  };
+  std::vector<PendingName> names;
+
+  header.section_offset = w.Tell();
+  header.section_count = 3 + static_cast<std::uint32_t>(spec.sections.size());
+  {
+    KdtSection text;
+    text.kind = KdtSectionKind::kText;
+    text.size_bytes = spec.text_bytes;
+    names.push_back({w.Tell() + offsetof(KdtSection, name_offset), ".text"});
+    w.Append(text);
+    KdtSection heap;
+    heap.kind = KdtSectionKind::kHeap;
+    heap.size_bytes = spec.heap_bytes;
+    names.push_back({w.Tell() + offsetof(KdtSection, name_offset), ".heap"});
+    w.Append(heap);
+    KdtSection stack;
+    stack.kind = KdtSectionKind::kStack;
+    stack.size_bytes = spec.stack_bytes;
+    names.push_back({w.Tell() + offsetof(KdtSection, name_offset), ".stack"});
+    w.Append(stack);
+  }
+  for (const DataSectionSpec& s : spec.sections) {
+    KdtSection sec;
+    sec.kind = s.dir == DataSectionSpec::Dir::kIn ? KdtSectionKind::kDataIn
+                                                  : KdtSectionKind::kDataOut;
+    sec.model_fraction = s.model_fraction;
+    sec.buffer_index = s.buffer_index;
+    names.push_back({w.Tell() + offsetof(KdtSection, name_offset), s.name});
+    w.Append(sec);
+  }
+
+  header.mblk_offset = w.Tell();
+  header.mblk_count = static_cast<std::uint32_t>(spec.microblocks.size());
+  for (const MicroblockSpec& m : spec.microblocks) {
+    KdtMicroblock kb;
+    kb.serial = m.serial ? 1 : 0;
+    kb.work_fraction = m.work_fraction;
+    kb.frac_ldst = m.frac_ldst;
+    kb.frac_mul = m.frac_mul;
+    kb.frac_alu = m.frac_alu;
+    kb.reuse_window_bytes = m.reuse_window_bytes;
+    kb.stream_factor = m.stream_factor;
+    kb.func_iterations = m.func_iterations;
+    names.push_back({w.Tell() + offsetof(KdtMicroblock, name_offset), m.name});
+    w.Append(kb);
+  }
+
+  // String pool.
+  header.name_offset = w.AppendString(spec.name);
+  for (const PendingName& pn : names) {
+    const std::uint32_t at = w.AppendString(pn.text);
+    w.Patch(pn.field_offset, &at, sizeof(at));
+  }
+
+  std::vector<std::uint8_t> bytes = w.Take();
+  header.total_bytes = static_cast<std::uint32_t>(bytes.size());
+  header.checksum = 0;
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  header.checksum = KdtChecksum(bytes.data(), bytes.size());
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  return bytes;
+}
+
+bool ParseKernelTable(const std::vector<std::uint8_t>& bytes, KernelSpec* spec,
+                      std::string* error) {
+  FAB_CHECK(spec != nullptr);
+  Reader r(bytes);
+  KdtHeader header;
+  if (!r.Read(0, &header)) {
+    return Fail(error, "table shorter than header");
+  }
+  if (header.magic != KdtHeader::kMagic) {
+    return Fail(error, "bad magic");
+  }
+  if (header.version != KdtHeader::kVersion) {
+    return Fail(error, "unsupported version");
+  }
+  if (header.total_bytes != bytes.size()) {
+    return Fail(error, "size mismatch");
+  }
+  // Verify the checksum with the field zeroed.
+  std::vector<std::uint8_t> copy = bytes;
+  KdtHeader zeroed = header;
+  zeroed.checksum = 0;
+  std::memcpy(copy.data(), &zeroed, sizeof(zeroed));
+  if (KdtChecksum(copy.data(), copy.size()) != header.checksum) {
+    return Fail(error, "checksum mismatch");
+  }
+  if (header.mblk_count == 0) {
+    return Fail(error, "kernel has no microblocks");
+  }
+
+  KernelSpec out;
+  if (!r.ReadString(header.name_offset, &out.name)) {
+    return Fail(error, "bad kernel name offset");
+  }
+  out.model_input_mb = header.model_input_mb;
+  out.ldst_ratio = header.ldst_ratio;
+  out.bki = header.bki;
+
+  for (std::uint32_t i = 0; i < header.section_count; ++i) {
+    KdtSection sec;
+    const std::uint32_t at = header.section_offset + i * sizeof(KdtSection);
+    if (!r.Read(at, &sec)) {
+      return Fail(error, "section table out of bounds");
+    }
+    std::string name;
+    if (!r.ReadString(sec.name_offset, &name)) {
+      return Fail(error, "bad section name offset");
+    }
+    switch (sec.kind) {
+      case KdtSectionKind::kText:
+        out.text_bytes = sec.size_bytes;
+        break;
+      case KdtSectionKind::kHeap:
+        out.heap_bytes = sec.size_bytes;
+        break;
+      case KdtSectionKind::kStack:
+        out.stack_bytes = sec.size_bytes;
+        break;
+      case KdtSectionKind::kDataIn:
+      case KdtSectionKind::kDataOut: {
+        if (sec.model_fraction < 0.0 || sec.model_fraction > 1.0) {
+          return Fail(error, "data section fraction out of range");
+        }
+        DataSectionSpec ds;
+        ds.name = name;
+        ds.dir = sec.kind == KdtSectionKind::kDataIn ? DataSectionSpec::Dir::kIn
+                                                     : DataSectionSpec::Dir::kOut;
+        ds.model_fraction = sec.model_fraction;
+        ds.buffer_index = sec.buffer_index;
+        out.sections.push_back(std::move(ds));
+        break;
+      }
+      default:
+        return Fail(error, "unknown section kind");
+    }
+  }
+
+  double work_sum = 0.0;
+  for (std::uint32_t i = 0; i < header.mblk_count; ++i) {
+    KdtMicroblock kb;
+    const std::uint32_t at = header.mblk_offset + i * sizeof(KdtMicroblock);
+    if (!r.Read(at, &kb)) {
+      return Fail(error, "microblock table out of bounds");
+    }
+    const double mix = kb.frac_ldst + kb.frac_mul + kb.frac_alu;
+    if (mix < 0.999 || mix > 1.001) {
+      return Fail(error, "microblock instruction mix not normalized");
+    }
+    MicroblockSpec m;
+    if (!r.ReadString(kb.name_offset, &m.name)) {
+      return Fail(error, "bad microblock name offset");
+    }
+    m.serial = kb.serial != 0;
+    m.work_fraction = kb.work_fraction;
+    m.frac_ldst = kb.frac_ldst;
+    m.frac_mul = kb.frac_mul;
+    m.frac_alu = kb.frac_alu;
+    m.reuse_window_bytes = kb.reuse_window_bytes;
+    m.stream_factor = kb.stream_factor;
+    m.func_iterations = kb.func_iterations;
+    work_sum += m.work_fraction;
+    out.microblocks.push_back(std::move(m));
+  }
+  if (work_sum < 0.99 || work_sum > 1.01) {
+    return Fail(error, "microblock work fractions do not sum to 1");
+  }
+  *spec = std::move(out);
+  return true;
+}
+
+}  // namespace fabacus

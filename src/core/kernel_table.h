@@ -1,0 +1,93 @@
+// Kernel description table (paper §4, "Kernel"): the executable object a
+// host offloads to FlashAbacus. It is a variation of ELF/COFF: a fixed
+// header, a section table (.text, .ddr3_arr data-section descriptors, .heap,
+// .stack) and a microblock table describing the kernel's execution structure
+// (serial flags, work fractions, instruction mixes) — everything the
+// self-governing schedulers need, with no host-side runtime involvement
+// afterwards.
+//
+// This module defines the on-the-wire binary format plus a serializer
+// (host-side tool chain) and a validating loader (device side). The offload
+// path transfers these real bytes over PCIe into DDR3L, and the device
+// parses them back before scheduling.
+#ifndef SRC_CORE_KERNEL_TABLE_H_
+#define SRC_CORE_KERNEL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/kernel.h"
+
+namespace fabacus {
+
+// All on-wire structures are little-endian, packed by construction (only
+// fixed-width members, manually ordered).
+struct KdtHeader {
+  static constexpr std::uint32_t kMagic = 0x4B414246;  // "FBAK"
+  static constexpr std::uint16_t kVersion = 2;
+
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kVersion;
+  std::uint16_t flags = 0;
+  std::uint32_t total_bytes = 0;     // whole table, header included
+  std::uint32_t name_offset = 0;     // NUL-terminated kernel name
+  std::uint32_t section_offset = 0;  // KdtSection[section_count]
+  std::uint32_t section_count = 0;
+  std::uint32_t mblk_offset = 0;     // KdtMicroblock[mblk_count]
+  std::uint32_t mblk_count = 0;
+  std::uint32_t checksum = 0;        // FNV-1a over the table with this field 0
+  // Modelled workload characteristics (Table 2).
+  double model_input_mb = 0.0;
+  double ldst_ratio = 0.0;
+  double bki = 0.0;
+};
+
+enum class KdtSectionKind : std::uint32_t {
+  kText = 0,      // .text — kernel code
+  kHeap = 1,      // .heap
+  kStack = 2,     // .stack
+  kDataIn = 3,    // .ddr3_arr, flash-mapped input
+  kDataOut = 4,   // .ddr3_arr, flash-mapped output
+};
+
+struct KdtSection {
+  KdtSectionKind kind = KdtSectionKind::kText;
+  std::uint32_t name_offset = 0;   // into the string pool
+  std::uint64_t size_bytes = 0;    // .text/.heap/.stack sizes
+  double model_fraction = 0.0;     // data sections: share of the input volume
+  std::int32_t buffer_index = -1;  // data sections: functional buffer binding
+  std::uint32_t reserved = 0;
+};
+
+struct KdtMicroblock {
+  std::uint32_t name_offset = 0;
+  std::uint32_t serial = 0;
+  double work_fraction = 0.0;
+  double frac_ldst = 0.0;
+  double frac_mul = 0.0;
+  double frac_alu = 0.0;
+  double reuse_window_bytes = 0.0;
+  double stream_factor = 0.0;
+  std::uint64_t func_iterations = 0;
+};
+
+// Host-side: serializes a KernelSpec into a kernel description table.
+// Functional bodies are not serialized (they stand in for the compiled
+// .text payload, which travels as opaque bytes of the declared size).
+std::vector<std::uint8_t> SerializeKernelTable(const KernelSpec& spec);
+
+// Device-side loader: parses and validates a table. Returns false (and
+// fills *error) on any structural problem — bad magic/version/checksum,
+// out-of-bounds offsets, non-normalized fractions. On success fills *spec
+// with everything except the functional bodies (the caller rebinds those
+// from its registry, as the real device would jump into the .text payload).
+bool ParseKernelTable(const std::vector<std::uint8_t>& bytes, KernelSpec* spec,
+                      std::string* error);
+
+// FNV-1a, the checksum the loader verifies.
+std::uint32_t KdtChecksum(const std::uint8_t* data, std::size_t len);
+
+}  // namespace fabacus
+
+#endif  // SRC_CORE_KERNEL_TABLE_H_

@@ -1,0 +1,77 @@
+#include "src/core/mapping_table.h"
+
+#include <cstring>
+
+namespace fabacus {
+
+MappingTable::MappingTable(const NandConfig& config, Scratchpad* scratchpad)
+    : scratchpad_(scratchpad),
+      forward_(config.TotalGroups(), kUnmapped),
+      reverse_(config.TotalGroups(), kUnmapped) {
+  FAB_CHECK(scratchpad_ != nullptr);
+  FAB_CHECK_LE(table_bytes(), scratchpad_->config().capacity_bytes)
+      << "mapping table does not fit in scratchpad";
+}
+
+std::uint32_t MappingTable::Lookup(std::uint64_t logical_group) const {
+  FAB_CHECK_LT(logical_group, forward_.size());
+  return forward_[logical_group];
+}
+
+std::uint32_t MappingTable::Update(std::uint64_t logical_group, std::uint32_t physical_group) {
+  FAB_CHECK_LT(logical_group, forward_.size());
+  FAB_CHECK_LT(physical_group, reverse_.size());
+  const std::uint32_t old = forward_[logical_group];
+  if (old != kUnmapped) {
+    reverse_[old] = kUnmapped;
+  } else {
+    ++mapped_count_;
+  }
+  forward_[logical_group] = physical_group;
+  reverse_[physical_group] = static_cast<std::uint32_t>(logical_group);
+  SyncEntryToScratchpad(logical_group);
+  return old;
+}
+
+std::uint32_t MappingTable::ReverseLookup(std::uint32_t physical_group) const {
+  FAB_CHECK_LT(physical_group, reverse_.size());
+  return reverse_[physical_group];
+}
+
+void MappingTable::Unmap(std::uint64_t logical_group) {
+  FAB_CHECK_LT(logical_group, forward_.size());
+  const std::uint32_t old = forward_[logical_group];
+  if (old != kUnmapped) {
+    reverse_[old] = kUnmapped;
+    forward_[logical_group] = kUnmapped;
+    --mapped_count_;
+    SyncEntryToScratchpad(logical_group);
+  }
+}
+
+void MappingTable::Snapshot(std::vector<std::uint8_t>* out) const {
+  out->resize(table_bytes());
+  std::memcpy(out->data(), forward_.data(), table_bytes());
+}
+
+void MappingTable::Restore(const std::vector<std::uint8_t>& snapshot) {
+  FAB_CHECK_EQ(snapshot.size(), table_bytes());
+  std::memcpy(forward_.data(), snapshot.data(), table_bytes());
+  // Rebuild the reverse map and count from the restored forward table.
+  std::fill(reverse_.begin(), reverse_.end(), kUnmapped);
+  mapped_count_ = 0;
+  for (std::uint64_t lg = 0; lg < forward_.size(); ++lg) {
+    if (forward_[lg] != kUnmapped) {
+      reverse_[forward_[lg]] = static_cast<std::uint32_t>(lg);
+      ++mapped_count_;
+      SyncEntryToScratchpad(lg);
+    }
+  }
+}
+
+void MappingTable::SyncEntryToScratchpad(std::uint64_t logical_group) {
+  scratchpad_->Store(scratchpad_offset_ + logical_group * sizeof(std::uint32_t),
+                     &forward_[logical_group], sizeof(std::uint32_t));
+}
+
+}  // namespace fabacus

@@ -1,0 +1,117 @@
+// Flashvisor's range lock (paper §4.3, "Protection and access control").
+//
+// Instead of per-page permission bits in the (persistent) mapping table, the
+// paper guards flash-mapped data sections with an in-memory range lock built
+// on a red-black tree: the key is the first page-group number of a mapping
+// request, each node is augmented with the last group number and the request
+// type. A read mapping is blocked while an overlapping *write* mapping is
+// live; a write mapping is blocked while *any* overlapping mapping is live.
+//
+// This is a from-scratch augmented red-black interval tree (max-end
+// augmentation) with an asynchronous waiter queue: Acquire() invokes the
+// grant callback immediately when compatible, otherwise the request waits in
+// FIFO order and is granted on Release(). FIFO fairness prevents writer
+// starvation: a waiter is only granted if no earlier waiter with a
+// conflicting overlapping range is still queued.
+#ifndef SRC_CORE_RANGE_LOCK_H_
+#define SRC_CORE_RANGE_LOCK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+enum class LockMode { kRead, kWrite };
+
+class RangeLock {
+ public:
+  using LockId = std::uint64_t;
+  // Called when the request is granted, with the lock id to release later.
+  using Granted = std::function<void(LockId)>;
+
+  RangeLock() = default;
+  ~RangeLock();
+  RangeLock(const RangeLock&) = delete;
+  RangeLock& operator=(const RangeLock&) = delete;
+
+  // Requests [first_group, last_group] (inclusive) in `mode`. If compatible
+  // with all held locks (and no conflicting earlier waiter), `granted` runs
+  // before Acquire returns; otherwise it runs during a later Release().
+  void Acquire(std::uint64_t first_group, std::uint64_t last_group, LockMode mode,
+               Granted granted);
+
+  // Non-blocking variant: returns true and sets *id on success.
+  bool TryAcquire(std::uint64_t first_group, std::uint64_t last_group, LockMode mode,
+                  LockId* id);
+
+  // Releases a held lock; may synchronously grant queued waiters.
+  void Release(LockId id);
+
+  // True when [first, last] conflicts with a held lock of incompatible mode.
+  bool Conflicts(std::uint64_t first_group, std::uint64_t last_group, LockMode mode) const;
+
+  std::size_t held_count() const { return held_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+  std::uint64_t total_grants() const { return total_grants_; }
+  std::uint64_t total_waits() const { return total_waits_; }
+
+  // Tree-structure validation for tests: checks red-black and max-end
+  // invariants over the whole tree. Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  enum Color : std::uint8_t { kRed, kBlack };
+
+  struct Node {
+    std::uint64_t first;  // key: first group of the range
+    std::uint64_t last;   // augmentation payload: last group (inclusive)
+    std::uint64_t max_last;  // max `last` in this subtree
+    LockMode mode;
+    LockId id;
+    Color color = kRed;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+  };
+
+  struct Waiter {
+    std::uint64_t first;
+    std::uint64_t last;
+    LockMode mode;
+    Granted granted;
+  };
+
+  // Red-black machinery.
+  void RotateLeft(Node* x);
+  void RotateRight(Node* x);
+  void InsertFixup(Node* z);
+  void DeleteNode(Node* z);
+  void DeleteFixup(Node* x, Node* x_parent);
+  void Transplant(Node* u, Node* v);
+  static Node* Minimum(Node* n);
+  void UpdateMaxUp(Node* n);
+  static std::uint64_t MaxLastOf(const Node* n);
+  void FreeSubtree(Node* n);
+
+  Node* InsertRange(std::uint64_t first, std::uint64_t last, LockMode mode, LockId id);
+  void DispatchWaiters();
+
+  bool CheckNode(const Node* n, int* black_height) const;
+
+  Node* root_ = nullptr;
+  std::unordered_map<LockId, Node*> by_id_;
+  std::deque<Waiter> waiters_;
+  LockId next_id_ = 1;
+  std::size_t held_ = 0;
+  std::uint64_t total_grants_ = 0;
+  std::uint64_t total_waits_ = 0;
+  bool dispatching_ = false;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_CORE_RANGE_LOCK_H_

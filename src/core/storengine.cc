@@ -1,0 +1,194 @@
+#include "src/core/storengine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+Storengine::Storengine(Simulator* sim, Flashvisor* flashvisor, const StorengineConfig& config)
+    : sim_(sim), fv_(flashvisor), config_(config), core_("storengine") {}
+
+void Storengine::Start() {
+  running_ = true;
+  fv_->set_gc_trigger([this](Tick) {
+    if (!gc_in_progress_) {
+      RunGcPass([](Tick) {});
+    }
+  });
+  if (config_.enable_background_gc) {
+    ScheduleNextGc();
+  }
+  if (config_.enable_journaling) {
+    ScheduleNextJournal();
+  }
+}
+
+void Storengine::ScheduleNextGc() {
+  if (!running_) {
+    return;
+  }
+  sim_->ScheduleDaemon(config_.gc_interval, [this]() {
+    if (running_ && !gc_in_progress_ &&
+        fv_->blocks().free_count() < config_.gc_high_watermark) {
+      RunGcPass([this](Tick) { ScheduleNextGc(); });
+    } else {
+      ScheduleNextGc();
+    }
+  });
+}
+
+void Storengine::ScheduleNextJournal() {
+  if (!running_) {
+    return;
+  }
+  sim_->ScheduleDaemon(config_.journal_interval, [this]() {
+    if (!running_) {
+      return;
+    }
+    RunJournalDump([this](Tick) { ScheduleNextJournal(); });
+  });
+}
+
+void Storengine::RunGcPass(std::function<void(Tick)> done) {
+  FAB_CHECK(!gc_in_progress_) << "overlapping GC passes";
+  const std::uint64_t victim = fv_->blocks().PickVictim();
+  if (victim == BlockManager::kNone) {
+    done(sim_->Now());
+    return;
+  }
+  gc_in_progress_ = true;
+  ++gc_passes_;
+  const SerialCore::Interval iv = core_.Occupy(sim_->Now(), config_.pass_fixed_cpu);
+  // Walk the victim's data slots sequentially, migrating each valid group.
+  sim_->ScheduleAt(iv.end, [this, victim, done = std::move(done)]() mutable {
+    MigrateSlot(victim, 0, sim_->Now(), std::move(done));
+  });
+}
+
+void Storengine::MigrateSlot(std::uint64_t victim, std::uint32_t slot, Tick barrier,
+                             std::function<void(Tick)> done) {
+  const std::uint32_t data_slots = fv_->DataSlotsPerBlockGroup();
+  if (slot >= data_slots) {
+    FinishVictim(victim, barrier, std::move(done));
+    return;
+  }
+  if (!fv_->blocks().IsValid(victim, slot)) {
+    MigrateSlot(victim, slot + 1, barrier, std::move(done));
+    return;
+  }
+  const std::uint32_t phys_old = fv_->GroupOfSlot(victim, slot);
+  const std::uint32_t lg = fv_->mapping().ReverseLookup(phys_old);
+  if (lg == MappingTable::kUnmapped) {
+    // Stale validity (should not happen; defensive).
+    fv_->blocks().MarkInvalid(victim, slot);
+    MigrateSlot(victim, slot + 1, barrier, std::move(done));
+    return;
+  }
+  // Lock the logical group so in-flight kernel mappings can't race the move
+  // (paper: "locking the address ranges that Storengine generates ... for the
+  // block reclaim is necessary").
+  fv_->range_lock().Acquire(
+      lg, lg, LockMode::kWrite,
+      [this, victim, slot, phys_old, lg, barrier,
+       done = std::move(done)](RangeLock::LockId lock_id) mutable {
+        const Tick now = std::max(sim_->Now(), barrier);
+        // Re-validate after a potential wait: the kernel may have rewritten
+        // the logical group while we queued, invalidating this slot.
+        if (fv_->mapping().Lookup(lg) != phys_old || !fv_->blocks().IsValid(victim, slot)) {
+          fv_->range_lock().Release(lock_id);
+          MigrateSlot(victim, slot + 1, barrier, std::move(done));
+          return;
+        }
+        const SerialCore::Interval iv = core_.Occupy(now, config_.per_group_cpu);
+        const std::uint64_t group_bytes = fv_->backbone().config().GroupBytes();
+        std::vector<std::uint8_t> buf(group_bytes);
+        FlashBackbone::OpResult rd = fv_->backbone().ReadGroup(iv.end, phys_old, buf.data());
+        Tick alloc_io = rd.done;
+        const std::uint32_t phys_new = fv_->AllocatePhysicalGroup(rd.done, &alloc_io);
+        FlashBackbone::OpResult pr = fv_->backbone().ProgramGroup(
+            std::max(rd.done, alloc_io), phys_new, buf.data());
+        fv_->mapping().Update(lg, phys_new);
+        fv_->blocks().MarkInvalid(victim, slot);
+        fv_->blocks().MarkValid(fv_->BlockGroupOf(phys_new), fv_->SlotOf(phys_new));
+        ++groups_migrated_;
+        const Tick slot_done = pr.done;
+        sim_->ScheduleAt(slot_done, [this, victim, slot, slot_done, lock_id,
+                                     done = std::move(done)]() mutable {
+          fv_->range_lock().Release(lock_id);
+          MigrateSlot(victim, slot + 1, slot_done, std::move(done));
+        });
+      });
+}
+
+void Storengine::FinishVictim(std::uint64_t victim, Tick barrier,
+                              std::function<void(Tick)> done) {
+  FlashBackbone::OpResult er =
+      fv_->backbone().EraseBlockGroup(barrier, static_cast<int>(victim));
+  sim_->ScheduleAt(er.done, [this, victim, became_bad = er.became_bad, done = std::move(done),
+                             when = er.done]() {
+    if (became_bad) {
+      fv_->blocks().Retire(victim);
+    } else {
+      fv_->blocks().OnErased(victim);
+      ++blocks_reclaimed_;
+    }
+    gc_in_progress_ = false;
+    done(when);
+  });
+}
+
+void Storengine::RunJournalDump(std::function<void(Tick)> done) {
+  // Snapshot the scratchpad-resident mapping table atomically, then stream it
+  // into a dedicated journal block group.
+  std::vector<std::uint8_t> snapshot;
+  fv_->mapping().Snapshot(&snapshot);
+  const auto& cfg = fv_->backbone().config();
+  const std::uint64_t group_bytes = cfg.GroupBytes();
+  const std::uint64_t groups_needed = (snapshot.size() + group_bytes - 1) / group_bytes;
+  FAB_CHECK_LE(groups_needed, fv_->DataSlotsPerBlockGroup())
+      << "mapping snapshot larger than one journal block group";
+
+  const std::uint64_t bg = fv_->blocks().AllocBlockGroup();
+  if (bg == BlockManager::kNone) {
+    // No room for a journal this round; try again next interval.
+    done(sim_->Now());
+    return;
+  }
+  const SerialCore::Interval iv = core_.Occupy(sim_->Now(), config_.pass_fixed_cpu);
+  Tick flash_done = iv.end;
+  std::vector<std::uint8_t> buf(group_bytes, 0);
+  for (std::uint64_t g = 0; g < groups_needed; ++g) {
+    const std::uint64_t off = g * group_bytes;
+    const std::uint64_t n = std::min<std::uint64_t>(group_bytes, snapshot.size() - off);
+    std::fill(buf.begin(), buf.end(), 0);
+    std::copy_n(snapshot.begin() + static_cast<std::ptrdiff_t>(off), n, buf.begin());
+    FlashBackbone::OpResult r = fv_->backbone().ProgramGroup(
+        flash_done, fv_->GroupOfSlot(bg, static_cast<std::uint32_t>(g)), buf.data());
+    flash_done = std::max(flash_done, r.done);
+  }
+  ++journal_dumps_;
+  const std::uint64_t old_journal = prev_journal_bg_;
+  prev_journal_bg_ = bg;
+  sim_->ScheduleAt(flash_done, [this, old_journal, done = std::move(done), flash_done]() {
+    if (old_journal != BlockManager::kNone) {
+      FlashBackbone::OpResult er =
+          fv_->backbone().EraseBlockGroup(flash_done, static_cast<int>(old_journal));
+      sim_->ScheduleAt(er.done, [this, old_journal, became_bad = er.became_bad,
+                                 done = std::move(done), when = er.done]() {
+        if (became_bad) {
+          fv_->blocks().Retire(old_journal);
+        } else {
+          fv_->blocks().OnErased(old_journal);
+        }
+        done(when);
+      });
+    } else {
+      done(flash_done);
+    }
+  });
+}
+
+}  // namespace fabacus

@@ -1,0 +1,86 @@
+// Storengine (paper §4.3, "Storage management"): the LWP that takes the
+// time-consuming flash-management tasks off Flashvisor's critical path.
+//  * Garbage collection: victims are picked from the used pool round-robin
+//    (not by valid-count), valid page groups migrate to the active write
+//    point, and the erased block group returns to the free pool — all in the
+//    background, overlapped with kernel execution and address translation.
+//  * Metadata journaling: periodically dumps the scratchpad-resident mapping
+//    table to flash so the mapping survives power loss.
+//  * Wear levelling falls out of the round-robin victim policy; stats are
+//    exposed so tests can bound the wear spread.
+#ifndef SRC_CORE_STORENGINE_H_
+#define SRC_CORE_STORENGINE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/core/flashvisor.h"
+#include "src/core/serial_core.h"
+#include "src/sim/simulator.h"
+
+namespace fabacus {
+
+struct StorengineConfig {
+  Tick journal_interval = 200 * kMs;
+  Tick gc_interval = 50 * kMs;
+  // Background GC aims to keep at least this many block groups free.
+  std::size_t gc_high_watermark = 8;
+  Tick per_group_cpu = 200;   // ns of Storengine core time per migrated group
+  Tick pass_fixed_cpu = 2000; // ns per GC pass / journal dump orchestration
+  bool enable_journaling = true;
+  bool enable_background_gc = true;
+};
+
+class Storengine {
+ public:
+  Storengine(Simulator* sim, Flashvisor* flashvisor,
+             const StorengineConfig& config = StorengineConfig{});
+
+  // Arms the periodic background tasks and registers the on-demand GC
+  // trigger with Flashvisor.
+  void Start();
+  // Stops scheduling further periodic work (in-flight passes finish).
+  void Stop() { running_ = false; }
+
+  // Runs one GC pass immediately (also used by the on-demand trigger and by
+  // tests); `done` fires when the victim has been reclaimed (or when there
+  // was nothing to do).
+  void RunGcPass(std::function<void(Tick)> done);
+
+  // Dumps the mapping table to flash now.
+  void RunJournalDump(std::function<void(Tick)> done);
+
+  // Block group holding the most recent mapping-table journal (kNone before
+  // the first dump). Recovery tooling reads the snapshot back from here.
+  std::uint64_t last_journal_bg() const { return prev_journal_bg_; }
+
+  std::uint64_t gc_passes() const { return gc_passes_; }
+  std::uint64_t groups_migrated() const { return groups_migrated_; }
+  std::uint64_t blocks_reclaimed() const { return blocks_reclaimed_; }
+  std::uint64_t journal_dumps() const { return journal_dumps_; }
+  SerialCore& core() { return core_; }
+  const StorengineConfig& config() const { return config_; }
+
+ private:
+  void ScheduleNextGc();
+  void ScheduleNextJournal();
+  void MigrateSlot(std::uint64_t victim, std::uint32_t slot, Tick barrier,
+                   std::function<void(Tick)> next);
+  void FinishVictim(std::uint64_t victim, Tick barrier, std::function<void(Tick)> done);
+
+  Simulator* sim_;
+  Flashvisor* fv_;
+  StorengineConfig config_;
+  SerialCore core_;
+  bool running_ = false;
+  bool gc_in_progress_ = false;
+  std::uint64_t prev_journal_bg_ = BlockManager::kNone;
+  std::uint64_t gc_passes_ = 0;
+  std::uint64_t groups_migrated_ = 0;
+  std::uint64_t blocks_reclaimed_ = 0;
+  std::uint64_t journal_dumps_ = 0;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_CORE_STORENGINE_H_

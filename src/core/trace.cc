@@ -1,0 +1,81 @@
+#include "src/core/trace.h"
+
+namespace fabacus {
+
+RunTrace RunTrace::Window(Tick start, Tick end) const {
+  RunTrace out;
+  for (const TaggedInterval& iv : intervals_) {
+    const Tick s = std::max(iv.start, start);
+    const Tick e = std::min(iv.end, end);
+    if (e > s) {
+      out.Add(iv.tag, s - start, e - start, iv.weight);
+    }
+  }
+  return out;
+}
+
+Tick RunTrace::UnionTime(TraceTag tag) const {
+  std::vector<std::pair<Tick, Tick>> spans;
+  for (const TaggedInterval& iv : intervals_) {
+    if (iv.tag == tag) {
+      spans.emplace_back(iv.start, iv.end);
+    }
+  }
+  if (spans.empty()) {
+    return 0;
+  }
+  std::sort(spans.begin(), spans.end());
+  Tick total = 0;
+  Tick cur_start = spans[0].first;
+  Tick cur_end = spans[0].second;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first <= cur_end) {
+      cur_end = std::max(cur_end, spans[i].second);
+    } else {
+      total += cur_end - cur_start;
+      cur_start = spans[i].first;
+      cur_end = spans[i].second;
+    }
+  }
+  total += cur_end - cur_start;
+  return total;
+}
+
+Tick RunTrace::TotalTime(TraceTag tag) const {
+  Tick total = 0;
+  for (const TaggedInterval& iv : intervals_) {
+    if (iv.tag == tag) {
+      total += iv.end - iv.start;
+    }
+  }
+  return total;
+}
+
+std::vector<double> RunTrace::Series(TraceTag tag, Tick horizon, std::size_t buckets) const {
+  std::vector<double> out(buckets, 0.0);
+  if (horizon == 0 || buckets == 0) {
+    return out;
+  }
+  const double bucket_ns = static_cast<double>(horizon) / static_cast<double>(buckets);
+  for (const TaggedInterval& iv : intervals_) {
+    if (iv.tag != tag || iv.start >= horizon) {
+      continue;
+    }
+    const Tick end = std::min(iv.end, horizon);
+    const std::size_t b0 = static_cast<std::size_t>(iv.start / bucket_ns);
+    const std::size_t b1 = std::min(buckets - 1, static_cast<std::size_t>(
+                                                     static_cast<double>(end - 1) / bucket_ns));
+    for (std::size_t b = b0; b <= b1; ++b) {
+      const double bin_start = static_cast<double>(b) * bucket_ns;
+      const double bin_end = bin_start + bucket_ns;
+      const double overlap = std::min(static_cast<double>(end), bin_end) -
+                             std::max(static_cast<double>(iv.start), bin_start);
+      if (overlap > 0.0) {
+        out[b] += iv.weight * overlap / bucket_ns;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fabacus

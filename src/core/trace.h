@@ -1,0 +1,67 @@
+// Tagged interval trace of a run. Every component of interest records its
+// active intervals; benches derive the Fig-15 time series (FU utilization,
+// power) and the energy decomposition from the same trace, so the numbers in
+// different figures are self-consistent.
+#ifndef SRC_CORE_TRACE_H_
+#define SRC_CORE_TRACE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+enum class TraceTag : int {
+  kLwpCompute = 0,   // weight = average FUs busy during the interval
+  kFlashOp,          // flash backbone array/bus activity
+  kHostStack,        // host CPU driving the storage stack / memory copies
+  kSsdOp,            // external NVMe device activity
+  kPcieXfer,         // PCIe DMA
+  kSchedule,         // Flashvisor scheduling / translation work
+  kGc,               // Storengine background work
+};
+
+struct TaggedInterval {
+  Tick start;
+  Tick end;
+  TraceTag tag;
+  double weight;  // tag-specific magnitude (e.g. FUs busy); 1.0 by default
+};
+
+class RunTrace {
+ public:
+  void Add(TraceTag tag, Tick start, Tick end, double weight = 1.0) {
+    if (end > start) {
+      intervals_.push_back({start, end, tag, weight});
+    }
+  }
+
+  const std::vector<TaggedInterval>& intervals() const { return intervals_; }
+
+  // Total time covered by the union of intervals with `tag` (overlaps merged)
+  // — e.g. "time the flash device was active" for the energy model.
+  Tick UnionTime(TraceTag tag) const;
+
+  // Sum of interval durations with `tag` (overlaps counted multiply) — e.g.
+  // total LWP-seconds of compute.
+  Tick TotalTime(TraceTag tag) const;
+
+  // Weighted activity sampled into `buckets` bins over [0, horizon): for each
+  // bin, the time-average of the summed weights of intervals alive in it.
+  std::vector<double> Series(TraceTag tag, Tick horizon, std::size_t buckets) const;
+
+  // Returns a copy containing only activity inside [start, end), clipped and
+  // re-based so `start` becomes time 0. Used to scope a device-lifetime
+  // trace to one run (dropping e.g. dataset-install activity).
+  RunTrace Window(Tick start, Tick end) const;
+
+  void Clear() { intervals_.clear(); }
+
+ private:
+  std::vector<TaggedInterval> intervals_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_CORE_TRACE_H_

@@ -1,0 +1,144 @@
+#include "src/flash/flash_backbone.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+FlashBackbone::FlashBackbone(const NandConfig& config, std::uint64_t seed)
+    : config_(config), srio_(SrioConfig{}), data_(config.GroupBytes()), rng_(seed) {
+  controllers_.reserve(config_.channels);
+  for (int ch = 0; ch < config_.channels; ++ch) {
+    controllers_.push_back(std::make_unique<FlashController>(config_, ch));
+  }
+}
+
+FlashBackbone::OpResult FlashBackbone::ReadGroup(Tick now, std::uint64_t group, void* out) {
+  FAB_CHECK_LT(group, config_.TotalGroups());
+  const GroupAddress addr = DecodeGroup(config_, group);
+  Tick slices_done = 0;
+  for (auto& ctrl : controllers_) {
+    slices_done = std::max(slices_done, ctrl->ReadSlice(now, addr));
+  }
+  OpResult r;
+  if (config_.read_error_rate > 0.0 && rng_.NextDouble() < config_.read_error_rate) {
+    // Correctable-error threshold crossed: the controller re-reads the page
+    // with tuned read-reference voltages (read retry) before returning data.
+    r.ecc_event = true;
+    ++read_retries_;
+    for (auto& ctrl : controllers_) {
+      slices_done = std::max(slices_done, ctrl->ReadSlice(slices_done, addr));
+    }
+  }
+  r.done = srio_.Transfer(slices_done, static_cast<double>(config_.GroupBytes()));
+  if (op_observer_) {
+    op_observer_(now, r.done);
+  }
+  if (out != nullptr) {
+    data_.Read(group * config_.GroupBytes(), out, config_.GroupBytes());
+  }
+  ++reads_;
+  bytes_read_ += static_cast<double>(config_.GroupBytes());
+  return r;
+}
+
+FlashBackbone::OpResult FlashBackbone::ProgramGroup(Tick now, std::uint64_t group,
+                                                    const void* data) {
+  FAB_CHECK_LT(group, config_.TotalGroups());
+  const GroupAddress addr = DecodeGroup(config_, group);
+  const Tick at_fmc = srio_.Transfer(now, static_cast<double>(config_.GroupBytes()));
+  Tick done = 0;
+  for (auto& ctrl : controllers_) {
+    done = std::max(done, ctrl->ProgramSlice(at_fmc, addr));
+  }
+  if (data != nullptr) {
+    data_.Write(group * config_.GroupBytes(), data, config_.GroupBytes());
+  } else {
+    data_.Erase(group * config_.GroupBytes(), config_.GroupBytes());
+  }
+  ++programs_;
+  bytes_programmed_ += static_cast<double>(config_.GroupBytes());
+  if (op_observer_) {
+    op_observer_(now, done);
+  }
+  OpResult r;
+  r.done = done;
+  return r;
+}
+
+FlashBackbone::OpResult FlashBackbone::EraseBlockGroup(Tick now, int block) {
+  Tick done = 0;
+  for (auto& ctrl : controllers_) {
+    for (int pkg = 0; pkg < config_.packages_per_channel; ++pkg) {
+      done = std::max(done, ctrl->EraseSlice(now, pkg, block));
+    }
+  }
+  // Drop the stored contents of every group in the superblock: all packages,
+  // all pages at this block index.
+  for (int pkg = 0; pkg < config_.packages_per_channel; ++pkg) {
+    for (int page = 0; page < config_.pages_per_block; ++page) {
+      const std::uint64_t g = EncodeGroup(config_, GroupAddress{pkg, block, page});
+      data_.Erase(g * config_.GroupBytes(), config_.GroupBytes());
+    }
+  }
+  ++erases_;
+  if (op_observer_) {
+    op_observer_(now, done);
+  }
+  OpResult r;
+  r.done = done;
+  if (config_.erase_failure_rate > 0.0 && rng_.NextDouble() < config_.erase_failure_rate) {
+    for (auto& ctrl : controllers_) {
+      for (int pkg = 0; pkg < config_.packages_per_channel; ++pkg) {
+        ctrl->package(pkg).MarkBad(block);
+      }
+    }
+    r.became_bad = true;
+  }
+  return r;
+}
+
+bool FlashBackbone::IsBadBlockGroup(int block) const {
+  for (const auto& ctrl : controllers_) {
+    for (int pkg = 0; pkg < config_.packages_per_channel; ++pkg) {
+      if (ctrl->package(pkg).IsBad(block)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::uint64_t FlashBackbone::MaxWear() const {
+  std::uint64_t w = 0;
+  for (const auto& ctrl : controllers_) {
+    for (int p = 0; p < config_.packages_per_channel; ++p) {
+      w = std::max(w, ctrl->package(p).max_wear());
+    }
+  }
+  return w;
+}
+
+std::uint64_t FlashBackbone::TotalErases() const {
+  std::uint64_t n = 0;
+  for (const auto& ctrl : controllers_) {
+    for (int p = 0; p < config_.packages_per_channel; ++p) {
+      n += ctrl->package(p).total_erases();
+    }
+  }
+  return n;
+}
+
+Tick FlashBackbone::ArrayBusyTime(Tick now) const {
+  Tick busy = 0;
+  for (const auto& ctrl : controllers_) {
+    for (int p = 0; p < config_.packages_per_channel; ++p) {
+      busy = std::max(busy, ctrl->package(p).BusyTime(now));
+    }
+  }
+  return busy;
+}
+
+}  // namespace fabacus

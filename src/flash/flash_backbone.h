@@ -1,0 +1,86 @@
+// The flash backbone: the self-existent backend storage complex (paper §2.2).
+// Aggregates four FPGA channel controllers behind the SRIO/FMC link and
+// exposes page-group granular operations to Flashvisor. Page-group contents
+// are byte-accurate (backed by a sparse store), so the FTL above it can be
+// validated end to end: data written must read back identically across GC,
+// wear-levelling and journaling.
+#ifndef SRC_FLASH_FLASH_BACKBONE_H_
+#define SRC_FLASH_FLASH_BACKBONE_H_
+
+#include <memory>
+#include <vector>
+
+#include <functional>
+
+#include "src/flash/flash_controller.h"
+#include "src/flash/nand_config.h"
+#include "src/mem/byte_store.h"
+#include "src/noc/srio_link.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+class FlashBackbone {
+ public:
+  struct OpResult {
+    Tick done = 0;
+    bool ecc_event = false;   // correctable-error threshold crossed (reads)
+    bool became_bad = false;  // block retired (erases)
+  };
+
+  explicit FlashBackbone(const NandConfig& config, std::uint64_t seed = 1);
+
+  // Reads physical page group `group`; if `out` is non-null it receives
+  // GroupBytes() of data (data travels over SRIO to the compute complex).
+  OpResult ReadGroup(Tick now, std::uint64_t group, void* out);
+
+  // Programs physical page group `group` with `data` (nullable = timing-only,
+  // contents become zero). Data first crosses SRIO into the controllers.
+  OpResult ProgramGroup(Tick now, std::uint64_t group, const void* data);
+
+  // Erases block group `block`: that block index on every package of every
+  // channel (superblock erase).
+  OpResult EraseBlockGroup(Tick now, int block);
+
+  const NandConfig& config() const { return config_; }
+  FlashController& controller(int ch) { return *controllers_[ch]; }
+  const FlashController& controller(int ch) const { return *controllers_[ch]; }
+  SrioLink& srio() { return srio_; }
+
+  bool IsBadBlockGroup(int block) const;
+  std::uint64_t MaxWear() const;
+  std::uint64_t TotalErases() const;
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t programs() const { return programs_; }
+  std::uint64_t erases() const { return erases_; }
+  // Read-retry passes triggered by correctable-error thresholds.
+  std::uint64_t read_retries() const { return read_retries_; }
+  double bytes_read() const { return bytes_read_; }
+  double bytes_programmed() const { return bytes_programmed_; }
+  // Peak package utilization, a proxy for flash-array activity (energy model).
+  Tick ArrayBusyTime(Tick now) const;
+
+  // Observer invoked once per device operation with its (issue, completion)
+  // interval — the energy model and Fig-15 traces are built from these.
+  using OpObserver = std::function<void(Tick start, Tick end)>;
+  void set_op_observer(OpObserver obs) { op_observer_ = std::move(obs); }
+
+ private:
+  NandConfig config_;
+  std::vector<std::unique_ptr<FlashController>> controllers_;
+  SrioLink srio_;
+  ByteStore data_;
+  Rng rng_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t programs_ = 0;
+  std::uint64_t erases_ = 0;
+  std::uint64_t read_retries_ = 0;
+  double bytes_read_ = 0.0;
+  double bytes_programmed_ = 0.0;
+  OpObserver op_observer_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_FLASH_FLASH_BACKBONE_H_

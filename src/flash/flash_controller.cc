@@ -1,0 +1,70 @@
+#include "src/flash/flash_controller.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+TagQueue::TagQueue(int depth) : depth_(depth) { FAB_CHECK_GT(depth, 0); }
+
+Tick TagQueue::Acquire(Tick now) {
+  if (static_cast<int>(inflight_.size()) < depth_) {
+    return now;
+  }
+  const Tick earliest = inflight_.top();
+  inflight_.pop();
+  return std::max(now, earliest);
+}
+
+void TagQueue::Release(Tick completion) {
+  FAB_CHECK_LT(static_cast<int>(inflight_.size()), depth_);
+  inflight_.push(completion);
+}
+
+FlashController::FlashController(const NandConfig& config, int channel)
+    : config_(config),
+      channel_(channel),
+      bus_("flash.ch" + std::to_string(channel), config.channel_gb_per_s,
+           config.channel_cmd_overhead),
+      tags_(config.controller_tag_queue_depth) {
+  packages_.reserve(config.packages_per_channel);
+  for (int p = 0; p < config.packages_per_channel; ++p) {
+    packages_.push_back(std::make_unique<NandPackage>(config, channel, p));
+  }
+}
+
+Tick FlashController::ReadSlice(Tick now, const GroupAddress& addr) {
+  const Tick start = tags_.Acquire(now);
+  // Command phase: a few bus cycles, modelled as pure latency so queued
+  // commands to other dies are not serialized behind data transfers (the
+  // FCFS bus reservation would otherwise forfeit die-level pipelining).
+  const Tick cmd_done = start + config_.channel_cmd_overhead;
+  const Tick read_done = packages_[addr.package]->ReadPages(cmd_done, addr.block, addr.page);
+  const double slice_bytes =
+      static_cast<double>(config_.planes_per_package) * config_.page_bytes;
+  const Tick done = bus_.Reserve(read_done, slice_bytes).end;
+  tags_.Release(done);
+  return done;
+}
+
+Tick FlashController::ProgramSlice(Tick now, const GroupAddress& addr) {
+  const Tick start = tags_.Acquire(now);
+  const double slice_bytes =
+      static_cast<double>(config_.planes_per_package) * config_.page_bytes;
+  const Tick xfer_done = bus_.Reserve(start, slice_bytes).end;
+  const Tick done = packages_[addr.package]->ProgramPages(xfer_done, addr.block, addr.page);
+  tags_.Release(done);
+  return done;
+}
+
+Tick FlashController::EraseSlice(Tick now, int package, int block) {
+  const Tick start = tags_.Acquire(now);
+  const Tick cmd_done = start + config_.channel_cmd_overhead;
+  const Tick done = packages_[package]->EraseBlock(cmd_done, block);
+  tags_.Release(done);
+  return done;
+}
+
+}  // namespace fabacus

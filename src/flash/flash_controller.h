@@ -1,0 +1,66 @@
+// FPGA-based flash channel controller (paper §2.2): converts requests from
+// the processor network into the flash clock domain. Implements the inbound/
+// outbound "tag" queues — a bounded pool of in-flight operations per channel —
+// and arbitrates the shared NV-DDR2 channel bus among its four packages.
+#ifndef SRC_FLASH_FLASH_CONTROLLER_H_
+#define SRC_FLASH_FLASH_CONTROLLER_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/flash/nand_config.h"
+#include "src/flash/nand_package.h"
+#include "src/sim/resource.h"
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+// Bounded tag pool: Acquire blocks (in simulated time) until a tag frees up.
+class TagQueue {
+ public:
+  explicit TagQueue(int depth);
+
+  // Earliest time at/after `now` a tag is available; the tag is then held
+  // until the caller's op completes (pass that completion to Release).
+  Tick Acquire(Tick now);
+  void Release(Tick completion);
+
+  int depth() const { return depth_; }
+
+ private:
+  int depth_;
+  // Completion times of in-flight ops, earliest first.
+  std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>> inflight_;
+};
+
+class FlashController {
+ public:
+  FlashController(const NandConfig& config, int channel);
+
+  // This channel's slice of a page-group read: multi-plane read on `package`
+  // at (block, page), then the 2-page data transfer out over the bus.
+  Tick ReadSlice(Tick now, const GroupAddress& addr);
+  // Slice of a page-group program: data in over the bus, then program.
+  Tick ProgramSlice(Tick now, const GroupAddress& addr);
+  // Slice of a block-group erase.
+  Tick EraseSlice(Tick now, int package, int block);
+
+  NandPackage& package(int i) { return *packages_[i]; }
+  const NandPackage& package(int i) const { return *packages_[i]; }
+  int channel() const { return channel_; }
+  double bus_bytes_moved() const { return bus_.bytes_moved(); }
+  Tick BusBusyTime(Tick now) const { return bus_.BusyTime(now); }
+  double BusUtilization(Tick now) const { return bus_.Utilization(now); }
+
+ private:
+  const NandConfig& config_;
+  int channel_;
+  BandwidthResource bus_;
+  TagQueue tags_;
+  std::vector<std::unique_ptr<NandPackage>> packages_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_FLASH_FLASH_CONTROLLER_H_

@@ -1,0 +1,63 @@
+#include "src/host/offload_runtime.h"
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+OffloadRuntime::OffloadRuntime(const FlashAbacusConfig& config, std::uint64_t seed)
+    : rng_(seed), device_(std::make_unique<FlashAbacus>(&sim_, config)) {}
+
+OffloadRuntime::~OffloadRuntime() = default;
+
+RunResult OffloadRuntime::Execute(const std::vector<Job>& jobs, SchedulerKind kind) {
+  FAB_CHECK(!jobs.empty());
+  last_raw_.clear();
+  last_workloads_.clear();
+  for (std::size_t a = 0; a < jobs.size(); ++a) {
+    const Job& job = jobs[a];
+    FAB_CHECK(job.workload != nullptr);
+    FAB_CHECK_GT(job.instances, 0);
+    last_workloads_.push_back(job.workload);
+    for (int i = 0; i < job.instances; ++i) {
+      owned_.push_back(std::make_unique<AppInstance>(
+          static_cast<int>(a), i, &job.workload->spec(), device_->config().model_scale));
+      job.workload->Prepare(*owned_.back(), rng_);
+      last_raw_.push_back(owned_.back().get());
+    }
+  }
+  for (AppInstance* inst : last_raw_) {
+    device_->InstallData(inst, [](Tick) {});
+  }
+  sim_.Run();
+
+  RunResult result;
+  bool done = false;
+  device_->Run(last_raw_, kind, [&](RunResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  sim_.Run();
+  FAB_CHECK(done) << "device run did not complete";
+  return result;
+}
+
+bool OffloadRuntime::VerifyLast() const {
+  for (const AppInstance* inst : last_raw_) {
+    const Workload* wl = last_workloads_[static_cast<std::size_t>(inst->app_id())];
+    if (!wl->Verify(*inst)) {
+      return false;
+    }
+  }
+  return !last_raw_.empty();
+}
+
+std::vector<float> OffloadRuntime::ReadBack(AppInstance* inst, int section_idx) {
+  std::vector<float> out;
+  bool done = false;
+  device_->ReadSectionFromFlash(inst, section_idx, &out, [&](Tick) { done = true; });
+  sim_.Run();
+  FAB_CHECK(done);
+  return out;
+}
+
+}  // namespace fabacus

@@ -1,0 +1,67 @@
+// Host-side offload runtime: the small user-level library an application
+// links against to use a FlashAbacus device (the analogue of the
+// "accelerator runtime" box in the paper's Figure 1b — except that here it
+// only stages data and offloads kernel description tables; there is no I/O
+// runtime and no file system, because the device self-governs storage).
+//
+// The runtime owns the simulator and device and exposes a synchronous
+// convenience API: declare jobs, Execute() them under a scheduler, inspect
+// and verify the results. Examples and tests use it to avoid simulator
+// plumbing; lower-level control remains available through device().
+#ifndef SRC_HOST_OFFLOAD_RUNTIME_H_
+#define SRC_HOST_OFFLOAD_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/flashabacus.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+
+class OffloadRuntime {
+ public:
+  struct Job {
+    const Workload* workload = nullptr;
+    int instances = 1;
+  };
+
+  explicit OffloadRuntime(const FlashAbacusConfig& config = FlashAbacusConfig{},
+                          std::uint64_t seed = 42);
+  ~OffloadRuntime();
+  OffloadRuntime(const OffloadRuntime&) = delete;
+  OffloadRuntime& operator=(const OffloadRuntime&) = delete;
+
+  // Prepares the jobs' instances (app_id = job index), installs their data
+  // on flash, executes them under `kind`, and returns when everything has
+  // completed. Can be called repeatedly; each call appends fresh instances.
+  RunResult Execute(const std::vector<Job>& jobs, SchedulerKind kind);
+
+  // Instances created by the most recent Execute().
+  const std::vector<AppInstance*>& last_instances() const { return last_raw_; }
+
+  // Verifies every instance of the most recent Execute() against its
+  // workload's reference implementation.
+  bool VerifyLast() const;
+
+  // Reads an output section of one of the last instances back from flash
+  // (synchronously drives the simulator).
+  std::vector<float> ReadBack(AppInstance* inst, int section_idx);
+
+  FlashAbacus& device() { return *device_; }
+  Simulator& sim() { return sim_; }
+
+ private:
+  Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<FlashAbacus> device_;
+  std::vector<std::unique_ptr<AppInstance>> owned_;
+  std::vector<AppInstance*> last_raw_;
+  std::vector<const Workload*> last_workloads_;  // parallel to app ids
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_HOST_OFFLOAD_RUNTIME_H_

@@ -1,0 +1,83 @@
+#include "src/host/storage_stack.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+StorageStack::StorageStack(SerialCore* host_cpu, NvmeSsd* ssd, RunTrace* trace,
+                           const StorageStackConfig& config)
+    : cpu_(host_cpu),
+      ssd_(ssd),
+      trace_(trace),
+      config_(config),
+      memcpy_engine_("host_dram", config.host_memcpy_gb_per_s) {}
+
+Tick StorageStack::OpenFile(Tick now) {
+  const SerialCore::Interval iv = cpu_->Occupy(now, config_.file_open_cost);
+  trace_->Add(TraceTag::kHostStack, iv.start, iv.end);
+  return iv.end;
+}
+
+Tick StorageStack::ReadFile(Tick now, const std::string& name, std::uint64_t bytes,
+                            void* data) {
+  Tick t = now;
+  std::uint64_t offset = 0;
+  std::uint8_t* out = static_cast<std::uint8_t*>(data);
+  while (offset < bytes) {
+    const std::uint64_t n = std::min<std::uint64_t>(config_.io_request_bytes, bytes - offset);
+    // 1. Mode switch + VFS/block-layer CPU work.
+    const SerialCore::Interval sys = cpu_->Occupy(t, config_.syscall_overhead);
+    trace_->Add(TraceTag::kHostStack, sys.start, sys.end);
+    // 2. Device DMA into the kernel page cache.
+    const Tick dev_done = ssd_->Read(sys.end, name, offset, n, out ? out + offset : nullptr);
+    trace_->Add(TraceTag::kSsdOp, sys.end, dev_done);
+    // 3. copy_to_user: kernel buffer -> user buffer (CPU + DRAM busy).
+    const Tick copy_done = memcpy_engine_.Reserve(dev_done, static_cast<double>(n)).end;
+    const SerialCore::Interval cp = cpu_->Occupy(dev_done, copy_done - dev_done);
+    trace_->Add(TraceTag::kHostStack, cp.start, cp.end);
+    t = std::max(copy_done, cp.end);
+    offset += n;
+  }
+  // 4. Marshalling: reconstruct the raw bytes into accelerator objects —
+  // one more pass over the data in host DRAM (paper Fig 1a, step 2).
+  const Tick marshal_done = memcpy_engine_.Reserve(t, static_cast<double>(bytes)).end;
+  const SerialCore::Interval m = cpu_->Occupy(t, marshal_done - t);
+  trace_->Add(TraceTag::kHostStack, m.start, m.end);
+  return std::max(marshal_done, m.end);
+}
+
+Tick StorageStack::WriteFile(Tick now, const std::string& name, std::uint64_t bytes,
+                             const void* data) {
+  // Un-marshal (object -> file layout) pass first.
+  const Tick unmarshal_done = memcpy_engine_.Reserve(now, static_cast<double>(bytes)).end;
+  const SerialCore::Interval um = cpu_->Occupy(now, unmarshal_done - now);
+  trace_->Add(TraceTag::kHostStack, um.start, um.end);
+  Tick t = std::max(unmarshal_done, um.end);
+
+  std::uint64_t offset = 0;
+  const std::uint8_t* in = static_cast<const std::uint8_t*>(data);
+  while (offset < bytes) {
+    const std::uint64_t n = std::min<std::uint64_t>(config_.io_request_bytes, bytes - offset);
+    const SerialCore::Interval sys = cpu_->Occupy(t, config_.syscall_overhead);
+    trace_->Add(TraceTag::kHostStack, sys.start, sys.end);
+    // copy_from_user then device DMA out of the page cache.
+    const Tick copy_done = memcpy_engine_.Reserve(sys.end, static_cast<double>(n)).end;
+    const SerialCore::Interval cp = cpu_->Occupy(sys.end, copy_done - sys.end);
+    trace_->Add(TraceTag::kHostStack, cp.start, cp.end);
+    const Tick dev_done =
+        ssd_->Write(std::max(copy_done, cp.end), name, offset, n, in ? in + offset : nullptr);
+    trace_->Add(TraceTag::kSsdOp, std::max(copy_done, cp.end), dev_done);
+    t = dev_done;
+    offset += n;
+  }
+  return t;
+}
+
+double StorageStack::host_cpu_busy_seconds(Tick now) const {
+  return TicksToSeconds(cpu_->BusyTime(now));
+}
+
+}  // namespace fabacus

@@ -1,0 +1,61 @@
+#include "src/mem/byte_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fabacus {
+
+void ByteStore::Write(std::uint64_t offset, const void* data, std::uint64_t len) {
+  const std::uint8_t* src = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const std::uint64_t chunk_idx = offset / chunk_size_;
+    const std::uint64_t in_chunk = offset % chunk_size_;
+    const std::uint64_t n = std::min<std::uint64_t>(len, chunk_size_ - in_chunk);
+    std::vector<std::uint8_t>& chunk = chunks_[chunk_idx];
+    if (chunk.empty()) {
+      chunk.resize(chunk_size_, 0);
+    }
+    std::memcpy(chunk.data() + in_chunk, src, n);
+    src += n;
+    offset += n;
+    len -= n;
+  }
+}
+
+void ByteStore::Read(std::uint64_t offset, void* out, std::uint64_t len) const {
+  std::uint8_t* dst = static_cast<std::uint8_t*>(out);
+  while (len > 0) {
+    const std::uint64_t chunk_idx = offset / chunk_size_;
+    const std::uint64_t in_chunk = offset % chunk_size_;
+    const std::uint64_t n = std::min<std::uint64_t>(len, chunk_size_ - in_chunk);
+    auto it = chunks_.find(chunk_idx);
+    if (it == chunks_.end()) {
+      std::memset(dst, 0, n);
+    } else {
+      std::memcpy(dst, it->second.data() + in_chunk, n);
+    }
+    dst += n;
+    offset += n;
+    len -= n;
+  }
+}
+
+void ByteStore::Erase(std::uint64_t offset, std::uint64_t len) {
+  while (len > 0) {
+    const std::uint64_t chunk_idx = offset / chunk_size_;
+    const std::uint64_t in_chunk = offset % chunk_size_;
+    const std::uint64_t n = std::min<std::uint64_t>(len, chunk_size_ - in_chunk);
+    if (in_chunk == 0 && n == chunk_size_) {
+      chunks_.erase(chunk_idx);
+    } else {
+      auto it = chunks_.find(chunk_idx);
+      if (it != chunks_.end()) {
+        std::memset(it->second.data() + in_chunk, 0, n);
+      }
+    }
+    offset += n;
+    len -= n;
+  }
+}
+
+}  // namespace fabacus

@@ -1,0 +1,39 @@
+// Sparse byte-addressed backing store. Used for the contents of flash pages
+// and host SSD files: regions only consume host RAM once real data is written
+// to them; unwritten regions read back as zero. This lets the simulator model
+// multi-GB devices while tests still verify real data round-trips.
+#ifndef SRC_MEM_BYTE_STORE_H_
+#define SRC_MEM_BYTE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+class ByteStore {
+ public:
+  explicit ByteStore(std::uint64_t chunk_size = 64 * 1024) : chunk_size_(chunk_size) {
+    FAB_CHECK_GT(chunk_size_, 0u);
+  }
+
+  void Write(std::uint64_t offset, const void* data, std::uint64_t len);
+  void Read(std::uint64_t offset, void* out, std::uint64_t len) const;
+
+  // Zero-fills [offset, offset+len) and releases chunks fully covered.
+  void Erase(std::uint64_t offset, std::uint64_t len);
+
+  // Number of chunks with real data (for memory-footprint assertions).
+  std::size_t allocated_chunks() const { return chunks_.size(); }
+  std::uint64_t chunk_size() const { return chunk_size_; }
+
+ private:
+  std::uint64_t chunk_size_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> chunks_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_MEM_BYTE_STORE_H_

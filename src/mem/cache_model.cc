@@ -1,0 +1,41 @@
+#include "src/mem/cache_model.h"
+
+#include <algorithm>
+
+namespace fabacus {
+namespace {
+
+// Fraction of repeat accesses that miss a level of capacity `cap` when the
+// reuse window is `window` bytes, blending the "window fits" and "window
+// streams" regimes.
+double MissFraction(double window, double cap) {
+  if (window <= 0.0) {
+    return 0.0;
+  }
+  if (window <= cap) {
+    return 0.0;  // the whole reuse window stays resident
+  }
+  return 1.0 - cap / window;
+}
+
+}  // namespace
+
+CacheTraffic CacheModel::Estimate(double touched_bytes, double window_bytes,
+                                  double distinct_bytes) const {
+  CacheTraffic t;
+  if (touched_bytes <= 0.0) {
+    return t;
+  }
+  // Cold traffic: every distinct byte crosses each level once.
+  const double cold = std::min(std::max(distinct_bytes, 0.0), touched_bytes);
+  const double repeat = touched_bytes - cold;
+
+  const double l1_miss = MissFraction(window_bytes, static_cast<double>(config_.l1_bytes));
+  const double l2_miss = MissFraction(window_bytes, static_cast<double>(config_.l2_bytes));
+
+  t.l1_to_l2_bytes = cold + repeat * l1_miss * config_.thrash_factor;
+  t.l2_to_dram_bytes = cold + repeat * l1_miss * l2_miss * config_.thrash_factor;
+  return t;
+}
+
+}  // namespace fabacus

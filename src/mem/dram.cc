@@ -1,0 +1,61 @@
+#include "src/mem/dram.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+Dram::Dram(const DramConfig& config) : config_(config) {
+  FAB_CHECK_GT(config_.banks, 0);
+  const double per_bank = config_.total_gb_per_s / config_.banks;
+  banks_.reserve(config_.banks);
+  for (int b = 0; b < config_.banks; ++b) {
+    banks_.push_back(std::make_unique<BandwidthResource>(
+        config_.name + ".bank" + std::to_string(b), per_bank, config_.access_latency));
+  }
+}
+
+Tick Dram::Access(Tick now, std::uint64_t addr, double bytes) {
+  const std::size_t bank =
+      static_cast<std::size_t>((addr / interleave_granule_) % banks_.size());
+  return banks_[bank]->Reserve(now, bytes).end;
+}
+
+Tick Dram::BulkAccess(Tick now, double bytes) {
+  const double per_bank = bytes / static_cast<double>(banks_.size());
+  Tick end = now;
+  for (auto& bank : banks_) {
+    end = std::max(end, bank->Reserve(now, per_bank).end);
+  }
+  return end;
+}
+
+double Dram::bytes_moved() const {
+  double total = 0.0;
+  for (const auto& bank : banks_) {
+    total += bank->bytes_moved();
+  }
+  return total;
+}
+
+Tick Dram::BusyTime(Tick now) const {
+  Tick max_busy = 0;
+  for (const auto& bank : banks_) {
+    max_busy = std::max(max_busy, bank->BusyTime(now));
+  }
+  return max_busy;
+}
+
+double Dram::Utilization(Tick now) const {
+  if (now == 0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& bank : banks_) {
+    sum += bank->Utilization(now);
+  }
+  return sum / static_cast<double>(banks_.size());
+}
+
+}  // namespace fabacus

@@ -1,0 +1,31 @@
+#include "src/noc/crossbar.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+Crossbar::Crossbar(const CrossbarConfig& config)
+    : config_(config),
+      fabric_(config.name + ".fabric", config.fabric_gb_per_s, config.hop_latency) {
+  FAB_CHECK_GT(config_.ports, 0);
+  ports_.reserve(config_.ports);
+  for (int p = 0; p < config_.ports; ++p) {
+    ports_.push_back(std::make_unique<BandwidthResource>(
+        config_.name + ".port" + std::to_string(p), config_.port_gb_per_s));
+  }
+}
+
+Tick Crossbar::Transfer(Tick now, int src_port, int dst_port, double bytes) {
+  FAB_CHECK_GE(src_port, 0);
+  FAB_CHECK_LT(src_port, config_.ports);
+  FAB_CHECK_GE(dst_port, 0);
+  FAB_CHECK_LT(dst_port, config_.ports);
+  const Tick src_done = ports_[src_port]->Reserve(now, bytes).end;
+  const Tick fabric_done = fabric_.Reserve(now, bytes).end;
+  const Tick dst_done = ports_[dst_port]->Reserve(now, bytes).end;
+  return std::max({src_done, fabric_done, dst_done});
+}
+
+}  // namespace fabacus

@@ -1,0 +1,52 @@
+#include "src/power/energy_meter.h"
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+const char* EnergyBucketName(EnergyBucket b) {
+  switch (b) {
+    case EnergyBucket::kDataMovement:
+      return "data movement";
+    case EnergyBucket::kComputation:
+      return "computation";
+    case EnergyBucket::kStorageAccess:
+      return "storage access";
+    default:
+      return "?";
+  }
+}
+
+void EnergyMeter::AddActive(EnergyBucket bucket, const std::string& component, double watts,
+                            Tick start, Tick end) {
+  FAB_CHECK_GE(end, start);
+  const double joules = watts * TicksToSeconds(end - start);
+  buckets_[static_cast<int>(bucket)] += joules;
+  per_component_[component] += joules;
+}
+
+void EnergyMeter::AddStatic(EnergyBucket bucket, const std::string& component, double watts,
+                            Tick duration) {
+  const double joules = watts * TicksToSeconds(duration);
+  buckets_[static_cast<int>(bucket)] += joules;
+  per_component_[component] += joules;
+}
+
+double EnergyMeter::BucketJoules(EnergyBucket bucket) const {
+  return buckets_[static_cast<int>(bucket)];
+}
+
+double EnergyMeter::ComponentJoules(const std::string& component) const {
+  auto it = per_component_.find(component);
+  return it == per_component_.end() ? 0.0 : it->second;
+}
+
+double EnergyMeter::TotalJoules() const {
+  double total = 0.0;
+  for (double j : buckets_) {
+    total += j;
+  }
+  return total;
+}
+
+}  // namespace fabacus

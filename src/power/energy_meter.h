@@ -1,0 +1,57 @@
+// Energy accounting. Components report tagged busy intervals; the meter
+// integrates active energy per (component, bucket) and adds idle/static
+// energy for the whole run at Finalize(). Buckets mirror the paper's
+// decomposition: data movement / computation / storage access (Fig 13, 16b).
+#ifndef SRC_POWER_ENERGY_METER_H_
+#define SRC_POWER_ENERGY_METER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/power/power_model.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+enum class EnergyBucket : int {
+  kDataMovement = 0,  // host stack, memory copies, PCIe transfers
+  kComputation = 1,   // LWP kernel execution
+  kStorageAccess = 2, // flash backbone / NVMe device time
+  kNumBuckets = 3,
+};
+
+const char* EnergyBucketName(EnergyBucket b);
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(const PowerModel& model = PowerModel{}) : model_(model) {}
+
+  // Adds active energy: `watts` over [start, end), tagged into `bucket`.
+  void AddActive(EnergyBucket bucket, const std::string& component, double watts, Tick start,
+                 Tick end);
+
+  // Adds static/idle energy for a component over the whole run. Charged to a
+  // bucket so totals decompose cleanly (idle usually follows the component's
+  // primary role).
+  void AddStatic(EnergyBucket bucket, const std::string& component, double watts,
+                 Tick duration);
+
+  double BucketJoules(EnergyBucket bucket) const;
+  double ComponentJoules(const std::string& component) const;
+  double TotalJoules() const;
+
+  const PowerModel& model() const { return model_; }
+  const std::map<std::string, double>& per_component() const { return per_component_; }
+
+ private:
+  PowerModel model_;
+  std::array<double, static_cast<int>(EnergyBucket::kNumBuckets)> buckets_{};
+  std::map<std::string, double> per_component_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_POWER_ENERGY_METER_H_

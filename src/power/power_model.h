@@ -1,0 +1,35 @@
+// Per-component power figures. Accelerator-side numbers follow Table 1 and
+// the TI platform power calculator; host-side numbers follow the Xeon E5-2620
+// v3 / DDR4 / Intel NVMe 750 parts the paper's testbed uses (§5, Profile
+// methods). Idle (static) power is a fixed fraction of the active figure.
+#ifndef SRC_POWER_POWER_MODEL_H_
+#define SRC_POWER_POWER_MODEL_H_
+
+namespace fabacus {
+
+struct PowerModel {
+  // FlashAbacus accelerator (Table 1).
+  double lwp_active_w = 0.8;        // per LWP core
+  double lwp_idle_w = 0.08;
+  double lwp_sleep_w = 0.008;       // PSC deep-sleep state
+  double ddr3l_active_w = 0.7;
+  double ddr3l_idle_w = 0.1;
+  double scratchpad_active_w = 0.3;
+  double scratchpad_idle_w = 0.03;
+  double flash_active_w = 11.0;     // whole backbone while array/bus busy
+  double flash_idle_w = 0.9;
+  double pcie_active_w = 0.17;
+  double pcie_idle_w = 0.02;
+
+  // Host side (SIMD baseline testbed).
+  double host_cpu_active_w = 85.0;  // Xeon E5-2620 v3 TDP-class
+  double host_cpu_idle_w = 15.0;
+  double host_dram_active_w = 6.0;  // 32 GB DDR4
+  double host_dram_idle_w = 2.0;
+  double nvme_active_w = 22.0;      // Intel SSD 750 under load
+  double nvme_idle_w = 4.0;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_POWER_POWER_MODEL_H_

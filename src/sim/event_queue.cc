@@ -1,0 +1,42 @@
+#include "src/sim/event_queue.h"
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+void EventQueue::Push(Tick when, Callback fn, bool daemon) {
+  heap_.push(Event{when, next_seq_++, std::move(fn), daemon});
+  if (!daemon) {
+    ++non_daemon_count_;
+  }
+}
+
+Tick EventQueue::NextTime() const {
+  FAB_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Callback EventQueue::Pop(Tick* when) {
+  FAB_CHECK(!heap_.empty());
+  // priority_queue::top() returns const&; the callback must be moved out, so
+  // const_cast is confined to this one well-understood spot.
+  Event& top = const_cast<Event&>(heap_.top());
+  *when = top.when;
+  Callback fn = std::move(top.fn);
+  if (!top.daemon) {
+    FAB_CHECK_GT(non_daemon_count_, 0u);
+    --non_daemon_count_;
+  }
+  heap_.pop();
+  return fn;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+  next_seq_ = 0;
+  non_daemon_count_ = 0;
+}
+
+}  // namespace fabacus

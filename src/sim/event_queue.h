@@ -1,0 +1,64 @@
+// Discrete-event queue: a priority queue of (time, sequence, callback).
+// Sequence numbers break ties so same-tick events fire in scheduling order,
+// which keeps runs deterministic.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` to run at absolute time `when`. Daemon events model
+  // background housekeeping (e.g. Storengine's periodic ticks): they fire in
+  // time order like any event, but a queue holding only daemons counts as
+  // drained, so a run loop does not spin on self-rescheduling maintenance.
+  void Push(Tick when, Callback fn, bool daemon = false);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  // True when no non-daemon events are pending.
+  bool OnlyDaemonsLeft() const { return non_daemon_count_ == 0; }
+
+  // Time of the earliest pending event; only valid when !empty().
+  Tick NextTime() const;
+
+  // Removes and returns the earliest event's callback, setting *when to its
+  // firing time. Only valid when !empty().
+  Callback Pop(Tick* when);
+
+  void Clear();
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;
+    Callback fn;
+    bool daemon;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t non_daemon_count_ = 0;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

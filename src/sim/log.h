@@ -1,0 +1,76 @@
+// Lightweight logging and invariant-checking facilities used across the
+// FlashAbacus simulator. Modelled after the usual LOG/CHECK idiom: CHECK
+// failures indicate a broken simulator invariant and abort the process.
+#ifndef SRC_SIM_LOG_H_
+#define SRC_SIM_LOG_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace fabacus {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum severity; messages below it are dropped. Default kWarning so
+// tests and benches stay quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows a stream expression inside a ternary; `&` binds looser than `<<`,
+// so the full message chain is built before being voided.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define FAB_LOG(severity)                                                       \
+  (::fabacus::LogLevel::k##severity < ::fabacus::GetLogLevel())                 \
+      ? (void)0                                                                 \
+      : ::fabacus::internal::Voidify() &                                        \
+            ::fabacus::internal::LogMessage(::fabacus::LogLevel::k##severity,   \
+                                            __FILE__, __LINE__)                 \
+                .stream()
+
+#define FAB_CHECK(cond)                                                          \
+  (cond) ? (void)0                                                              \
+         : ::fabacus::internal::Voidify() &                                     \
+               ::fabacus::internal::LogMessage(::fabacus::LogLevel::kFatal,     \
+                                               __FILE__, __LINE__)              \
+                       .stream()                                                \
+                   << "CHECK failed: " #cond " "
+
+#define FAB_CHECK_EQ(a, b) FAB_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FAB_CHECK_NE(a, b) FAB_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FAB_CHECK_LT(a, b) FAB_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FAB_CHECK_LE(a, b) FAB_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FAB_CHECK_GT(a, b) FAB_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FAB_CHECK_GE(a, b) FAB_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace fabacus
+
+#endif  // SRC_SIM_LOG_H_

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random numbers (SplitMix64 core). The simulator never
+// uses std::random_device so that every run is reproducible from a seed.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace fabacus {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  std::uint64_t NextBelow(std::uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + (hi - lo) * static_cast<float>(NextDouble());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_SIM_RNG_H_

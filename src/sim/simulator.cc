@@ -1,0 +1,44 @@
+#include "src/sim/simulator.h"
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+void Simulator::ScheduleAt(Tick when, EventQueue::Callback fn) {
+  FAB_CHECK_GE(when, now_) << "event scheduled in the past";
+  queue_.Push(when, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Tick when = 0;
+  EventQueue::Callback fn = queue_.Pop(&when);
+  FAB_CHECK_GE(when, now_);
+  now_ = when;
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+Tick Simulator::Run() {
+  while (!queue_.empty() && !queue_.OnlyDaemonsLeft()) {
+    FAB_CHECK_LT(events_executed_, max_events_) << "event budget exhausted";
+    Step();
+  }
+  return now_;
+}
+
+Tick Simulator::RunUntil(Tick deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    FAB_CHECK_LT(events_executed_, max_events_) << "event budget exhausted";
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace fabacus

@@ -1,0 +1,101 @@
+#include "src/sim/stats.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace fabacus {
+
+void BusyTracker::Enter(Tick now) {
+  if (depth_ == 0) {
+    open_since_ = now;
+  }
+  ++depth_;
+}
+
+void BusyTracker::Leave(Tick now) {
+  FAB_CHECK_GT(depth_, 0) << "Leave without matching Enter";
+  --depth_;
+  if (depth_ == 0) {
+    FAB_CHECK_GE(now, open_since_);
+    accumulated_ += now - open_since_;
+  }
+}
+
+void BusyTracker::AddInterval(Tick start, Tick end) {
+  FAB_CHECK_GE(end, start);
+  accumulated_ += end - start;
+}
+
+Tick BusyTracker::BusyTime(Tick now) const {
+  Tick busy = accumulated_;
+  if (depth_ > 0 && now > open_since_) {
+    busy += now - open_since_;
+  }
+  return busy;
+}
+
+double BusyTracker::Utilization(Tick now) const {
+  if (now == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(BusyTime(now)) / static_cast<double>(now);
+}
+
+double Histogram::Min() const {
+  FAB_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Max() const {
+  FAB_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Mean() const {
+  FAB_CHECK(!samples_.empty());
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::Percentile(double p) const {
+  FAB_CHECK(!samples_.empty());
+  FAB_CHECK_GE(p, 0.0);
+  FAB_CHECK_LE(p, 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> TimeSeries::Rebucket(Tick horizon, std::size_t buckets) const {
+  FAB_CHECK_GT(buckets, 0u);
+  std::vector<double> out(buckets, 0.0);
+  std::vector<std::size_t> counts(buckets, 0);
+  if (horizon == 0) {
+    return out;
+  }
+  for (const Sample& s : samples_) {
+    if (s.time >= horizon) {
+      continue;
+    }
+    const std::size_t b = static_cast<std::size_t>(
+        static_cast<unsigned long long>(s.time) * buckets / horizon);
+    out[b] += s.value;
+    ++counts[b];
+  }
+  double last = 0.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (counts[b] > 0) {
+      out[b] /= static_cast<double>(counts[b]);
+      last = out[b];
+    } else {
+      out[b] = last;
+    }
+  }
+  return out;
+}
+
+}  // namespace fabacus

@@ -1,0 +1,90 @@
+// Statistics primitives shared by all simulator components:
+//  * Counter        — monotonically increasing event/byte counts.
+//  * BusyTracker    — integrates busy time of a resource (utilization, energy).
+//  * Histogram      — latency distributions with percentile queries.
+//  * TimeSeries     — (time, value) samples for the Fig-15 style traces.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/log.h"
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Tracks the total time a resource spends busy. Supports nested/overlapping
+// demand via a depth counter: the resource is busy whenever depth > 0.
+class BusyTracker {
+ public:
+  // Marks the resource busy starting at `now`.
+  void Enter(Tick now);
+  // Marks the end of one unit of demand at `now`.
+  void Leave(Tick now);
+  // Adds a closed busy interval [start, end) directly.
+  void AddInterval(Tick start, Tick end);
+
+  // Total busy time up to `now` (flushes any open interval).
+  Tick BusyTime(Tick now) const;
+  // Busy fraction over [0, now].
+  double Utilization(Tick now) const;
+
+  int depth() const { return depth_; }
+
+ private:
+  mutable Tick accumulated_ = 0;
+  mutable Tick open_since_ = 0;
+  int depth_ = 0;
+};
+
+class Histogram {
+ public:
+  void Record(double v) { samples_.push_back(v); }
+  std::size_t count() const { return samples_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  // p in [0, 100].
+  double Percentile(double p) const;
+  const std::vector<double>& samples() const { return samples_; }
+  void Reset() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+class TimeSeries {
+ public:
+  struct Sample {
+    Tick time;
+    double value;
+  };
+
+  void Record(Tick time, double value) { samples_.push_back({time, value}); }
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  // Averages samples into fixed-width buckets over [0, horizon); buckets with
+  // no samples inherit the previous bucket's value (zero-order hold).
+  std::vector<double> Rebucket(Tick horizon, std::size_t buckets) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_SIM_STATS_H_

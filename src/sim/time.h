@@ -1,0 +1,33 @@
+// Simulation time. The simulator runs on a single monotonically increasing
+// nanosecond clock; all component timing is expressed in Tick (ns).
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace fabacus {
+
+using Tick = std::uint64_t;  // nanoseconds
+
+inline constexpr Tick kNs = 1;
+inline constexpr Tick kUs = 1000 * kNs;
+inline constexpr Tick kMs = 1000 * kUs;
+inline constexpr Tick kSec = 1000 * kMs;
+
+// Converts a transfer of `bytes` at `gbps_bytes` GB/s into a duration.
+// GB here means 1e9 bytes, matching datasheet bandwidth figures.
+inline constexpr Tick BytesAtGBps(double bytes, double gb_per_s) {
+  if (gb_per_s <= 0.0) {
+    return 0;
+  }
+  const double ns = bytes / gb_per_s;  // bytes / (GB/s) = ns since 1 GB = 1e9 B
+  return static_cast<Tick>(ns + 0.5);
+}
+
+inline constexpr double TicksToSeconds(Tick t) { return static_cast<double>(t) / 1e9; }
+inline constexpr double TicksToUs(Tick t) { return static_cast<double>(t) / 1e3; }
+inline constexpr double TicksToMs(Tick t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace fabacus
+
+#endif  // SRC_SIM_TIME_H_

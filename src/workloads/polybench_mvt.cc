@@ -1,0 +1,83 @@
+// MVT: x1 += A y1, x2 += A^T y2 — Table 2: 1 MBLK (0 serial), 640 MB,
+// LD/ST 45.1%, B/KI 72.05 (data-intensive).
+//
+// Buffers: 0 = A (N x N), 1 = y1 (N), 2 = y2 (N), 3 = x1 (N), 4 = x2 (N).
+// Both products are expressed per output row i, so the single microblock is
+// fully parallel.
+#include "src/workloads/polybench_util.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+namespace {
+
+constexpr std::size_t kN = 768;
+
+void MvtRows(const AppInstance& inst, std::vector<float>* x1, std::vector<float>* x2,
+             std::size_t begin, std::size_t end) {
+  const std::vector<float>& a = inst.buffer(0);
+  const std::vector<float>& y1 = inst.buffer(1);
+  const std::vector<float>& y2 = inst.buffer(2);
+  for (std::size_t i = begin; i < end; ++i) {
+    float acc1 = 0.0f;
+    float acc2 = 0.0f;
+    for (std::size_t j = 0; j < kN; ++j) {
+      acc1 += a[i * kN + j] * y1[j];
+      acc2 += a[j * kN + i] * y2[j];
+    }
+    (*x1)[i] += acc1;
+    (*x2)[i] += acc2;
+  }
+}
+
+class MvtWorkload : public Workload {
+ public:
+  MvtWorkload() {
+    spec_.name = "MVT";
+    spec_.model_input_mb = 640.0;
+    spec_.ldst_ratio = 0.451;
+    spec_.bki = 72.05;
+
+    MicroblockSpec m0;
+    m0.name = "mvt";
+    m0.serial = false;
+    m0.work_fraction = 1.0;
+    SetMix(&m0, spec_.ldst_ratio, 0.40);
+    m0.reuse_window_bytes = kN * sizeof(float) * 3;
+    m0.stream_factor = 2.0;  // streams A twice (row- and column-order)
+    m0.func_iterations = kN;
+    m0.body = [](AppInstance& inst, std::size_t begin, std::size_t end) {
+      MvtRows(inst, &inst.buffer(3), &inst.buffer(4), begin, end);
+    };
+    spec_.microblocks.push_back(m0);
+
+    spec_.sections = {
+        {"A", DataSectionSpec::Dir::kIn, 0.9, 0},
+        {"y1", DataSectionSpec::Dir::kIn, 0.05, 1},
+        {"y2", DataSectionSpec::Dir::kIn, 0.05, 2},
+        {"x1", DataSectionSpec::Dir::kOut, 0.05, 3},
+        {"x2", DataSectionSpec::Dir::kOut, 0.05, 4},
+    };
+  }
+
+  void Prepare(AppInstance& inst, Rng& rng) const override {
+    inst.EnsureBuffers(5);
+    FillRandom(&inst.buffer(0), kN * kN, rng);
+    FillRandom(&inst.buffer(1), kN, rng);
+    FillRandom(&inst.buffer(2), kN, rng);
+    FillZero(&inst.buffer(3), kN);
+    FillZero(&inst.buffer(4), kN);
+  }
+
+  bool Verify(const AppInstance& inst) const override {
+    std::vector<float> x1(kN, 0.0f);
+    std::vector<float> x2(kN, 0.0f);
+    MvtRows(inst, &x1, &x2, 0, kN);
+    return NearlyEqual(inst.buffer(3), x1) && NearlyEqual(inst.buffer(4), x2);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeMvt() { return std::make_unique<MvtWorkload>(); }
+
+}  // namespace fabacus

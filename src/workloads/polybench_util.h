@@ -1,0 +1,34 @@
+// Shared helpers for the PolyBench workload implementations.
+#ifndef SRC_WORKLOADS_POLYBENCH_UTIL_H_
+#define SRC_WORKLOADS_POLYBENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/core/kernel.h"
+#include "src/sim/rng.h"
+
+namespace fabacus {
+
+// Fills `v` with deterministic values in [-1, 1).
+inline void FillRandom(std::vector<float>* v, std::size_t n, Rng& rng) {
+  v->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*v)[i] = rng.NextFloat(-1.0f, 1.0f);
+  }
+}
+
+inline void FillZero(std::vector<float>* v, std::size_t n) { v->assign(n, 0.0f); }
+
+// Instruction-mix helper: load/store fraction from Table 2, the rest split
+// between multiply and general-purpose FUs.
+inline void SetMix(MicroblockSpec* m, double ldst, double mul_share) {
+  m->frac_ldst = ldst;
+  m->frac_mul = (1.0 - ldst) * mul_share;
+  m->frac_alu = 1.0 - m->frac_ldst - m->frac_mul;
+}
+
+}  // namespace fabacus
+
+#endif  // SRC_WORKLOADS_POLYBENCH_UTIL_H_

@@ -1,0 +1,148 @@
+// End-to-end tests: workloads executed on the full FlashAbacus device under
+// all four schedulers, with functional verification against references and
+// flash round-trip checks.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fabacus {
+namespace {
+
+TEST(E2eFlashAbacus, AtaxIntraO3ProducesCorrectOutput) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  ASSERT_NE(wl, nullptr);
+  E2eOutcome out = RunOnFlashAbacus(*wl, 1, SchedulerKind::kIntraOutOfOrder);
+  ASSERT_TRUE(out.install_done);
+  ASSERT_TRUE(out.run_done);
+  EXPECT_GT(out.result.makespan, 0u);
+  EXPECT_GT(out.result.throughput_mb_s, 0.0);
+  EXPECT_TRUE(wl->Verify(*out.instances[0]));
+}
+
+class AllSchedulersTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(AllSchedulersTest, AtaxSixInstancesVerify) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  E2eOutcome out = RunOnFlashAbacus(*wl, 6, GetParam());
+  ASSERT_TRUE(out.run_done);
+  EXPECT_EQ(out.result.completion_times.size(), 6u);
+  for (const auto& inst : out.instances) {
+    EXPECT_TRUE(wl->Verify(*inst)) << "instance " << inst->instance_id();
+    EXPECT_TRUE(inst->done);
+    EXPECT_GE(inst->complete_time, inst->load_done_time);
+  }
+}
+
+TEST_P(AllSchedulersTest, FdtdVerifiesUnderEveryScheduler) {
+  const Workload* wl = WorkloadRegistry::Get().Find("FDTD");
+  E2eOutcome out = RunOnFlashAbacus(*wl, 2, GetParam());
+  ASSERT_TRUE(out.run_done);
+  for (const auto& inst : out.instances) {
+    EXPECT_TRUE(wl->Verify(*inst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, AllSchedulersTest,
+                         ::testing::Values(SchedulerKind::kInterStatic,
+                                           SchedulerKind::kInterDynamic,
+                                           SchedulerKind::kIntraInOrder,
+                                           SchedulerKind::kIntraOutOfOrder),
+                         [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+                           return SchedulerKindName(info.param);
+                         });
+
+TEST(E2eFlashAbacus, DynamicBeatsStaticOnHomogeneousInstances) {
+  // Six instances of one app all map to a single LWP under InterSt (same app
+  // id), so InterDy must be substantially faster (paper Fig 10a).
+  const Workload* wl = WorkloadRegistry::Get().Find("GESUM");
+  E2eOutcome st = RunOnFlashAbacus(*wl, 6, SchedulerKind::kInterStatic);
+  E2eOutcome dy = RunOnFlashAbacus(*wl, 6, SchedulerKind::kInterDynamic);
+  ASSERT_TRUE(st.run_done && dy.run_done);
+  EXPECT_GT(st.result.makespan, dy.result.makespan * 3 / 2);
+}
+
+TEST(E2eFlashAbacus, IntraO3NotSlowerThanIntraIoWithSerialMblks) {
+  // ATAX has a serial microblock; O3 borrows screens across instances while
+  // IntraIo's global in-order barrier idles workers.
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  E2eOutcome io = RunOnFlashAbacus(*wl, 6, SchedulerKind::kIntraInOrder);
+  E2eOutcome o3 = RunOnFlashAbacus(*wl, 6, SchedulerKind::kIntraOutOfOrder);
+  ASSERT_TRUE(io.run_done && o3.run_done);
+  EXPECT_LE(o3.result.makespan, io.result.makespan);
+}
+
+TEST(E2eFlashAbacus, OutputSectionRoundTripsThroughFlash) {
+  const Workload* wl = WorkloadRegistry::Get().Find("2DCON");
+  Simulator sim;
+  FlashAbacusConfig cfg = TestDeviceConfig();
+  FlashAbacus dev(&sim, cfg);
+  Rng rng(1);
+  AppInstance inst(0, 0, &wl->spec(), cfg.model_scale);
+  wl->Prepare(inst, rng);
+  dev.InstallData(&inst, [](Tick) {});
+  sim.Run();
+  bool done = false;
+  dev.Run({&inst}, SchedulerKind::kIntraOutOfOrder, [&](RunResult) { done = true; });
+  sim.Run();
+  ASSERT_TRUE(done);
+  // Output section index 1 = img_out; its flash contents must equal the
+  // buffer the kernel produced (the writeback drained during sim.Run()).
+  std::vector<float> from_flash;
+  bool read_done = false;
+  dev.ReadSectionFromFlash(&inst, 1, &from_flash, [&](Tick) { read_done = true; });
+  sim.Run();
+  ASSERT_TRUE(read_done);
+  EXPECT_EQ(from_flash.size(), inst.buffer(1).size());
+  EXPECT_TRUE(NearlyEqual(from_flash, inst.buffer(1)));
+}
+
+TEST(E2eFlashAbacus, WorkerUtilizationHigherForDynamicThanStatic) {
+  const Workload* wl = WorkloadRegistry::Get().Find("GESUM");
+  E2eOutcome st = RunOnFlashAbacus(*wl, 6, SchedulerKind::kInterStatic);
+  E2eOutcome dy = RunOnFlashAbacus(*wl, 6, SchedulerKind::kInterDynamic);
+  EXPECT_GT(dy.result.worker_utilization, st.result.worker_utilization);
+}
+
+// Every registered workload must execute and verify on the real device (the
+// functional data path: flash install -> streamed load -> screens -> flash
+// writeback), under the out-of-order scheduler.
+class AllWorkloadsOnDeviceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllWorkloadsOnDeviceTest, TwoInstancesVerifyUnderIntraO3) {
+  const Workload* wl = WorkloadRegistry::Get().Find(GetParam());
+  ASSERT_NE(wl, nullptr);
+  E2eOutcome out = RunOnFlashAbacus(*wl, 2, SchedulerKind::kIntraOutOfOrder);
+  ASSERT_TRUE(out.run_done);
+  for (const auto& inst : out.instances) {
+    EXPECT_TRUE(wl->Verify(*inst)) << wl->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, AllWorkloadsOnDeviceTest, ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const Workload* wl : WorkloadRegistry::Get().all()) {
+        names.push_back(wl->name());
+      }
+      return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return n;
+    });
+
+TEST(E2eFlashAbacus, EnergyDecompositionIsPopulated) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  E2eOutcome out = RunOnFlashAbacus(*wl, 2, SchedulerKind::kIntraOutOfOrder);
+  EXPECT_GT(out.result.EnergyComputation(), 0.0);
+  EXPECT_GT(out.result.EnergyStorage(), 0.0);
+  EXPECT_GT(out.result.EnergyTotal(), out.result.EnergyComputation());
+}
+
+}  // namespace
+}  // namespace fabacus

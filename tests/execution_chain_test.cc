@@ -1,0 +1,148 @@
+// Tests for the multi-app execution chain: microblock ordering, screen
+// readiness under the in-order and out-of-order policies, and completion
+// bookkeeping (paper §4.2, Figure 8).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/execution_chain.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+namespace {
+
+class ChainFixture : public ::testing::Test {
+ protected:
+  AppInstance* AddApp(const char* workload, int fanout, bool load_done = true) {
+    const Workload* wl = WorkloadRegistry::Get().Find(workload);
+    instances_.push_back(
+        std::make_unique<AppInstance>(static_cast<int>(instances_.size()), 0, &wl->spec(),
+                                      1.0 / 256));
+    AppInstance* inst = instances_.back().get();
+    chain_.AddApp(inst, fanout);
+    if (load_done) {
+      chain_.MarkLoadDone(inst);
+    }
+    return inst;
+  }
+
+  // Dispatches and completes every screen of the current microblock of inst.
+  void DrainCurrentMicroblock(AppInstance* inst) {
+    ScreenRef ref;
+    std::vector<ScreenRef> dispatched;
+    while (chain_.NextReadyScreen(&ref) && ref.inst == inst) {
+      chain_.OnDispatched(ref);
+      dispatched.push_back(ref);
+    }
+    for (const ScreenRef& r : dispatched) {
+      chain_.OnScreenComplete(r);
+    }
+  }
+
+  ExecutionChain chain_;
+  std::vector<std::unique_ptr<AppInstance>> instances_;
+};
+
+TEST_F(ChainFixture, SerialMicroblockGetsOneScreen) {
+  AppInstance* inst = AddApp("ATAX", 6);  // mblk0 parallel, mblk1 serial
+  ScreenRef ref;
+  ASSERT_TRUE(chain_.NextReadyScreen(&ref));
+  EXPECT_EQ(ref.num_screens, 6);
+  DrainCurrentMicroblock(inst);
+  ASSERT_TRUE(chain_.NextReadyScreen(&ref));
+  EXPECT_EQ(ref.mblk, 1);
+  EXPECT_EQ(ref.num_screens, 1);  // serial
+}
+
+TEST_F(ChainFixture, MicroblockBarrierWithinKernel) {
+  AddApp("FDTD", 4);
+  ScreenRef ref;
+  ASSERT_TRUE(chain_.NextReadyScreen(&ref));
+  EXPECT_EQ(ref.mblk, 0);
+  chain_.OnDispatched(ref);
+  // mblk0 is serial (1 screen), still in flight: nothing else from this app.
+  ScreenRef next;
+  EXPECT_FALSE(chain_.NextReadyScreen(&next));
+  EXPECT_FALSE(chain_.OnScreenComplete(ref));
+  ASSERT_TRUE(chain_.NextReadyScreen(&next));
+  EXPECT_EQ(next.mblk, 1);
+}
+
+TEST_F(ChainFixture, LoadGatesReadiness) {
+  AppInstance* inst = AddApp("GESUM", 4, /*load_done=*/false);
+  ScreenRef ref;
+  EXPECT_FALSE(chain_.NextReadyScreen(&ref));
+  chain_.MarkLoadDone(inst);
+  EXPECT_TRUE(chain_.NextReadyScreen(&ref));
+}
+
+TEST_F(ChainFixture, OutOfOrderBorrowsAcrossApps) {
+  AppInstance* a = AddApp("ATAX", 2);
+  AddApp("GESUM", 2);
+  // Dispatch all of a's current screens; they are still running.
+  ScreenRef ref;
+  ASSERT_TRUE(chain_.NextReadyScreen(&ref));
+  ASSERT_EQ(ref.inst, a);
+  chain_.OnDispatched(ref);
+  ASSERT_TRUE(chain_.NextReadyScreen(&ref));
+  ASSERT_EQ(ref.inst, a);
+  chain_.OnDispatched(ref);
+  // O3 policy: next ready screen comes from the second app.
+  ASSERT_TRUE(chain_.NextReadyScreen(&ref));
+  EXPECT_NE(ref.inst, a);
+}
+
+TEST_F(ChainFixture, InOrderPolicyBlocksAtGlobalHead) {
+  AppInstance* a = AddApp("ATAX", 2);
+  AddApp("GESUM", 2);
+  ScreenRef ref;
+  ASSERT_TRUE(chain_.NextReadyScreenInOrder(&ref));
+  ASSERT_EQ(ref.inst, a);
+  chain_.OnDispatched(ref);
+  ASSERT_TRUE(chain_.NextReadyScreenInOrder(&ref));
+  ASSERT_EQ(ref.inst, a);
+  chain_.OnDispatched(ref);
+  // Head microblock fully dispatched but incomplete: in-order stalls, no
+  // borrowing from the second app.
+  EXPECT_FALSE(chain_.NextReadyScreenInOrder(&ref));
+}
+
+TEST_F(ChainFixture, InOrderAdvancesToNextAppWhenHeadFinishes) {
+  AppInstance* a = AddApp("GESUM", 2);  // single microblock
+  AppInstance* b = AddApp("GESUM", 2);
+  DrainCurrentMicroblock(a);
+  EXPECT_TRUE(chain_.ComputeDone(a));
+  ScreenRef ref;
+  ASSERT_TRUE(chain_.NextReadyScreenInOrder(&ref));
+  EXPECT_EQ(ref.inst, b);
+}
+
+TEST_F(ChainFixture, CompletionReportedOnceOnLastScreen) {
+  AppInstance* inst = AddApp("GESUM", 3);
+  ScreenRef refs[3];
+  for (auto& r : refs) {
+    ASSERT_TRUE(chain_.NextReadyScreen(&r));
+    chain_.OnDispatched(r);
+  }
+  EXPECT_FALSE(chain_.OnScreenComplete(refs[0]));
+  EXPECT_FALSE(chain_.OnScreenComplete(refs[1]));
+  EXPECT_TRUE(chain_.OnScreenComplete(refs[2]));
+  EXPECT_TRUE(chain_.AllComputeDone());
+  EXPECT_FALSE(chain_.AnyInFlight());
+  (void)inst;
+}
+
+TEST_F(ChainFixture, AllComputeDoneAcrossManyApps) {
+  for (int i = 0; i < 5; ++i) {
+    AddApp("FDTD", 4);
+  }
+  ScreenRef ref;
+  while (chain_.NextReadyScreen(&ref)) {
+    chain_.OnDispatched(ref);
+    chain_.OnScreenComplete(ref);
+  }
+  EXPECT_TRUE(chain_.AllComputeDone());
+}
+
+}  // namespace
+}  // namespace fabacus

@@ -1,0 +1,130 @@
+// Tests for the kernel description table: serialization round trips for
+// every registered workload, and the loader rejects corrupted tables.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/kernel_table.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+namespace {
+
+class KernelTableRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelTableRoundTripTest, SerializeParseRoundTrips) {
+  const Workload* wl = WorkloadRegistry::Get().Find(GetParam());
+  ASSERT_NE(wl, nullptr);
+  const KernelSpec& in = wl->spec();
+  const std::vector<std::uint8_t> bytes = SerializeKernelTable(in);
+  KernelSpec out;
+  std::string error;
+  ASSERT_TRUE(ParseKernelTable(bytes, &out, &error)) << error;
+
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_DOUBLE_EQ(out.model_input_mb, in.model_input_mb);
+  EXPECT_DOUBLE_EQ(out.ldst_ratio, in.ldst_ratio);
+  EXPECT_DOUBLE_EQ(out.bki, in.bki);
+  EXPECT_EQ(out.text_bytes, in.text_bytes);
+  EXPECT_EQ(out.heap_bytes, in.heap_bytes);
+  EXPECT_EQ(out.stack_bytes, in.stack_bytes);
+  ASSERT_EQ(out.sections.size(), in.sections.size());
+  for (std::size_t i = 0; i < in.sections.size(); ++i) {
+    EXPECT_EQ(out.sections[i].name, in.sections[i].name);
+    EXPECT_EQ(out.sections[i].dir, in.sections[i].dir);
+    EXPECT_DOUBLE_EQ(out.sections[i].model_fraction, in.sections[i].model_fraction);
+    EXPECT_EQ(out.sections[i].buffer_index, in.sections[i].buffer_index);
+  }
+  ASSERT_EQ(out.microblocks.size(), in.microblocks.size());
+  for (std::size_t i = 0; i < in.microblocks.size(); ++i) {
+    EXPECT_EQ(out.microblocks[i].name, in.microblocks[i].name);
+    EXPECT_EQ(out.microblocks[i].serial, in.microblocks[i].serial);
+    EXPECT_DOUBLE_EQ(out.microblocks[i].work_fraction, in.microblocks[i].work_fraction);
+    EXPECT_DOUBLE_EQ(out.microblocks[i].frac_ldst, in.microblocks[i].frac_ldst);
+    EXPECT_EQ(out.microblocks[i].func_iterations, in.microblocks[i].func_iterations);
+  }
+}
+
+std::vector<std::string> AllNames() {
+  std::vector<std::string> names;
+  for (const Workload* wl : WorkloadRegistry::Get().all()) {
+    names.push_back(wl->name());
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, KernelTableRoundTripTest,
+                         ::testing::ValuesIn(AllNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+class KernelTableRejectTest : public ::testing::Test {
+ protected:
+  KernelTableRejectTest() {
+    bytes_ = SerializeKernelTable(WorkloadRegistry::Get().Find("ATAX")->spec());
+  }
+  std::vector<std::uint8_t> bytes_;
+  KernelSpec spec_;
+  std::string error_;
+};
+
+TEST_F(KernelTableRejectTest, AcceptsPristineTable) {
+  EXPECT_TRUE(ParseKernelTable(bytes_, &spec_, &error_)) << error_;
+}
+
+TEST_F(KernelTableRejectTest, RejectsBadMagic) {
+  bytes_[0] ^= 0xFF;
+  EXPECT_FALSE(ParseKernelTable(bytes_, &spec_, &error_));
+  EXPECT_EQ(error_, "bad magic");
+}
+
+TEST_F(KernelTableRejectTest, RejectsTruncation) {
+  bytes_.resize(bytes_.size() - 10);
+  EXPECT_FALSE(ParseKernelTable(bytes_, &spec_, &error_));
+  EXPECT_EQ(error_, "size mismatch");
+}
+
+TEST_F(KernelTableRejectTest, RejectsBitFlipAnywhere) {
+  // Flip one payload byte: the checksum must catch it.
+  bytes_[bytes_.size() / 2] ^= 0x01;
+  EXPECT_FALSE(ParseKernelTable(bytes_, &spec_, &error_));
+  EXPECT_EQ(error_, "checksum mismatch");
+}
+
+TEST_F(KernelTableRejectTest, RejectsEmptyBuffer) {
+  std::vector<std::uint8_t> empty;
+  EXPECT_FALSE(ParseKernelTable(empty, &spec_, &error_));
+}
+
+TEST_F(KernelTableRejectTest, RejectsUnnormalizedMix) {
+  KernelSpec bad = WorkloadRegistry::Get().Find("GEMM")->spec();
+  bad.microblocks[0].frac_alu += 0.5;  // mix sums to 1.5
+  const std::vector<std::uint8_t> bytes = SerializeKernelTable(bad);
+  EXPECT_FALSE(ParseKernelTable(bytes, &spec_, &error_));
+  EXPECT_EQ(error_, "microblock instruction mix not normalized");
+}
+
+TEST_F(KernelTableRejectTest, RejectsKernelWithoutMicroblocks) {
+  KernelSpec bad;
+  bad.name = "empty";
+  const std::vector<std::uint8_t> bytes = SerializeKernelTable(bad);
+  EXPECT_FALSE(ParseKernelTable(bytes, &spec_, &error_));
+  EXPECT_EQ(error_, "kernel has no microblocks");
+}
+
+TEST(KernelTableChecksum, FnvKnownValues) {
+  const std::uint8_t data[] = {'a', 'b', 'c'};
+  EXPECT_EQ(KdtChecksum(data, 3), 0x1A47E90Bu);  // FNV-1a("abc")
+  EXPECT_EQ(KdtChecksum(nullptr, 0), 2166136261u);
+}
+
+}  // namespace
+}  // namespace fabacus

@@ -1,0 +1,177 @@
+// Tests for the LWP timing model (VLIW FU-bottleneck IPC, memory stalls,
+// DRAM contention) and the analytic cache model.
+#include <gtest/gtest.h>
+
+#include "src/core/lwp.h"
+#include "src/mem/cache_model.h"
+#include "src/noc/crossbar.h"
+
+namespace fabacus {
+namespace {
+
+class LwpFixture : public ::testing::Test {
+ protected:
+  LwpFixture()
+      : dram_(DramConfig{}),
+        xbar_(CrossbarConfig{.name = "t1",
+                             .ports = 12,
+                             .port_gb_per_s = 16.0,
+                             .fabric_gb_per_s = 16.0,
+                             .hop_latency = 10}),
+        lwp_(2, LwpConfig{}, &dram_, &xbar_) {}
+
+  Dram dram_;
+  Crossbar xbar_;
+  Lwp lwp_;
+};
+
+TEST_F(LwpFixture, IpcBoundByLoadStoreUnits) {
+  // 50% LD/ST with 2 LD/ST FUs: at most 4 instructions/cycle.
+  EXPECT_DOUBLE_EQ(lwp_.EffectiveIpc(0.1, 0.4, 0.5), 4.0);
+}
+
+TEST_F(LwpFixture, IpcBoundByMultiplyUnits) {
+  // 50% multiplies with 2 MUL FUs: at most 4/cycle.
+  EXPECT_DOUBLE_EQ(lwp_.EffectiveIpc(0.5, 0.4, 0.1), 4.0);
+}
+
+TEST_F(LwpFixture, IpcCappedByIssueWidth) {
+  // Pure ALU mix: 4 FUs / 1.0 would be 4... all-ALU at 50%: 8 = cap.
+  EXPECT_DOUBLE_EQ(lwp_.EffectiveIpc(0.0, 0.5, 0.0), 8.0);
+}
+
+TEST_F(LwpFixture, ComputeBoundScreenDurationMatchesInstructionCount) {
+  ScreenWork w;
+  w.instructions = 4e6;
+  w.frac_mul = 0.1;
+  w.frac_alu = 0.4;
+  w.frac_ldst = 0.5;  // IPC 4 => 1e6 cycles = 1 ms at 1 GHz
+  w.touched_bytes = 0;
+  const Lwp::ScreenTiming t = lwp_.ExecuteScreen(0, w);
+  EXPECT_NEAR(static_cast<double>(t.end - t.start), 1e6, 1e4);
+}
+
+TEST_F(LwpFixture, MemoryBoundScreenLimitedByDramBandwidth) {
+  ScreenWork w;
+  w.instructions = 1000;  // negligible compute
+  w.frac_ldst = 0.5;
+  w.frac_alu = 0.5;
+  w.frac_mul = 0.0;
+  w.touched_bytes = 64e6;
+  w.window_bytes = 100e6;  // streams through every level
+  w.distinct_bytes = 64e6;
+  const Lwp::ScreenTiming t = lwp_.ExecuteScreen(0, w);
+  // 64 MB at 6.4 GB/s = 10 ms.
+  EXPECT_GT(t.end - t.start, static_cast<Tick>(9e6));
+  EXPECT_LT(t.end - t.start, static_cast<Tick>(14e6));
+}
+
+TEST_F(LwpFixture, BackToBackScreensQueueOnTheCore) {
+  ScreenWork w;
+  w.instructions = 8e6;
+  w.frac_alu = 1.0;
+  w.frac_mul = 0.0;
+  w.frac_ldst = 0.0;
+  const Lwp::ScreenTiming a = lwp_.ExecuteScreen(0, w);
+  const Lwp::ScreenTiming b = lwp_.ExecuteScreen(0, w);
+  EXPECT_EQ(b.start, a.end);
+}
+
+TEST_F(LwpFixture, ConcurrentLwpsContendForDram) {
+  Lwp other(3, LwpConfig{}, &dram_, &xbar_);
+  ScreenWork w;
+  w.instructions = 1000;
+  w.frac_ldst = 0.5;
+  w.frac_alu = 0.5;
+  w.touched_bytes = 64e6;
+  w.window_bytes = 100e6;
+  w.distinct_bytes = 64e6;
+  const Lwp::ScreenTiming a = lwp_.ExecuteScreen(0, w);
+  const Lwp::ScreenTiming b = other.ExecuteScreen(0, w);
+  // The second stream's DRAM traffic queues behind the first.
+  EXPECT_GT(b.end, a.end);
+}
+
+TEST_F(LwpFixture, UtilizationTracksBusyFraction) {
+  ScreenWork w;
+  w.instructions = 8e6;  // 1 ms at the 8-wide issue cap
+  w.frac_alu = 0.5;
+  w.frac_mul = 0.25;
+  w.frac_ldst = 0.25;  // bounds: 4/.5=8, 2/.25=8, 2/.25=8 -> IPC 8
+  lwp_.ExecuteScreen(0, w);
+  EXPECT_NEAR(lwp_.Utilization(2 * kMs), 0.5, 0.05);
+}
+
+TEST_F(LwpFixture, BootOverheadDelaysNextWork) {
+  const Tick ready = lwp_.BootKernel(0);
+  EXPECT_EQ(ready, LwpConfig{}.boot_overhead);
+  ScreenWork w;
+  w.instructions = 8000;
+  w.frac_alu = 1.0;
+  w.frac_mul = 0.0;
+  w.frac_ldst = 0.0;
+  const Lwp::ScreenTiming t = lwp_.ExecuteScreen(0, w);
+  EXPECT_GE(t.start, ready);
+}
+
+TEST(CacheModel, WorkingSetInL1StaysInL1) {
+  CacheModel cm;
+  const CacheTraffic t = cm.Estimate(/*touched=*/1e9, /*window=*/32 * 1024,
+                                     /*distinct=*/1e6);
+  EXPECT_DOUBLE_EQ(t.l1_to_l2_bytes, 1e6);    // cold only
+  EXPECT_DOUBLE_EQ(t.l2_to_dram_bytes, 1e6);  // cold only
+}
+
+TEST(CacheModel, WindowBetweenL1AndL2SpillsToL2Only) {
+  CacheModel cm;
+  const CacheTraffic t = cm.Estimate(1e9, 256 * 1024, 1e6);
+  EXPECT_GT(t.l1_to_l2_bytes, 1e8);       // L1 thrashes
+  EXPECT_DOUBLE_EQ(t.l2_to_dram_bytes, 1e6);  // L2 captures the window
+}
+
+TEST(CacheModel, StreamingWindowSpillsToDram) {
+  CacheModel cm;
+  const CacheTraffic t = cm.Estimate(1e9, 8e6, 5e8);
+  EXPECT_GT(t.l2_to_dram_bytes, 5e8);  // cold + thrash traffic
+}
+
+TEST(CacheModel, ZeroTouchedBytesProducesZeroTraffic) {
+  CacheModel cm;
+  const CacheTraffic t = cm.Estimate(0, 1e6, 1e6);
+  EXPECT_DOUBLE_EQ(t.l1_to_l2_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(t.l2_to_dram_bytes, 0.0);
+}
+
+// Property sweep: duration is monotonically non-decreasing in instruction
+// count and in touched bytes.
+class LwpMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LwpMonotonicityTest, DurationMonotonicInWork) {
+  DramConfig dc;
+  CrossbarConfig xc{.name = "t", .ports = 12, .port_gb_per_s = 16.0, .fabric_gb_per_s = 16.0,
+                    .hop_latency = 10};
+  const double ldst = GetParam();
+  Tick prev = 0;
+  for (double instr = 1e5; instr <= 1e8; instr *= 10) {
+    Dram dram(dc);
+    Crossbar xbar(xc);
+    Lwp lwp(2, LwpConfig{}, &dram, &xbar);
+    ScreenWork w;
+    w.instructions = instr;
+    w.frac_ldst = ldst;
+    w.frac_mul = (1.0 - ldst) * 0.4;
+    w.frac_alu = 1.0 - ldst - w.frac_mul;
+    w.touched_bytes = instr * ldst * 8.0;
+    w.window_bytes = 16 * 1024;
+    w.distinct_bytes = w.touched_bytes * 0.01;
+    const Lwp::ScreenTiming t = lwp.ExecuteScreen(0, w);
+    EXPECT_GT(t.end - t.start, prev);
+    prev = t.end - t.start;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LdStRatios, LwpMonotonicityTest,
+                         ::testing::Values(0.1, 0.25, 0.4, 0.55));
+
+}  // namespace
+}  // namespace fabacus

@@ -1,0 +1,84 @@
+// Tests for the DFTL-style demand-cached mapping table.
+#include <gtest/gtest.h>
+
+#include "src/core/mapping_cache.h"
+#include "src/sim/rng.h"
+
+namespace fabacus {
+namespace {
+
+MappingCacheConfig SmallCache() {
+  MappingCacheConfig cfg;
+  cfg.entries_per_page = 16;
+  cfg.cache_pages = 4;
+  return cfg;
+}
+
+TEST(MappingCache, FirstTouchMissesThenHits) {
+  MappingCache cache(1024, SmallCache());
+  Tick cost = 0;
+  cache.Lookup(5, &cost);
+  EXPECT_EQ(cost, SmallCache().hit_cost + SmallCache().miss_cost);
+  cache.Lookup(6, &cost);  // same translation page
+  EXPECT_EQ(cost, SmallCache().hit_cost);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(MappingCache, UpdateReadsBackThroughCache) {
+  MappingCache cache(1024, SmallCache());
+  Tick cost = 0;
+  cache.Update(100, 777, &cost);
+  EXPECT_EQ(cache.Lookup(100, &cost), 777u);
+  EXPECT_EQ(cache.Lookup(101, &cost), MappingCache::kUnmapped);
+}
+
+TEST(MappingCache, LruEvictsColdestPage) {
+  MappingCache cache(1024, SmallCache());
+  Tick cost = 0;
+  // Touch pages 0..3 (fills the 4-page cache), then page 4 evicts page 0.
+  for (std::uint64_t p = 0; p < 5; ++p) {
+    cache.Lookup(p * 16, &cost);
+  }
+  EXPECT_EQ(cache.cached_pages(), 4u);
+  cache.Lookup(0, &cost);  // page 0 must miss again
+  EXPECT_EQ(cost, SmallCache().hit_cost + SmallCache().miss_cost);
+}
+
+TEST(MappingCache, DirtyEvictionChargesWriteback) {
+  MappingCache cache(1024, SmallCache());
+  Tick cost = 0;
+  cache.Update(0, 1, &cost);  // page 0 dirty
+  for (std::uint64_t p = 1; p < 5; ++p) {
+    cache.Lookup(p * 16, &cost);  // the last one evicts dirty page 0
+  }
+  EXPECT_EQ(cache.writebacks(), 1u);
+  // The written mapping survives eviction (backing store holds it).
+  EXPECT_EQ(cache.Lookup(0, &cost), 1u);
+}
+
+TEST(MappingCache, SequentialScanHitsWithinPages) {
+  MappingCache cache(1 << 16, MappingCacheConfig{});
+  Tick cost = 0;
+  for (std::uint64_t g = 0; g < 10000; ++g) {
+    cache.Lookup(g, &cost);
+  }
+  // 2048 entries/page: sequential access hits ~99.95% after the cold miss.
+  EXPECT_GT(cache.HitRatio(), 0.999);
+}
+
+TEST(MappingCache, RandomScanOverLargeSpaceThrashes) {
+  MappingCacheConfig cfg;
+  cfg.entries_per_page = 2048;
+  cfg.cache_pages = 8;  // covers 16k entries of a 4M space
+  MappingCache cache(1 << 22, cfg);
+  Rng rng(3);
+  Tick cost = 0;
+  for (int i = 0; i < 20000; ++i) {
+    cache.Lookup(rng.NextBelow(1 << 22), &cost);
+  }
+  EXPECT_LT(cache.HitRatio(), 0.05);
+}
+
+}  // namespace
+}  // namespace fabacus

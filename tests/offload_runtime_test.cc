@@ -1,0 +1,73 @@
+// Tests for the host offload runtime: synchronous execution wrapper,
+// verification, read-back and repeated use of one device.
+#include <gtest/gtest.h>
+
+#include "src/host/offload_runtime.h"
+
+namespace fabacus {
+namespace {
+
+FlashAbacusConfig FastConfig() {
+  FlashAbacusConfig cfg;
+  cfg.model_scale = 1.0 / 256.0;
+  return cfg;
+}
+
+TEST(OffloadRuntime, ExecutesAndVerifiesSingleJob) {
+  OffloadRuntime rt(FastConfig());
+  const Workload* gemm = WorkloadRegistry::Get().Find("GEMM");
+  const RunResult r = rt.Execute({{gemm, 2}}, SchedulerKind::kIntraOutOfOrder);
+  EXPECT_GT(r.makespan, 0u);
+  EXPECT_EQ(r.completion_times.size(), 2u);
+  EXPECT_TRUE(rt.VerifyLast());
+}
+
+TEST(OffloadRuntime, MultipleJobsGetDistinctAppIds) {
+  OffloadRuntime rt(FastConfig());
+  const Workload* a = WorkloadRegistry::Get().Find("ATAX");
+  const Workload* b = WorkloadRegistry::Get().Find("GESUM");
+  rt.Execute({{a, 1}, {b, 2}}, SchedulerKind::kInterStatic);
+  ASSERT_EQ(rt.last_instances().size(), 3u);
+  EXPECT_EQ(rt.last_instances()[0]->app_id(), 0);
+  EXPECT_EQ(rt.last_instances()[1]->app_id(), 1);
+  EXPECT_EQ(rt.last_instances()[2]->app_id(), 1);
+  EXPECT_TRUE(rt.VerifyLast());
+}
+
+TEST(OffloadRuntime, BackToBackExecutesOnOneDevice) {
+  OffloadRuntime rt(FastConfig());
+  const Workload* wl = WorkloadRegistry::Get().Find("2DCON");
+  const RunResult first = rt.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
+  EXPECT_TRUE(rt.VerifyLast());
+  const RunResult second = rt.Execute({{wl, 1}}, SchedulerKind::kIntraOutOfOrder);
+  EXPECT_TRUE(rt.VerifyLast());
+  EXPECT_GT(first.makespan, 0u);
+  EXPECT_GT(second.makespan, 0u);
+}
+
+TEST(OffloadRuntime, ReadBackMatchesInstanceBuffer) {
+  OffloadRuntime rt(FastConfig());
+  const Workload* wl = WorkloadRegistry::Get().Find("GESUM");
+  rt.Execute({{wl, 1}}, SchedulerKind::kIntraOutOfOrder);
+  AppInstance* inst = rt.last_instances()[0];
+  // Section 3 = y (output); its flash contents must equal the buffer.
+  const std::vector<float> from_flash = rt.ReadBack(inst, 3);
+  EXPECT_TRUE(NearlyEqual(from_flash, inst->buffer(3)));
+}
+
+TEST(OffloadRuntime, PscSleepReducesEnergyOnSparseWork) {
+  // One lone instance leaves five workers idle: with the PSC they sleep.
+  FlashAbacusConfig with_psc = FastConfig();
+  with_psc.lwp.psc_sleep_threshold = 20 * kUs;
+  FlashAbacusConfig no_psc = FastConfig();
+  no_psc.lwp.psc_sleep_threshold = kSec * 1000;  // effectively never sleeps
+  const Workload* wl = WorkloadRegistry::Get().Find("SYRK");
+  OffloadRuntime a(with_psc);
+  OffloadRuntime b(no_psc);
+  const RunResult ra = a.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
+  const RunResult rb = b.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
+  EXPECT_LT(ra.EnergyComputation(), rb.EnergyComputation());
+}
+
+}  // namespace
+}  // namespace fabacus

@@ -1,0 +1,198 @@
+// Tests for Flashvisor's red-black-tree range lock: reader/writer semantics
+// over ranges, FIFO fairness, asynchronous grants, structural invariants,
+// and a randomized property test against a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/core/range_lock.h"
+#include "src/sim/rng.h"
+
+namespace fabacus {
+namespace {
+
+TEST(RangeLock, ReadersShareOverlappingRanges) {
+  RangeLock lock;
+  RangeLock::LockId a = 0;
+  RangeLock::LockId b = 0;
+  EXPECT_TRUE(lock.TryAcquire(0, 100, LockMode::kRead, &a));
+  EXPECT_TRUE(lock.TryAcquire(50, 150, LockMode::kRead, &b));
+  EXPECT_EQ(lock.held_count(), 2u);
+  lock.Release(a);
+  lock.Release(b);
+}
+
+TEST(RangeLock, WriterExcludesOverlappingReader) {
+  RangeLock lock;
+  RangeLock::LockId r = 0;
+  RangeLock::LockId w = 0;
+  ASSERT_TRUE(lock.TryAcquire(0, 100, LockMode::kRead, &r));
+  EXPECT_FALSE(lock.TryAcquire(100, 200, LockMode::kWrite, &w));  // overlap at 100
+  EXPECT_TRUE(lock.TryAcquire(101, 200, LockMode::kWrite, &w));   // disjoint
+  lock.Release(r);
+  lock.Release(w);
+}
+
+TEST(RangeLock, ReaderBlocksOnOverlappingWriter) {
+  RangeLock lock;
+  RangeLock::LockId w = 0;
+  ASSERT_TRUE(lock.TryAcquire(10, 20, LockMode::kWrite, &w));
+  RangeLock::LockId r = 0;
+  EXPECT_FALSE(lock.TryAcquire(15, 30, LockMode::kRead, &r));
+}
+
+TEST(RangeLock, AsyncGrantFiresOnRelease) {
+  RangeLock lock;
+  RangeLock::LockId w = 0;
+  ASSERT_TRUE(lock.TryAcquire(0, 100, LockMode::kWrite, &w));
+  bool granted = false;
+  RangeLock::LockId waiter_id = 0;
+  lock.Acquire(50, 60, LockMode::kRead, [&](RangeLock::LockId id) {
+    granted = true;
+    waiter_id = id;
+  });
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lock.waiter_count(), 1u);
+  lock.Release(w);
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(lock.waiter_count(), 0u);
+  lock.Release(waiter_id);
+}
+
+TEST(RangeLock, FifoFairnessPreventsWriterStarvation) {
+  RangeLock lock;
+  RangeLock::LockId r1 = 0;
+  ASSERT_TRUE(lock.TryAcquire(0, 100, LockMode::kRead, &r1));
+  // A writer queues first; a later reader overlapping the writer must NOT
+  // jump the queue even though it is compatible with the held read lock.
+  bool writer_granted = false;
+  RangeLock::LockId writer_id = 0;
+  lock.Acquire(0, 100, LockMode::kWrite, [&](RangeLock::LockId id) {
+    writer_granted = true;
+    writer_id = id;
+  });
+  bool reader2_granted = false;
+  RangeLock::LockId reader2_id = 0;
+  lock.Acquire(0, 100, LockMode::kRead, [&](RangeLock::LockId id) {
+    reader2_granted = true;
+    reader2_id = id;
+  });
+  EXPECT_FALSE(writer_granted);
+  EXPECT_FALSE(reader2_granted);  // held back behind the earlier writer
+  lock.Release(r1);
+  EXPECT_TRUE(writer_granted);
+  EXPECT_FALSE(reader2_granted);
+  lock.Release(writer_id);
+  EXPECT_TRUE(reader2_granted);
+  lock.Release(reader2_id);
+}
+
+TEST(RangeLock, ManyDisjointRangesAllGrantImmediately) {
+  RangeLock lock;
+  std::vector<RangeLock::LockId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    RangeLock::LockId id = 0;
+    ASSERT_TRUE(lock.TryAcquire(static_cast<std::uint64_t>(i) * 10,
+                                static_cast<std::uint64_t>(i) * 10 + 9, LockMode::kWrite, &id));
+    ids.push_back(id);
+  }
+  EXPECT_TRUE(lock.CheckInvariants());
+  for (RangeLock::LockId id : ids) {
+    lock.Release(id);
+  }
+  EXPECT_EQ(lock.held_count(), 0u);
+  EXPECT_TRUE(lock.CheckInvariants());
+}
+
+TEST(RangeLock, InvariantsHoldUnderInterleavedInsertDelete) {
+  RangeLock lock;
+  Rng rng(99);
+  std::vector<RangeLock::LockId> held;
+  for (int step = 0; step < 3000; ++step) {
+    if (held.empty() || rng.NextDouble() < 0.6) {
+      const std::uint64_t first = rng.NextBelow(100000);
+      RangeLock::LockId id = 0;
+      if (lock.TryAcquire(first, first + rng.NextBelow(300), LockMode::kRead, &id)) {
+        held.push_back(id);
+      }
+    } else {
+      const std::size_t k = rng.NextBelow(held.size());
+      lock.Release(held[k]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(lock.CheckInvariants()) << "at step " << step;
+    }
+  }
+  for (RangeLock::LockId id : held) {
+    lock.Release(id);
+  }
+  EXPECT_TRUE(lock.CheckInvariants());
+}
+
+// Brute-force oracle: the same semantics over a flat list of held ranges.
+class OracleLock {
+ public:
+  bool Conflicts(std::uint64_t first, std::uint64_t last, LockMode mode) const {
+    for (const auto& [id, r] : held_) {
+      const bool overlap = r.first <= last && first <= r.last;
+      const bool incompatible = mode == LockMode::kWrite || r.mode == LockMode::kWrite;
+      if (overlap && incompatible) {
+        return true;
+      }
+    }
+    return false;
+  }
+  void Add(std::uint64_t id, std::uint64_t first, std::uint64_t last, LockMode mode) {
+    held_[id] = Range{first, last, mode};
+  }
+  void Remove(std::uint64_t id) { held_.erase(id); }
+
+ private:
+  struct Range {
+    std::uint64_t first;
+    std::uint64_t last;
+    LockMode mode;
+  };
+  std::map<std::uint64_t, Range> held_;
+};
+
+class RangeLockPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeLockPropertyTest, MatchesBruteForceOracle) {
+  RangeLock lock;
+  OracleLock oracle;
+  Rng rng(GetParam());
+  std::vector<RangeLock::LockId> held;
+  for (int step = 0; step < 4000; ++step) {
+    const bool release = !held.empty() && rng.NextDouble() < 0.45;
+    if (release) {
+      const std::size_t k = rng.NextBelow(held.size());
+      oracle.Remove(held[k]);
+      lock.Release(held[k]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      const std::uint64_t first = rng.NextBelow(5000);
+      const std::uint64_t last = first + rng.NextBelow(200);
+      const LockMode mode = rng.NextDouble() < 0.5 ? LockMode::kRead : LockMode::kWrite;
+      const bool oracle_conflict = oracle.Conflicts(first, last, mode);
+      ASSERT_EQ(lock.Conflicts(first, last, mode), oracle_conflict)
+          << "step " << step << " range [" << first << "," << last << "]";
+      RangeLock::LockId id = 0;
+      const bool acquired = lock.TryAcquire(first, last, mode, &id);
+      ASSERT_EQ(acquired, !oracle_conflict);
+      if (acquired) {
+        oracle.Add(id, first, last, mode);
+        held.push_back(id);
+      }
+    }
+  }
+  EXPECT_TRUE(lock.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeLockPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace fabacus

@@ -1,0 +1,115 @@
+// End-to-end tests of the SIMD baseline (host + NVMe + storage stack) and
+// the paper-shaped comparisons between SIMD and FlashAbacus.
+#include <gtest/gtest.h>
+
+#include "src/host/simd_system.h"
+#include "tests/test_util.h"
+
+namespace fabacus {
+namespace {
+
+struct SimdOutcome {
+  RunResult result;
+  std::vector<std::unique_ptr<AppInstance>> instances;
+  bool run_done = false;
+};
+
+SimdConfig FastSimdConfig(double model_scale = 1.0 / 256.0) {
+  SimdConfig cfg;
+  cfg.model_scale = model_scale;
+  return cfg;
+}
+
+SimdOutcome RunOnSimd(const Workload& wl, int n_instances,
+                      SimdConfig cfg = FastSimdConfig(), std::uint64_t seed = 42) {
+  Simulator sim;
+  SimdSystem simd(&sim, cfg);
+  Rng rng(seed);
+  SimdOutcome out;
+  std::vector<AppInstance*> raw;
+  for (int i = 0; i < n_instances; ++i) {
+    auto inst = std::make_unique<AppInstance>(0, i, &wl.spec(), cfg.model_scale);
+    wl.Prepare(*inst, rng);
+    simd.InstallData(inst.get());
+    raw.push_back(inst.get());
+    out.instances.push_back(std::move(inst));
+  }
+  simd.Run(raw, [&](RunResult r) {
+    out.result = std::move(r);
+    out.run_done = true;
+  });
+  sim.Run();
+  return out;
+}
+
+TEST(SimdSystem, AtaxVerifies) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  SimdOutcome out = RunOnSimd(*wl, 2);
+  ASSERT_TRUE(out.run_done);
+  for (const auto& inst : out.instances) {
+    EXPECT_TRUE(wl->Verify(*inst));
+  }
+  EXPECT_GT(out.result.makespan, 0u);
+}
+
+TEST(SimdSystem, InstancesExecuteStrictlySerially) {
+  const Workload* wl = WorkloadRegistry::Get().Find("GESUM");
+  SimdOutcome out = RunOnSimd(*wl, 4);
+  ASSERT_EQ(out.result.completion_times.size(), 4u);
+  // Completion times must be strictly increasing: no overlap between body
+  // loops (paper Fig 3a).
+  for (std::size_t i = 1; i < out.result.completion_times.size(); ++i) {
+    EXPECT_GT(out.result.completion_times[i], out.result.completion_times[i - 1]);
+  }
+}
+
+TEST(SimdSystem, OutputWrittenBackToSsd) {
+  const Workload* wl = WorkloadRegistry::Get().Find("GESUM");
+  Simulator sim;
+  const SimdConfig cfg = FastSimdConfig();
+  SimdSystem simd(&sim, cfg);
+  Rng rng(3);
+  AppInstance inst(0, 0, &wl->spec(), cfg.model_scale);
+  wl->Prepare(inst, rng);
+  simd.InstallData(&inst);
+  bool done = false;
+  simd.Run({&inst}, [&](RunResult) { done = true; });
+  sim.Run();
+  ASSERT_TRUE(done);
+  std::vector<float> from_ssd;
+  simd.ReadSectionFromSsd(&inst, 3, &from_ssd);  // section 3 = y (out)
+  EXPECT_TRUE(NearlyEqual(from_ssd, inst.buffer(3)));
+}
+
+TEST(SimdSystem, EnergyDominatedByHostForDataIntensive) {
+  // Paper Fig 3e: storage stack + SSD consume most of the energy for
+  // data-intensive applications on the conventional system.
+  const Workload* wl = WorkloadRegistry::Get().Find("BICG");
+  SimdOutcome out = RunOnSimd(*wl, 2);
+  const double host_side = out.result.EnergyDataMovement() + out.result.EnergyStorage();
+  EXPECT_GT(host_side, out.result.EnergyComputation());
+}
+
+TEST(SimdVsFlashAbacus, FlashAbacusFasterOnDataIntensiveWorkload) {
+  // Paper Fig 10a: FlashAbacus outperforms SIMD on data-intensive workloads.
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  SimdOutcome simd = RunOnSimd(*wl, 6, FastSimdConfig(1.0 / 64.0));
+  FlashAbacusConfig fa_cfg;
+  fa_cfg.model_scale = 1.0 / 64.0;
+  E2eOutcome fa = RunOnFlashAbacus(*wl, 6, SchedulerKind::kIntraOutOfOrder, fa_cfg);
+  ASSERT_TRUE(fa.run_done && simd.run_done);
+  EXPECT_GT(fa.result.throughput_mb_s, simd.result.throughput_mb_s);
+}
+
+TEST(SimdVsFlashAbacus, FlashAbacusUsesLessEnergy) {
+  // Paper Fig 13 / §5.3: IntraO3 consumes far less energy than SIMD.
+  const Workload* wl = WorkloadRegistry::Get().Find("MVT");
+  SimdOutcome simd = RunOnSimd(*wl, 6, FastSimdConfig(1.0 / 64.0));
+  FlashAbacusConfig fa_cfg;
+  fa_cfg.model_scale = 1.0 / 64.0;
+  E2eOutcome fa = RunOnFlashAbacus(*wl, 6, SchedulerKind::kIntraOutOfOrder, fa_cfg);
+  EXPECT_LT(fa.result.EnergyTotal(), simd.result.EnergyTotal() * 0.6);
+}
+
+}  // namespace
+}  // namespace fabacus

@@ -1,0 +1,135 @@
+// Tests for Storengine: background garbage collection (round-robin victims,
+// valid-data migration), metadata journaling, and wear-levelling behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/storengine.h"
+#include "tests/test_util.h"
+
+namespace fabacus {
+namespace {
+
+class StorengineFixture : public ::testing::Test {
+ protected:
+  StorengineFixture()
+      : nand_(TinyNand()),
+        backbone_(nand_),
+        dram_(DramConfig{}),
+        scratchpad_(ScratchpadConfig{}),
+        fv_(&sim_, &backbone_, &dram_, &scratchpad_),
+        se_(&sim_, &fv_, StorengineConfig{.journal_interval = 5 * kMs,
+                                          .gc_interval = 1 * kMs,
+                                          .gc_high_watermark = 6}) {}
+
+  void Write(std::uint64_t addr, const std::vector<float>& payload, std::uint64_t model_bytes) {
+    Flashvisor::IoRequest req;
+    req.type = Flashvisor::IoRequest::Type::kWrite;
+    req.flash_addr = addr;
+    req.model_bytes = model_bytes;
+    req.func_data = const_cast<float*>(payload.data());
+    req.func_bytes = payload.size() * sizeof(float);
+    req.on_complete = [](Tick) {};
+    fv_.SubmitIo(std::move(req));
+    sim_.Run();
+  }
+
+  std::vector<float> Read(std::uint64_t addr, std::size_t count) {
+    std::vector<float> out(count, -1.0f);
+    Flashvisor::IoRequest req;
+    req.type = Flashvisor::IoRequest::Type::kRead;
+    req.flash_addr = addr;
+    req.model_bytes = count * sizeof(float);
+    req.func_data = out.data();
+    req.func_bytes = count * sizeof(float);
+    req.on_complete = [](Tick) {};
+    fv_.SubmitIo(std::move(req));
+    sim_.Run();
+    return out;
+  }
+
+  Simulator sim_;
+  NandConfig nand_;
+  FlashBackbone backbone_;
+  Dram dram_;
+  Scratchpad scratchpad_;
+  Flashvisor fv_;
+  Storengine se_;
+};
+
+TEST_F(StorengineFixture, GcPassMigratesValidDataAndReclaims) {
+  // Fill two block groups, half of each invalidated by overwrites, then run
+  // one explicit GC pass: the victim's live groups must survive.
+  const std::uint32_t slots = fv_.DataSlotsPerBlockGroup();
+  const std::uint64_t bg_bytes = static_cast<std::uint64_t>(slots) * nand_.GroupBytes();
+  const std::uint64_t keep = fv_.AllocLogicalExtent(bg_bytes / 2);
+  const std::uint64_t churn = fv_.AllocLogicalExtent(bg_bytes / 2);
+  std::vector<float> live(128);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i] = static_cast<float>(i) * 2.0f;
+  }
+  Write(keep, live, bg_bytes / 2);
+  Write(churn, {}, bg_bytes / 2);
+  Write(churn, {}, bg_bytes / 2);  // invalidates first churn copy
+  Write(churn, {}, bg_bytes / 2);  // seals more blocks
+  ASSERT_GT(fv_.blocks().used_count(), 0u);
+
+  const std::uint64_t reclaimed_before = se_.blocks_reclaimed();
+  bool done = false;
+  se_.RunGcPass([&](Tick) { done = true; });
+  sim_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(se_.blocks_reclaimed(), reclaimed_before + 1);
+  EXPECT_EQ(Read(keep, live.size()), live);
+}
+
+TEST_F(StorengineFixture, GcOnEmptyPoolIsANoOp) {
+  bool done = false;
+  se_.RunGcPass([&](Tick) { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(se_.gc_passes(), 0u);
+}
+
+TEST_F(StorengineFixture, JournalDumpPersistsMappingSnapshot) {
+  const std::uint64_t addr = fv_.AllocLogicalExtent(4 * nand_.GroupBytes());
+  std::vector<float> data(64, 3.5f);
+  Write(addr, data, 4 * nand_.GroupBytes());
+  bool done = false;
+  se_.RunJournalDump([&](Tick) { done = true; });
+  sim_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(se_.journal_dumps(), 1u);
+  // The journal consumed a block group; a second dump recycles the first.
+  bool done2 = false;
+  se_.RunJournalDump([&](Tick) { done2 = true; });
+  sim_.Run();
+  ASSERT_TRUE(done2);
+  EXPECT_EQ(se_.journal_dumps(), 2u);
+}
+
+TEST_F(StorengineFixture, BackgroundTasksStopCleanly) {
+  se_.Start();
+  sim_.RunUntil(20 * kMs);
+  se_.Stop();
+  sim_.Run();  // must drain without re-arming forever
+  SUCCEED();
+}
+
+TEST_F(StorengineFixture, RoundRobinVictimsLevelWear) {
+  // Repeatedly overwrite one logical window; round-robin reclamation should
+  // spread erases across blocks rather than hammering a few.
+  const std::uint32_t slots = fv_.DataSlotsPerBlockGroup();
+  const std::uint64_t window_bytes = 4ULL * slots * nand_.GroupBytes();
+  const std::uint64_t addr = fv_.AllocLogicalExtent(window_bytes);
+  for (int pass = 0; pass < 8; ++pass) {
+    Write(addr, {}, window_bytes);
+  }
+  // Wear spread across packages' blocks: max wear should be small (no block
+  // is erased disproportionally).
+  EXPECT_LE(backbone_.MaxWear(), 8u);
+  EXPECT_GT(backbone_.TotalErases(), 0u);
+}
+
+}  // namespace
+}  // namespace fabacus

@@ -1,0 +1,83 @@
+// Tests for the run trace (tagged intervals, windows, series) and the
+// energy meter (bucketed integration).
+#include <gtest/gtest.h>
+
+#include "src/core/trace.h"
+#include "src/power/energy_meter.h"
+
+namespace fabacus {
+namespace {
+
+TEST(RunTrace, UnionMergesOverlaps) {
+  RunTrace t;
+  t.Add(TraceTag::kFlashOp, 0, 100);
+  t.Add(TraceTag::kFlashOp, 50, 150);
+  t.Add(TraceTag::kFlashOp, 200, 300);
+  EXPECT_EQ(t.UnionTime(TraceTag::kFlashOp), 250u);
+  EXPECT_EQ(t.TotalTime(TraceTag::kFlashOp), 300u);
+}
+
+TEST(RunTrace, TagsAreIndependent) {
+  RunTrace t;
+  t.Add(TraceTag::kFlashOp, 0, 100);
+  t.Add(TraceTag::kLwpCompute, 0, 40);
+  EXPECT_EQ(t.UnionTime(TraceTag::kFlashOp), 100u);
+  EXPECT_EQ(t.UnionTime(TraceTag::kLwpCompute), 40u);
+  EXPECT_EQ(t.UnionTime(TraceTag::kSsdOp), 0u);
+}
+
+TEST(RunTrace, WindowClipsAndRebases) {
+  RunTrace t;
+  t.Add(TraceTag::kLwpCompute, 50, 150, 2.0);
+  t.Add(TraceTag::kLwpCompute, 500, 600, 3.0);  // outside the window
+  const RunTrace w = t.Window(100, 400);
+  ASSERT_EQ(w.intervals().size(), 1u);
+  EXPECT_EQ(w.intervals()[0].start, 0u);
+  EXPECT_EQ(w.intervals()[0].end, 50u);
+  EXPECT_DOUBLE_EQ(w.intervals()[0].weight, 2.0);
+}
+
+TEST(RunTrace, SeriesIntegratesWeightPerBucket) {
+  RunTrace t;
+  // Weight 4 over the first half of a 1000-tick horizon.
+  t.Add(TraceTag::kLwpCompute, 0, 500, 4.0);
+  const std::vector<double> s = t.Series(TraceTag::kLwpCompute, 1000, 10);
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(s[4], 4.0);
+  EXPECT_DOUBLE_EQ(s[7], 0.0);
+}
+
+TEST(RunTrace, SeriesHandlesPartialBucketOverlap) {
+  RunTrace t;
+  t.Add(TraceTag::kLwpCompute, 0, 50, 2.0);  // half of the first 100-tick bucket
+  const std::vector<double> s = t.Series(TraceTag::kLwpCompute, 1000, 10);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+}
+
+TEST(EnergyMeter, ActiveEnergyIsPowerTimesTime) {
+  EnergyMeter meter;
+  meter.AddActive(EnergyBucket::kComputation, "lwp", 0.8, 0, 1 * kSec);
+  EXPECT_DOUBLE_EQ(meter.BucketJoules(EnergyBucket::kComputation), 0.8);
+  EXPECT_DOUBLE_EQ(meter.ComponentJoules("lwp"), 0.8);
+  EXPECT_DOUBLE_EQ(meter.TotalJoules(), 0.8);
+}
+
+TEST(EnergyMeter, BucketsAccumulateIndependently) {
+  EnergyMeter meter;
+  meter.AddActive(EnergyBucket::kComputation, "lwp", 1.0, 0, kSec);
+  meter.AddActive(EnergyBucket::kStorageAccess, "flash", 11.0, 0, kSec / 2);
+  meter.AddStatic(EnergyBucket::kDataMovement, "pcie", 0.17, kSec);
+  EXPECT_DOUBLE_EQ(meter.BucketJoules(EnergyBucket::kComputation), 1.0);
+  EXPECT_DOUBLE_EQ(meter.BucketJoules(EnergyBucket::kStorageAccess), 5.5);
+  EXPECT_DOUBLE_EQ(meter.BucketJoules(EnergyBucket::kDataMovement), 0.17);
+  EXPECT_NEAR(meter.TotalJoules(), 6.67, 1e-9);
+}
+
+TEST(EnergyMeter, BucketNamesMatchPaperDecomposition) {
+  EXPECT_STREQ(EnergyBucketName(EnergyBucket::kDataMovement), "data movement");
+  EXPECT_STREQ(EnergyBucketName(EnergyBucket::kComputation), "computation");
+  EXPECT_STREQ(EnergyBucketName(EnergyBucket::kStorageAccess), "storage access");
+}
+
+}  // namespace
+}  // namespace fabacus

@@ -1,0 +1,123 @@
+// Exports plot-ready CSV data for the paper's figures: completion-time CDFs
+// (Fig 12) and FU-utilization/power time series (Fig 15) for a chosen
+// workload, one CSV per system, into an output directory.
+//
+//   $ ./build/tools/export_figures MX1 /tmp/fabacus_csv
+//   $ ./build/tools/export_figures ATAX out/
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace fabacus;
+
+bool WriteCsv(const std::string& path, const std::string& header,
+              const std::vector<std::vector<double>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", header.c_str());
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(f, "%s%.6g", i == 0 ? "" : ",", row[i]);
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: export_figures <workload|MXn> <output-dir>\n");
+    return 1;
+  }
+  const std::string target = argv[1];
+  const std::string outdir = argv[2];
+
+  std::vector<const Workload*> apps;
+  int per_app = 6;
+  if (target.rfind("MX", 0) == 0) {
+    apps = WorkloadRegistry::Get().Mix(std::atoi(target.c_str() + 2));
+    per_app = 4;
+  } else {
+    const Workload* wl = WorkloadRegistry::Get().Find(target);
+    if (wl == nullptr) {
+      std::fprintf(stderr, "unknown workload %s\n", target.c_str());
+      return 1;
+    }
+    apps.push_back(wl);
+  }
+
+  std::vector<BenchRun> runs = RunAllSystems(apps, per_app);
+
+  // Fig 12-style CDF: one column per system.
+  {
+    std::vector<std::vector<double>> rows;
+    std::size_t n = runs[0].result.completion_times.size();
+    for (BenchRun& r : runs) {
+      std::sort(r.result.completion_times.begin(), r.result.completion_times.end());
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      std::vector<double> row{static_cast<double>(k + 1)};
+      for (const BenchRun& r : runs) {
+        row.push_back(TicksToSeconds(r.result.completion_times[k]));
+      }
+      rows.push_back(std::move(row));
+    }
+    if (!WriteCsv(outdir + "/cdf_" + target + ".csv",
+                  "kernels_done,simd_s,interst_s,intraio_s,interdy_s,intrao3_s", rows)) {
+      return 1;
+    }
+  }
+
+  // Fig 15-style series: FU utilization over normalized run time, per system.
+  {
+    constexpr std::size_t kBuckets = 48;
+    std::vector<std::vector<double>> rows;
+    std::vector<std::vector<double>> series;
+    for (const BenchRun& r : runs) {
+      series.push_back(
+          r.result.trace.Series(TraceTag::kLwpCompute, r.result.makespan, kBuckets));
+    }
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      std::vector<double> row{static_cast<double>(b) / kBuckets};
+      for (const auto& s : series) {
+        row.push_back(s[b]);
+      }
+      rows.push_back(std::move(row));
+    }
+    if (!WriteCsv(outdir + "/fus_" + target + ".csv",
+                  "run_fraction,simd_fus,interst_fus,intraio_fus,interdy_fus,intrao3_fus",
+                  rows)) {
+      return 1;
+    }
+  }
+
+  // Summary row per system.
+  {
+    std::vector<std::vector<double>> rows;
+    for (const BenchRun& r : runs) {
+      rows.push_back({r.result.throughput_mb_s, TicksToMs(r.result.makespan),
+                      r.result.worker_utilization * 100.0, r.result.EnergyTotal(),
+                      r.result.EnergyDataMovement(), r.result.EnergyComputation(),
+                      r.result.EnergyStorage(), r.verified ? 1.0 : 0.0});
+    }
+    if (!WriteCsv(outdir + "/summary_" + target + ".csv",
+                  "throughput_mb_s,makespan_ms,utilization_pct,energy_j,e_move_j,"
+                  "e_compute_j,e_storage_j,verified",
+                  rows)) {
+      return 1;
+    }
+  }
+  return 0;
+}
