@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gc.dir/bench_ablation_gc.cc.o"
+  "CMakeFiles/bench_ablation_gc.dir/bench_ablation_gc.cc.o.d"
+  "bench_ablation_gc"
+  "bench_ablation_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

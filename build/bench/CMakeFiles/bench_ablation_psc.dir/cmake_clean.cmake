@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_psc.dir/bench_ablation_psc.cc.o"
+  "CMakeFiles/bench_ablation_psc.dir/bench_ablation_psc.cc.o.d"
+  "bench_ablation_psc"
+  "bench_ablation_psc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_psc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

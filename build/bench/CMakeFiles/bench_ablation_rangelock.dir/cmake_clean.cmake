@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rangelock.dir/bench_ablation_rangelock.cc.o"
+  "CMakeFiles/bench_ablation_rangelock.dir/bench_ablation_rangelock.cc.o.d"
+  "bench_ablation_rangelock"
+  "bench_ablation_rangelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rangelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_timeseries.dir/bench_fig15_timeseries.cc.o"
+  "CMakeFiles/bench_fig15_timeseries.dir/bench_fig15_timeseries.cc.o.d"
+  "bench_fig15_timeseries"
+  "bench_fig15_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

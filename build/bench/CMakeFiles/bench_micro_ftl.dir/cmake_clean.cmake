@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ftl.dir/bench_micro_ftl.cc.o"
+  "CMakeFiles/bench_micro_ftl.dir/bench_micro_ftl.cc.o.d"
+  "bench_micro_ftl"
+  "bench_micro_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

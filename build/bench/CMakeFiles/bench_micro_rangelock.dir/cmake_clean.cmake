@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rangelock.dir/bench_micro_rangelock.cc.o"
+  "CMakeFiles/bench_micro_rangelock.dir/bench_micro_rangelock.cc.o.d"
+  "bench_micro_rangelock"
+  "bench_micro_rangelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rangelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfab_bench_util.a"
+)

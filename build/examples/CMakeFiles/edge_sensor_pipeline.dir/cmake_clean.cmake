@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_sensor_pipeline.dir/edge_sensor_pipeline.cpp.o"
+  "CMakeFiles/edge_sensor_pipeline.dir/edge_sensor_pipeline.cpp.o.d"
+  "edge_sensor_pipeline"
+  "edge_sensor_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_sensor_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

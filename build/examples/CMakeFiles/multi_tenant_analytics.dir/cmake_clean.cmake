@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_analytics.dir/multi_tenant_analytics.cpp.o"
+  "CMakeFiles/multi_tenant_analytics.dir/multi_tenant_analytics.cpp.o.d"
+  "multi_tenant_analytics"
+  "multi_tenant_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

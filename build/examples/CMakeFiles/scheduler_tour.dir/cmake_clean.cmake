@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_tour.dir/scheduler_tour.cpp.o"
+  "CMakeFiles/scheduler_tour.dir/scheduler_tour.cpp.o.d"
+  "scheduler_tour"
+  "scheduler_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_manager.cc" "src/core/CMakeFiles/fab_core.dir/block_manager.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/block_manager.cc.o.d"
+  "/root/repo/src/core/execution_chain.cc" "src/core/CMakeFiles/fab_core.dir/execution_chain.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/execution_chain.cc.o.d"
+  "/root/repo/src/core/flashabacus.cc" "src/core/CMakeFiles/fab_core.dir/flashabacus.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/flashabacus.cc.o.d"
+  "/root/repo/src/core/flashvisor.cc" "src/core/CMakeFiles/fab_core.dir/flashvisor.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/flashvisor.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "src/core/CMakeFiles/fab_core.dir/kernel.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/kernel.cc.o.d"
+  "/root/repo/src/core/kernel_table.cc" "src/core/CMakeFiles/fab_core.dir/kernel_table.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/kernel_table.cc.o.d"
+  "/root/repo/src/core/lwp.cc" "src/core/CMakeFiles/fab_core.dir/lwp.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/lwp.cc.o.d"
+  "/root/repo/src/core/mapping_cache.cc" "src/core/CMakeFiles/fab_core.dir/mapping_cache.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/mapping_cache.cc.o.d"
+  "/root/repo/src/core/mapping_table.cc" "src/core/CMakeFiles/fab_core.dir/mapping_table.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/mapping_table.cc.o.d"
+  "/root/repo/src/core/range_lock.cc" "src/core/CMakeFiles/fab_core.dir/range_lock.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/range_lock.cc.o.d"
+  "/root/repo/src/core/storengine.cc" "src/core/CMakeFiles/fab_core.dir/storengine.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/storengine.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/fab_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/fab_core.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fab_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/fab_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/fab_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fab_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_core.dir/block_manager.cc.o"
+  "CMakeFiles/fab_core.dir/block_manager.cc.o.d"
+  "CMakeFiles/fab_core.dir/execution_chain.cc.o"
+  "CMakeFiles/fab_core.dir/execution_chain.cc.o.d"
+  "CMakeFiles/fab_core.dir/flashabacus.cc.o"
+  "CMakeFiles/fab_core.dir/flashabacus.cc.o.d"
+  "CMakeFiles/fab_core.dir/flashvisor.cc.o"
+  "CMakeFiles/fab_core.dir/flashvisor.cc.o.d"
+  "CMakeFiles/fab_core.dir/kernel.cc.o"
+  "CMakeFiles/fab_core.dir/kernel.cc.o.d"
+  "CMakeFiles/fab_core.dir/kernel_table.cc.o"
+  "CMakeFiles/fab_core.dir/kernel_table.cc.o.d"
+  "CMakeFiles/fab_core.dir/lwp.cc.o"
+  "CMakeFiles/fab_core.dir/lwp.cc.o.d"
+  "CMakeFiles/fab_core.dir/mapping_cache.cc.o"
+  "CMakeFiles/fab_core.dir/mapping_cache.cc.o.d"
+  "CMakeFiles/fab_core.dir/mapping_table.cc.o"
+  "CMakeFiles/fab_core.dir/mapping_table.cc.o.d"
+  "CMakeFiles/fab_core.dir/range_lock.cc.o"
+  "CMakeFiles/fab_core.dir/range_lock.cc.o.d"
+  "CMakeFiles/fab_core.dir/storengine.cc.o"
+  "CMakeFiles/fab_core.dir/storengine.cc.o.d"
+  "CMakeFiles/fab_core.dir/trace.cc.o"
+  "CMakeFiles/fab_core.dir/trace.cc.o.d"
+  "libfab_core.a"
+  "libfab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

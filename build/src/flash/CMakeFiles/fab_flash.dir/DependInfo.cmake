@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/flash_backbone.cc" "src/flash/CMakeFiles/fab_flash.dir/flash_backbone.cc.o" "gcc" "src/flash/CMakeFiles/fab_flash.dir/flash_backbone.cc.o.d"
+  "/root/repo/src/flash/flash_controller.cc" "src/flash/CMakeFiles/fab_flash.dir/flash_controller.cc.o" "gcc" "src/flash/CMakeFiles/fab_flash.dir/flash_controller.cc.o.d"
+  "/root/repo/src/flash/nand_package.cc" "src/flash/CMakeFiles/fab_flash.dir/nand_package.cc.o" "gcc" "src/flash/CMakeFiles/fab_flash.dir/nand_package.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fab_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/fab_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

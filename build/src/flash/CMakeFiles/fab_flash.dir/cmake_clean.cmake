@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_flash.dir/flash_backbone.cc.o"
+  "CMakeFiles/fab_flash.dir/flash_backbone.cc.o.d"
+  "CMakeFiles/fab_flash.dir/flash_controller.cc.o"
+  "CMakeFiles/fab_flash.dir/flash_controller.cc.o.d"
+  "CMakeFiles/fab_flash.dir/nand_package.cc.o"
+  "CMakeFiles/fab_flash.dir/nand_package.cc.o.d"
+  "libfab_flash.a"
+  "libfab_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/io_trace.cc" "src/host/CMakeFiles/fab_host.dir/io_trace.cc.o" "gcc" "src/host/CMakeFiles/fab_host.dir/io_trace.cc.o.d"
+  "/root/repo/src/host/nvme_ssd.cc" "src/host/CMakeFiles/fab_host.dir/nvme_ssd.cc.o" "gcc" "src/host/CMakeFiles/fab_host.dir/nvme_ssd.cc.o.d"
+  "/root/repo/src/host/offload_runtime.cc" "src/host/CMakeFiles/fab_host.dir/offload_runtime.cc.o" "gcc" "src/host/CMakeFiles/fab_host.dir/offload_runtime.cc.o.d"
+  "/root/repo/src/host/simd_system.cc" "src/host/CMakeFiles/fab_host.dir/simd_system.cc.o" "gcc" "src/host/CMakeFiles/fab_host.dir/simd_system.cc.o.d"
+  "/root/repo/src/host/storage_stack.cc" "src/host/CMakeFiles/fab_host.dir/storage_stack.cc.o" "gcc" "src/host/CMakeFiles/fab_host.dir/storage_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fab_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/fab_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fab_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/fab_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fab_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fab_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_host.dir/io_trace.cc.o"
+  "CMakeFiles/fab_host.dir/io_trace.cc.o.d"
+  "CMakeFiles/fab_host.dir/nvme_ssd.cc.o"
+  "CMakeFiles/fab_host.dir/nvme_ssd.cc.o.d"
+  "CMakeFiles/fab_host.dir/offload_runtime.cc.o"
+  "CMakeFiles/fab_host.dir/offload_runtime.cc.o.d"
+  "CMakeFiles/fab_host.dir/simd_system.cc.o"
+  "CMakeFiles/fab_host.dir/simd_system.cc.o.d"
+  "CMakeFiles/fab_host.dir/storage_stack.cc.o"
+  "CMakeFiles/fab_host.dir/storage_stack.cc.o.d"
+  "libfab_host.a"
+  "libfab_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfab_host.a"
+)

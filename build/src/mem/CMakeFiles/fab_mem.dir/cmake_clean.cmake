@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_mem.dir/byte_store.cc.o"
+  "CMakeFiles/fab_mem.dir/byte_store.cc.o.d"
+  "CMakeFiles/fab_mem.dir/cache_model.cc.o"
+  "CMakeFiles/fab_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/fab_mem.dir/dram.cc.o"
+  "CMakeFiles/fab_mem.dir/dram.cc.o.d"
+  "CMakeFiles/fab_mem.dir/scratchpad.cc.o"
+  "CMakeFiles/fab_mem.dir/scratchpad.cc.o.d"
+  "libfab_mem.a"
+  "libfab_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

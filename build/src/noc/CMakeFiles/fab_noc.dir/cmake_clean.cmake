@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_noc.dir/crossbar.cc.o"
+  "CMakeFiles/fab_noc.dir/crossbar.cc.o.d"
+  "libfab_noc.a"
+  "libfab_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

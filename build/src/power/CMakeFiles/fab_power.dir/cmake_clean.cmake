@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_power.dir/energy_meter.cc.o"
+  "CMakeFiles/fab_power.dir/energy_meter.cc.o.d"
+  "libfab_power.a"
+  "libfab_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fab_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/fab_sim.dir/log.cc.o"
+  "CMakeFiles/fab_sim.dir/log.cc.o.d"
+  "CMakeFiles/fab_sim.dir/simulator.cc.o"
+  "CMakeFiles/fab_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/fab_sim.dir/stats.cc.o"
+  "CMakeFiles/fab_sim.dir/stats.cc.o.d"
+  "libfab_sim.a"
+  "libfab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/graph_bfs.cc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_bfs.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_bfs.cc.o.d"
+  "/root/repo/src/workloads/graph_nn.cc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_nn.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_nn.cc.o.d"
+  "/root/repo/src/workloads/graph_nw.cc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_nw.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_nw.cc.o.d"
+  "/root/repo/src/workloads/graph_pathfinder.cc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_pathfinder.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_pathfinder.cc.o.d"
+  "/root/repo/src/workloads/graph_wordcount.cc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_wordcount.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/graph_wordcount.cc.o.d"
+  "/root/repo/src/workloads/polybench_2mm.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_2mm.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_2mm.cc.o.d"
+  "/root/repo/src/workloads/polybench_3mm.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_3mm.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_3mm.cc.o.d"
+  "/root/repo/src/workloads/polybench_adi.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_adi.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_adi.cc.o.d"
+  "/root/repo/src/workloads/polybench_atax.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_atax.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_atax.cc.o.d"
+  "/root/repo/src/workloads/polybench_bicg.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_bicg.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_bicg.cc.o.d"
+  "/root/repo/src/workloads/polybench_conv2d.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_conv2d.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_conv2d.cc.o.d"
+  "/root/repo/src/workloads/polybench_corr.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_corr.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_corr.cc.o.d"
+  "/root/repo/src/workloads/polybench_covar.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_covar.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_covar.cc.o.d"
+  "/root/repo/src/workloads/polybench_fdtd.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_fdtd.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_fdtd.cc.o.d"
+  "/root/repo/src/workloads/polybench_gemm.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_gemm.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_gemm.cc.o.d"
+  "/root/repo/src/workloads/polybench_gesummv.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_gesummv.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_gesummv.cc.o.d"
+  "/root/repo/src/workloads/polybench_mvt.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_mvt.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_mvt.cc.o.d"
+  "/root/repo/src/workloads/polybench_syr2k.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_syr2k.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_syr2k.cc.o.d"
+  "/root/repo/src/workloads/polybench_syrk.cc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_syrk.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/polybench_syrk.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/fab_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/synthetic.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/fab_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/fab_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/fab_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fab_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/fab_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fab_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fab_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_chain_test.dir/execution_chain_test.cc.o"
+  "CMakeFiles/execution_chain_test.dir/execution_chain_test.cc.o.d"
+  "execution_chain_test"
+  "execution_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_fuzz_test.dir/ftl_fuzz_test.cc.o"
+  "CMakeFiles/ftl_fuzz_test.dir/ftl_fuzz_test.cc.o.d"
+  "ftl_fuzz_test"
+  "ftl_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_stack_test.dir/host_stack_test.cc.o"
+  "CMakeFiles/host_stack_test.dir/host_stack_test.cc.o.d"
+  "host_stack_test"
+  "host_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

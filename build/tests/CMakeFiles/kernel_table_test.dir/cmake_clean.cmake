@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_table_test.dir/kernel_table_test.cc.o"
+  "CMakeFiles/kernel_table_test.dir/kernel_table_test.cc.o.d"
+  "kernel_table_test"
+  "kernel_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwp_cache_test.dir/lwp_cache_test.cc.o"
+  "CMakeFiles/lwp_cache_test.dir/lwp_cache_test.cc.o.d"
+  "lwp_cache_test"
+  "lwp_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwp_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_cache_test.dir/mapping_cache_test.cc.o"
+  "CMakeFiles/mapping_cache_test.dir/mapping_cache_test.cc.o.d"
+  "mapping_cache_test"
+  "mapping_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

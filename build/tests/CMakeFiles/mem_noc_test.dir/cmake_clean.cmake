@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_noc_test.dir/mem_noc_test.cc.o"
+  "CMakeFiles/mem_noc_test.dir/mem_noc_test.cc.o.d"
+  "mem_noc_test"
+  "mem_noc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_noc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_runtime_test.dir/offload_runtime_test.cc.o"
+  "CMakeFiles/offload_runtime_test.dir/offload_runtime_test.cc.o.d"
+  "offload_runtime_test"
+  "offload_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

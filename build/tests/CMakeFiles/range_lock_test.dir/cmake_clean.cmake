@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_lock_test.dir/range_lock_test.cc.o"
+  "CMakeFiles/range_lock_test.dir/range_lock_test.cc.o.d"
+  "range_lock_test"
+  "range_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simd_system_test.cc" "tests/CMakeFiles/simd_system_test.dir/simd_system_test.cc.o" "gcc" "tests/CMakeFiles/simd_system_test.dir/simd_system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fab_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fab_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/fab_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fab_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/fab_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fab_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fab_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_system_test.dir/simd_system_test.cc.o"
+  "CMakeFiles/simd_system_test.dir/simd_system_test.cc.o.d"
+  "simd_system_test"
+  "simd_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storengine_test.dir/storengine_test.cc.o"
+  "CMakeFiles/storengine_test.dir/storengine_test.cc.o.d"
+  "storengine_test"
+  "storengine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storengine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_energy_test.dir/trace_energy_test.cc.o"
+  "CMakeFiles/trace_energy_test.dir/trace_energy_test.cc.o.d"
+  "trace_energy_test"
+  "trace_energy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

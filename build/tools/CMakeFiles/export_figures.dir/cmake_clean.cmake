@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_figures.dir/export_figures.cpp.o"
+  "CMakeFiles/export_figures.dir/export_figures.cpp.o.d"
+  "export_figures"
+  "export_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
