@@ -28,7 +28,7 @@ struct GcOutcome {
 
 GcOutcome RunOverwriteChurn(bool background_gc) {
   Simulator sim;
-  FlashAbacusConfig cfg;
+  FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
   cfg.nand.blocks_per_plane = 24;
   cfg.nand.pages_per_block = 32;  // 24 block groups of 128 groups (small)
   cfg.storengine.enable_background_gc = background_gc;

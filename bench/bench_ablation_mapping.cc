@@ -61,7 +61,7 @@ Tick MeasuredMeanCost(const Residency& r, const std::vector<std::uint64_t>& trac
 double RunAtaxWithTranslateCost(Tick per_group) {
   const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
   Simulator sim;
-  FlashAbacusConfig cfg;
+  FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
   cfg.flashvisor.per_group_translate = per_group;
   FlashAbacus dev(&sim, cfg);
   Rng rng(42);
@@ -77,7 +77,7 @@ double RunAtaxWithTranslateCost(Tick per_group) {
   }
   sim.Run();
   double mbs = 0.0;
-  dev.Run(raw, SchedulerKind::kIntraOutOfOrder, [&](RunResult r) { mbs = r.throughput_mb_s; });
+  dev.Run(raw, SchedulerKind::kIntraOutOfOrder, [&](RunReport r) { mbs = r.throughput_mb_s; });
   sim.Run();
   return mbs;
 }

@@ -21,10 +21,10 @@ int main() {
     no_psc.lwp.psc_sleep_threshold = 1000 * kSec;  // never sleep
     OffloadRuntime a(with_psc);
     OffloadRuntime b(no_psc);
-    const RunResult ra = a.Execute({{wl, kernels}}, SchedulerKind::kInterDynamic);
-    const RunResult rb = b.Execute({{wl, kernels}}, SchedulerKind::kInterDynamic);
-    PrintRow({Fmt(kernels, 0), Fmt(ra.EnergyTotal(), 3), Fmt(rb.EnergyTotal(), 3),
-              Fmt((1.0 - ra.EnergyTotal() / rb.EnergyTotal()) * 100.0, 1) + "%"},
+    const RunReport ra = a.Execute({{wl, kernels}}, SchedulerKind::kInterDynamic);
+    const RunReport rb = b.Execute({{wl, kernels}}, SchedulerKind::kInterDynamic);
+    PrintRow({Fmt(kernels, 0), Fmt(ra.EnergySummary().total_j, 3), Fmt(rb.EnergySummary().total_j, 3),
+              Fmt((1.0 - ra.EnergySummary().total_j / rb.EnergySummary().total_j) * 100.0, 1) + "%"},
              18);
   }
   std::printf("\nIdle workers sleep when the device is under-subscribed; at full\n"

@@ -19,7 +19,7 @@ int main() {
   double base = 0.0;
   for (int lwps : {4, 6, 8, 12, 16, 24}) {
     Simulator sim;
-    FlashAbacusConfig cfg;
+    FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
     cfg.num_lwps = lwps;  // 2 reserved for Flashvisor/Storengine
     FlashAbacus dev(&sim, cfg);
     Rng rng(42);
@@ -37,8 +37,8 @@ int main() {
       dev.InstallData(inst, [](Tick) {});
     }
     sim.Run();
-    RunResult result;
-    dev.Run(raw, SchedulerKind::kIntraOutOfOrder, [&](RunResult r) { result = std::move(r); });
+    RunReport result;
+    dev.Run(raw, SchedulerKind::kIntraOutOfOrder, [&](RunReport r) { result = std::move(r); });
     sim.Run();
     if (base == 0.0) {
       base = result.throughput_mb_s;

@@ -12,7 +12,7 @@
 namespace fabacus {
 namespace {
 
-void RunHomogeneous() {
+void RunHomogeneous(BenchJson* json) {
   PrintHeader("Fig 10a: throughput, homogeneous workloads (MB/s; 6 instances each)");
   PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3", "O3/SIMD",
             "verified"});
@@ -27,6 +27,7 @@ void RunHomogeneous() {
     for (const BenchRun& r : runs) {
       row.push_back(Fmt(r.result.throughput_mb_s));
       verified = verified && r.verified;
+      json->AddRun(wl->name(), r);
     }
     const double ratio = runs[4].result.throughput_mb_s / runs[0].result.throughput_mb_s;
     row.push_back(Fmt(ratio, 2) + "x");
@@ -45,7 +46,7 @@ void RunHomogeneous() {
               data_accum / data_count);
 }
 
-void RunHeterogeneous() {
+void RunHeterogeneous(BenchJson* json) {
   PrintHeader("Fig 10b: throughput, heterogeneous workloads (MB/s; 24 instances, 4/app)");
   PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3", "O3/SIMD",
             "verified"});
@@ -59,6 +60,7 @@ void RunHeterogeneous() {
     for (const BenchRun& r : runs) {
       row.push_back(Fmt(r.result.throughput_mb_s));
       verified = verified && r.verified;
+      json->AddRun("MX" + std::to_string(m), r);
     }
     row.push_back(Fmt(runs[4].result.throughput_mb_s / runs[0].result.throughput_mb_s, 2) +
                   "x");
@@ -77,7 +79,8 @@ void RunHeterogeneous() {
 }  // namespace fabacus
 
 int main() {
-  fabacus::RunHomogeneous();
-  fabacus::RunHeterogeneous();
+  fabacus::BenchJson json("bench_fig10_throughput");
+  fabacus::RunHomogeneous(&json);
+  fabacus::RunHeterogeneous(&json);
   return 0;
 }

@@ -12,12 +12,13 @@
 namespace fabacus {
 namespace {
 
-void PrintLatencyTable(const std::string& label, const std::vector<const Workload*>& apps,
-                       int instances_per_app) {
+void PrintLatencyTable(BenchJson* json, const std::string& label,
+                       const std::vector<const Workload*>& apps, int instances_per_app) {
   std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
   const double simd_avg = runs[0].result.kernel_latency_ms.Mean();
   std::vector<std::string> row{label};
   for (const BenchRun& r : runs) {
+    json->AddRun(label, r);
     const Histogram& h = r.result.kernel_latency_ms;
     row.push_back(Fmt(h.Max() / simd_avg, 2) + "/" + Fmt(h.Mean() / simd_avg, 2) + "/" +
                   Fmt(h.Min() / simd_avg, 2));
@@ -30,16 +31,17 @@ void PrintLatencyTable(const std::string& label, const std::vector<const Workloa
 
 int main() {
   using namespace fabacus;
+  BenchJson json("bench_fig11_latency");
   PrintHeader("Fig 11a: latency max/avg/min normalized to SIMD avg, homogeneous");
   PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
   for (const Workload* wl : WorkloadRegistry::Get().polybench()) {
-    PrintLatencyTable(wl->name(), {wl}, 6);
+    PrintLatencyTable(&json, wl->name(), {wl}, 6);
   }
 
   PrintHeader("Fig 11b: latency max/avg/min normalized to SIMD avg, heterogeneous");
   PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
   for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
-    PrintLatencyTable("MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
+    PrintLatencyTable(&json, "MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
   }
   std::printf(
       "\npaper anchors: SIMD avg/max/min 39%%/87%%/113%% above FlashAbacus on data-intensive;"

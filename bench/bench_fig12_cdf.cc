@@ -13,13 +13,14 @@
 namespace fabacus {
 namespace {
 
-void PrintCdf(const std::string& title, const std::vector<const Workload*>& apps,
-              int instances_per_app) {
+void PrintCdf(BenchJson* json, const std::string& title, const std::string& label,
+              const std::vector<const Workload*>& apps, int instances_per_app) {
   PrintHeader(title);
   std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
   PrintRow({"#done", "SIMD(s)", "InterSt(s)", "IntraIo(s)", "InterDy(s)", "IntraO3(s)"});
   std::vector<std::vector<Tick>> sorted;
   for (BenchRun& r : runs) {
+    json->AddRun(label, r);
     std::sort(r.result.completion_times.begin(), r.result.completion_times.end());
     sorted.push_back(r.result.completion_times);
   }
@@ -38,9 +39,10 @@ void PrintCdf(const std::string& title, const std::vector<const Workload*>& apps
 
 int main() {
   using namespace fabacus;
+  BenchJson json("bench_fig12_cdf");
   const Workload* atax = WorkloadRegistry::Get().Find("ATAX");
-  PrintCdf("Fig 12a: completion-time CDF, ATAX x6 (homogeneous)", {atax}, 6);
-  PrintCdf("Fig 12b: completion-time CDF, MX1 x24 (heterogeneous)",
+  PrintCdf(&json, "Fig 12a: completion-time CDF, ATAX x6 (homogeneous)", "ATAX", {atax}, 6);
+  PrintCdf(&json, "Fig 12b: completion-time CDF, MX1 x24 (heterogeneous)", "MX1",
            WorkloadRegistry::Get().Mix(1), 4);
   std::printf(
       "\npaper anchors: InterDy completes the first ATAX kernel later than IntraIo/IntraO3;"

@@ -11,18 +11,19 @@
 namespace fabacus {
 namespace {
 
-double PrintEnergyRow(const std::string& label, const std::vector<const Workload*>& apps,
-                      int instances_per_app) {
+double PrintEnergyRow(BenchJson* json, const std::string& label,
+                      const std::vector<const Workload*>& apps, int instances_per_app) {
   std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
-  const double simd_total = runs[0].result.EnergyTotal();
+  const double simd_total = runs[0].result.EnergySummary().total_j;
   std::vector<std::string> row{label};
   for (const BenchRun& r : runs) {
-    row.push_back(Fmt(r.result.EnergyDataMovement() / simd_total, 2) + "/" +
-                  Fmt(r.result.EnergyComputation() / simd_total, 2) + "/" +
-                  Fmt(r.result.EnergyStorage() / simd_total, 2));
+    json->AddRun(label, r);
+    row.push_back(Fmt(r.result.EnergySummary().data_movement_j / simd_total, 2) + "/" +
+                  Fmt(r.result.EnergySummary().computation_j / simd_total, 2) + "/" +
+                  Fmt(r.result.EnergySummary().storage_access_j / simd_total, 2));
   }
   PrintRow(row, 18);
-  return runs[4].result.EnergyTotal() / simd_total;
+  return runs[4].result.EnergySummary().total_j / simd_total;
 }
 
 }  // namespace
@@ -30,18 +31,20 @@ double PrintEnergyRow(const std::string& label, const std::vector<const Workload
 
 int main() {
   using namespace fabacus;
+  BenchJson json("bench_fig13_energy");
   double o3_ratio_sum = 0.0;
   int n = 0;
   PrintHeader("Fig 13a: energy move/compute/storage normalized to SIMD total, homogeneous");
   PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
   for (const Workload* wl : WorkloadRegistry::Get().polybench()) {
-    o3_ratio_sum += PrintEnergyRow(wl->name(), {wl}, 6);
+    o3_ratio_sum += PrintEnergyRow(&json, wl->name(), {wl}, 6);
     ++n;
   }
   PrintHeader("Fig 13b: energy move/compute/storage normalized to SIMD total, heterogeneous");
   PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
   for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
-    o3_ratio_sum += PrintEnergyRow("MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
+    o3_ratio_sum +=
+        PrintEnergyRow(&json, "MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
     ++n;
   }
   std::printf("\nIntraO3 total energy vs SIMD, mean across all workloads: %.1f%% less "

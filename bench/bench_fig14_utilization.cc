@@ -11,11 +11,12 @@
 namespace fabacus {
 namespace {
 
-void PrintUtilRow(const std::string& label, const std::vector<const Workload*>& apps,
-                  int instances_per_app) {
+void PrintUtilRow(BenchJson* json, const std::string& label,
+                  const std::vector<const Workload*>& apps, int instances_per_app) {
   std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
   std::vector<std::string> row{label};
   for (const BenchRun& r : runs) {
+    json->AddRun(label, r);
     row.push_back(Fmt(r.result.worker_utilization * 100.0, 1));
   }
   PrintRow(row);
@@ -26,15 +27,16 @@ void PrintUtilRow(const std::string& label, const std::vector<const Workload*>& 
 
 int main() {
   using namespace fabacus;
+  BenchJson json("bench_fig14_utilization");
   PrintHeader("Fig 14a: LWP utilization (%), homogeneous");
   PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"});
   for (const Workload* wl : WorkloadRegistry::Get().polybench()) {
-    PrintUtilRow(wl->name(), {wl}, 6);
+    PrintUtilRow(&json, wl->name(), {wl}, 6);
   }
   PrintHeader("Fig 14b: LWP utilization (%), heterogeneous");
   PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"});
   for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
-    PrintUtilRow("MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
+    PrintUtilRow(&json, "MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
   }
   std::printf("\npaper anchors: InterDy ~98%% on homogeneous; IntraO3 >94%% and ~15%% above "
               "InterDy on heterogeneous\n");

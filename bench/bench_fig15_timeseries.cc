@@ -15,7 +15,7 @@ namespace {
 constexpr std::size_t kBuckets = 24;
 
 // Approximate instantaneous power from the tagged activity series.
-std::vector<double> PowerSeries(const RunResult& r, bool is_simd, const PowerModel& p,
+std::vector<double> PowerSeries(const RunReport& r, bool is_simd, const PowerModel& p,
                                 int lwps) {
   const Tick horizon = r.makespan;
   std::vector<double> lwp = r.trace.Series(TraceTag::kLwpCompute, horizon, kBuckets);
@@ -60,6 +60,9 @@ int main() {
   const std::vector<const Workload*> mix = WorkloadRegistry::Get().Mix(1);
   BenchRun simd = RunSimdSystem(mix, 2);
   BenchRun o3 = RunFlashAbacusSystem(mix, 2, SchedulerKind::kIntraOutOfOrder);
+  BenchJson json("bench_fig15_timeseries");
+  json.AddRun("MX1", simd);
+  json.AddRun("MX1", o3);
   PowerModel p;
 
   PrintHeader("Fig 15a: FU utilization time series (24 buckets over each run's makespan)");

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace fabacus;
+  BenchJson json("bench_fig16_realworld");
   PrintHeader("Fig 16a: throughput (MB/s), graph/bigdata workloads, 6 instances each");
   PrintRow({"app", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3", "verified"});
   double gains[3] = {0, 0, 0};
@@ -22,6 +23,7 @@ int main() {
     for (const BenchRun& r : runs) {
       row.push_back(Fmt(r.result.throughput_mb_s));
       verified = verified && r.verified;
+      json.AddRun(wl->name(), r);
     }
     row.push_back(verified ? "yes" : "NO");
     PrintRow(row);
@@ -41,16 +43,16 @@ int main() {
   std::size_t idx = 0;
   for (const Workload* wl : WorkloadRegistry::Get().graph()) {
     const std::vector<BenchRun>& runs = all[idx++];
-    const double simd_total = runs[0].result.EnergyTotal();
+    const double simd_total = runs[0].result.EnergySummary().total_j;
     std::vector<std::string> row{wl->name()};
     for (const BenchRun& r : runs) {
-      row.push_back(Fmt(r.result.EnergyDataMovement() / simd_total, 2) + "/" +
-                    Fmt(r.result.EnergyComputation() / simd_total, 2) + "/" +
-                    Fmt(r.result.EnergyStorage() / simd_total, 2));
+      row.push_back(Fmt(r.result.EnergySummary().data_movement_j / simd_total, 2) + "/" +
+                    Fmt(r.result.EnergySummary().computation_j / simd_total, 2) + "/" +
+                    Fmt(r.result.EnergySummary().storage_access_j / simd_total, 2));
     }
     PrintRow(row, 18);
     for (int s = 0; s < 4; ++s) {
-      saved[s] += 1.0 - runs[static_cast<std::size_t>(s + 1)].result.EnergyTotal() / simd_total;
+      saved[s] += 1.0 - runs[static_cast<std::size_t>(s + 1)].result.EnergySummary().total_j / simd_total;
     }
   }
   std::printf("\nmean energy saved vs SIMD: InterSt %.0f%%, IntraIo %.0f%%, InterDy %.0f%%, "

@@ -78,8 +78,8 @@ void RunBreakdowns() {
     const double sum = accel + ssd + stack;
     PrintRow({name, Fmt(accel / sum, 2), Fmt(ssd / sum, 2), Fmt(stack / sum, 2)});
     (void)total;
-    energies.push_back({name, run.result.EnergyComputation(), run.result.EnergyStorage(),
-                        run.result.EnergyDataMovement()});
+    energies.push_back({name, run.result.EnergySummary().computation_j, run.result.EnergySummary().storage_access_j,
+                        run.result.EnergySummary().data_movement_j});
   }
   std::printf("\npaper anchor: ATAX/BICG/MVT spend ~77%% of time on data transfers\n");
 

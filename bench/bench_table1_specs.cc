@@ -7,7 +7,7 @@
 
 int main() {
   using namespace fabacus;
-  FlashAbacusConfig cfg;
+  FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
   PrintHeader("Table 1: hardware specification (configured vs paper)");
   PrintRow({"component", "configured", "paper"}, 34);
   PrintRow({"LWP", Fmt(cfg.num_lwps, 0) + " cores @ " + Fmt(cfg.lwp.clock_ghz, 1) + " GHz",

@@ -1,8 +1,11 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <utility>
 
+#include "src/sim/json.h"
 #include "src/sim/rng.h"
 #include "src/sim/simulator.h"
 
@@ -43,7 +46,7 @@ bool VerifyAll(const std::vector<const Workload*>& apps, const InstanceSet& set)
 BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int instances_per_app,
                               SchedulerKind kind, double model_scale, std::uint64_t seed) {
   Simulator sim;
-  FlashAbacusConfig cfg;
+  FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
   cfg.model_scale = model_scale;
   FlashAbacus dev(&sim, cfg);
   InstanceSet set = BuildInstances(apps, instances_per_app, model_scale, seed);
@@ -54,7 +57,7 @@ BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int inst
   BenchRun run;
   run.system = SchedulerKindName(kind);
   bool done = false;
-  dev.Run(set.raw, kind, [&](RunResult r) {
+  dev.Run(set.raw, kind, [&](RunReport r) {
     run.result = std::move(r);
     done = true;
   });
@@ -80,7 +83,7 @@ BenchRun RunSimdSystem(const std::vector<const Workload*>& apps, int instances_p
   BenchRun run;
   run.system = "SIMD";
   bool done = false;
-  simd.Run(set.raw, [&](RunResult r) {
+  simd.Run(set.raw, [&](RunReport r) {
     run.result = std::move(r);
     done = true;
   });
@@ -127,6 +130,73 @@ std::string Fmt(double v, int precision) {
   os.precision(precision);
   os << v;
   return os.str();
+}
+
+BenchJson::BenchJson(std::string bench_name) : bench_name_(std::move(bench_name)) {
+  const char* dir = std::getenv("FABACUS_BENCH_JSON_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    out_dir_ = dir;
+  }
+}
+
+void BenchJson::AddRun(const std::string& label, const BenchRun& run) {
+  if (!enabled()) {
+    return;
+  }
+  rows_.push_back(Row{label, run.system, run.verified, run.result});
+}
+
+BenchJson::~BenchJson() {
+  if (!enabled()) {
+    return;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema_version", RunReport::kSchemaVersion);
+  w.Field("bench", bench_name_);
+  w.Key("rows").BeginArray();
+  for (const Row& row : rows_) {
+    const EnergyBreakdown e = row.report.EnergySummary();
+    const Histogram& lat = row.report.kernel_latency_ms;
+    w.BeginObject()
+        .Field("label", row.label)
+        .Field("system", row.system)
+        .Field("verified", row.verified)
+        .Field("makespan_ms", TicksToMs(row.report.makespan))
+        .Field("throughput_mb_s", row.report.throughput_mb_s)
+        .Field("worker_utilization", row.report.worker_utilization);
+    w.Key("energy")
+        .BeginObject()
+        .Field("total_j", e.total_j)
+        .Field("data_movement_j", e.data_movement_j)
+        .Field("computation_j", e.computation_j)
+        .Field("storage_access_j", e.storage_access_j)
+        .EndObject();
+    w.Key("kernel_latency_ms").BeginObject();
+    w.Field("count", static_cast<double>(lat.count()));
+    if (lat.count() > 0) {
+      w.Field("min", lat.Min())
+          .Field("mean", lat.Mean())
+          .Field("p50", lat.Percentile(50))
+          .Field("p95", lat.Percentile(95))
+          .Field("p99", lat.Percentile(99))
+          .Field("max", lat.Max());
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string path = out_dir_ + "/" + bench_name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 }  // namespace fabacus

@@ -1,7 +1,8 @@
 // Shared harness for the figure/table reproduction benches: runs a workload
 // set on the five accelerated systems of the paper's evaluation (SIMD,
 // InterSt, InterDy, IntraIo, IntraO3) on fresh devices and returns the
-// RunResults, plus small table-printing helpers.
+// RunReports, plus table-printing helpers and schema-stable JSON emission
+// (set FABACUS_BENCH_JSON_DIR to collect machine-readable results).
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
@@ -22,7 +23,7 @@ inline constexpr double kBenchScale = 1.0 / 16.0;
 
 struct BenchRun {
   std::string system;
-  RunResult result;
+  RunReport result;
   // The instances' verification outcome (true = every output matched its
   // reference implementation).
   bool verified = true;
@@ -47,6 +48,36 @@ std::vector<BenchRun> RunAllSystems(const std::vector<const Workload*>& apps,
 void PrintHeader(const std::string& title);
 void PrintRow(const std::vector<std::string>& cells, int width = 12);
 std::string Fmt(double v, int precision = 1);
+
+// Schema-stable JSON emission for the figure benches. When the environment
+// variable FABACUS_BENCH_JSON_DIR is set, the destructor writes
+// <dir>/<bench_name>.json containing one row per recorded run:
+//   {"schema_version": 1, "bench": ..., "rows": [{label, system, verified,
+//    makespan_ms, throughput_mb_s, worker_utilization, energy{...},
+//    kernel_latency_ms{...}}, ...]}
+// With the variable unset every call is a no-op, so benches stay printf-only
+// by default.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+  ~BenchJson();
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool enabled() const { return !out_dir_.empty(); }
+  void AddRun(const std::string& label, const BenchRun& run);
+
+ private:
+  std::string bench_name_;
+  std::string out_dir_;  // empty = disabled
+  struct Row {
+    std::string label;
+    std::string system;
+    bool verified;
+    RunReport report;
+  };
+  std::vector<Row> rows_;
+};
 
 }  // namespace fabacus
 

@@ -19,7 +19,7 @@
 namespace {
 
 struct PipelineResult {
-  fabacus::RunResult run;
+  fabacus::RunReport run;
   bool verified = true;
 };
 
@@ -27,7 +27,7 @@ PipelineResult RunOnFlashAbacus(const std::vector<const fabacus::Workload*>& sta
                                 int frames) {
   using namespace fabacus;
   Simulator sim;
-  FlashAbacusConfig config;
+  FlashAbacusConfig config = FlashAbacusConfig::Paper();
   config.model_scale = 1.0 / 32.0;
   FlashAbacus device(&sim, config);
   Rng rng(11);
@@ -47,7 +47,7 @@ PipelineResult RunOnFlashAbacus(const std::vector<const fabacus::Workload*>& sta
   sim.Run();
   PipelineResult out;
   device.Run(instances, SchedulerKind::kIntraOutOfOrder,
-             [&](RunResult r) { out.run = std::move(r); });
+             [&](RunReport r) { out.run = std::move(r); });
   sim.Run();
   for (std::size_t i = 0; i < owned.size(); ++i) {
     out.verified = out.verified &&
@@ -76,7 +76,7 @@ PipelineResult RunOnConventional(const std::vector<const fabacus::Workload*>& st
     }
   }
   PipelineResult out;
-  system.Run(instances, [&](RunResult r) { out.run = std::move(r); });
+  system.Run(instances, [&](RunReport r) { out.run = std::move(r); });
   sim.Run();
   for (std::size_t i = 0; i < owned.size(); ++i) {
     out.verified = out.verified &&
@@ -104,15 +104,15 @@ int main() {
   auto report = [](const char* name, const PipelineResult& r) {
     const double seconds = TicksToSeconds(r.run.makespan);
     std::printf("%-24s %-14.2f %-12.3f %-12.2f %-8s\n", name, TicksToMs(r.run.makespan),
-                r.run.EnergyTotal(), r.run.EnergyTotal() / seconds,
+                r.run.EnergySummary().total_j, r.run.EnergySummary().total_j / seconds,
                 r.verified ? "yes" : "NO");
   };
   report("FlashAbacus (IntraO3)", fa);
   report("host + NVMe (SIMD)", simd);
 
   const double battery_wh = 5.0;  // a small drone/sensor battery
-  const double fa_frames = battery_wh * 3600.0 / (fa.run.EnergyTotal() / kFrames);
-  const double simd_frames = battery_wh * 3600.0 / (simd.run.EnergyTotal() / kFrames);
+  const double fa_frames = battery_wh * 3600.0 / (fa.run.EnergySummary().total_j / kFrames);
+  const double simd_frames = battery_wh * 3600.0 / (simd.run.EnergySummary().total_j / kFrames);
   std::printf("\non a %.0f Wh battery: ~%.0f frames (FlashAbacus) vs ~%.0f frames "
               "(conventional) — %.1fx more work per charge\n",
               battery_wh, fa_frames, simd_frames, fa_frames / simd_frames);

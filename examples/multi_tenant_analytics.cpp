@@ -49,7 +49,7 @@ int main() {
               "avg lat(ms)", "util(%)");
   for (SchedulerKind kind : kinds) {
     Simulator sim;
-    FlashAbacusConfig config;
+    FlashAbacusConfig config = FlashAbacusConfig::Paper();
     config.model_scale = 1.0 / 32.0;
     FlashAbacus device(&sim, config);
     Rng rng(7);
@@ -69,8 +69,8 @@ int main() {
       device.InstallData(inst, [](Tick) {});
     }
     sim.Run();
-    RunResult result;
-    device.Run(instances, kind, [&](RunResult r) { result = std::move(r); });
+    RunReport result;
+    device.Run(instances, kind, [&](RunReport r) { result = std::move(r); });
     sim.Run();
 
     bool all_ok = true;

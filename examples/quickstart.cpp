@@ -17,7 +17,7 @@ int main() {
   // 1. A simulator and a FlashAbacus device (8 LWPs, 32 GB flash backbone;
   //    see Table 1 of the paper — every knob lives in FlashAbacusConfig).
   Simulator sim;
-  FlashAbacusConfig config;
+  FlashAbacusConfig config = FlashAbacusConfig::Paper();
   config.model_scale = 1.0 / 16.0;  // modelled data = 1/16 of paper-sized inputs
   FlashAbacus device(&sim, config);
 
@@ -35,12 +35,12 @@ int main() {
   sim.Run();
 
   // 4. Offload and execute under the out-of-order intra-kernel scheduler.
-  device.Run({&instance}, SchedulerKind::kIntraOutOfOrder, [](RunResult result) {
+  device.Run({&instance}, SchedulerKind::kIntraOutOfOrder, [](RunReport result) {
     std::printf("kernel complete: %.2f ms, %.1f MB/s, worker utilization %.1f%%\n",
                 TicksToMs(result.makespan), result.throughput_mb_s,
                 result.worker_utilization * 100.0);
-    std::printf("energy: %.3f J (compute %.3f J, storage %.3f J)\n", result.EnergyTotal(),
-                result.EnergyComputation(), result.EnergyStorage());
+    std::printf("energy: %.3f J (compute %.3f J, storage %.3f J)\n", result.EnergySummary().total_j,
+                result.EnergySummary().computation_j, result.EnergySummary().storage_access_j);
   });
   sim.Run();
 

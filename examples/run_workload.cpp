@@ -30,7 +30,7 @@ void PrintUsage() {
   std::printf("\n  MX1..MX%d (heterogeneous mixes)\n", WorkloadRegistry::kNumMixes);
 }
 
-void Report(const RunResult& r, bool verified) {
+void Report(const RunReport& r, bool verified) {
   std::printf("system:      %s\n", r.system.c_str());
   std::printf("makespan:    %.2f ms\n", TicksToMs(r.makespan));
   std::printf("throughput:  %.1f MB/s\n", r.throughput_mb_s);
@@ -39,8 +39,8 @@ void Report(const RunResult& r, bool verified) {
               r.kernel_latency_ms.Min());
   std::printf("utilization: %.1f%%\n", r.worker_utilization * 100.0);
   std::printf("energy:      %.3f J  (move %.3f / compute %.3f / storage %.3f)\n",
-              r.EnergyTotal(), r.EnergyDataMovement(), r.EnergyComputation(),
-              r.EnergyStorage());
+              r.EnergySummary().total_j, r.EnergySummary().data_movement_j, r.EnergySummary().computation_j,
+              r.EnergySummary().storage_access_j);
   std::printf("verified:    %s\n", verified ? "yes" : "NO");
 }
 
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  RunResult result;
+  RunReport result;
   bool done = false;
   if (system == "SIMD") {
     SimdConfig cfg;
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
     for (AppInstance* inst : instances) {
       simd.InstallData(inst);
     }
-    simd.Run(instances, [&](RunResult r) {
+    simd.Run(instances, [&](RunReport r) {
       result = std::move(r);
       done = true;
     });
@@ -116,14 +116,14 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 1;
     }
-    FlashAbacusConfig cfg;
+    FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
     cfg.model_scale = scale;
     FlashAbacus dev(&sim, cfg);
     for (AppInstance* inst : instances) {
       dev.InstallData(inst, [](Tick) {});
     }
     sim.Run();
-    dev.Run(instances, kind, [&](RunResult r) {
+    dev.Run(instances, kind, [&](RunReport r) {
       result = std::move(r);
       done = true;
     });

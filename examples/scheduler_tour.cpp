@@ -32,7 +32,7 @@ int main() {
                                  SchedulerKind::kIntraOutOfOrder};
   for (SchedulerKind kind : kinds) {
     Simulator sim;
-    FlashAbacusConfig config;
+    FlashAbacusConfig config = FlashAbacusConfig::Paper();
     config.model_scale = 1.0 / 32.0;
     FlashAbacus device(&sim, config);
     Rng rng(3);
@@ -47,8 +47,8 @@ int main() {
       device.InstallData(inst, [](Tick) {});
     }
     sim.Run();
-    RunResult result;
-    device.Run(instances, kind, [&](RunResult r) { result = std::move(r); });
+    RunReport result;
+    device.Run(instances, kind, [&](RunReport r) { result = std::move(r); });
     sim.Run();
 
     std::sort(result.completion_times.begin(), result.completion_times.end());

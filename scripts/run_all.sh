@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Builds everything, runs the full test suite, then regenerates every paper
-# table/figure plus the ablations. Outputs land in test_output.txt and
-# bench_output.txt at the repository root.
+# Builds everything, runs the full test suite (plain and under ASan/UBSan),
+# then regenerates every paper table/figure plus the ablations. Outputs land
+# in test_output.txt and bench_output.txt at the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +9,11 @@ cmake -B build -G Ninja
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Sanitizer pass: the whole suite again under ASan + UBSan with -Werror.
+cmake -B build-asan -G Ninja -DFABACUS_SANITIZE=ON -DFABACUS_WERROR=ON
+cmake --build build-asan
+ctest --test-dir build-asan 2>&1 | tee test_asan_output.txt
 
 {
   for b in build/bench/bench_*; do

@@ -10,6 +10,45 @@
 
 namespace fabacus {
 
+FlashAbacusConfig FlashAbacusConfig::Paper() { return FlashAbacusConfig{}; }
+
+FlashAbacusConfig FlashAbacusConfig::Small() {
+  FlashAbacusConfig cfg;
+  cfg.model_scale = 1.0 / 256.0;
+  return cfg;
+}
+
+std::string FlashAbacusConfig::Validate() const {
+  if (num_lwps < 3) {
+    return "num_lwps must be >= 3 (Flashvisor + Storengine + at least one worker), got " +
+           std::to_string(num_lwps);
+  }
+  if (tier1.ports < num_lwps) {
+    return "tier1.ports (" + std::to_string(tier1.ports) +
+           ") must cover every LWP plus the memory port (num_lwps = " +
+           std::to_string(num_lwps) + ")";
+  }
+  if (pcie_gb_per_s <= 0.0) {
+    return "pcie_gb_per_s must be positive";
+  }
+  if (model_scale <= 0.0) {
+    return "model_scale must be positive";
+  }
+  if (load_stream_fraction < 0.0 || load_stream_fraction > 1.0) {
+    return "load_stream_fraction must be in [0, 1]";
+  }
+  if (nand.channels <= 0 || nand.packages_per_channel <= 0) {
+    return "nand geometry must have at least one channel and one package per channel";
+  }
+  if (dram.banks <= 0 || dram.total_gb_per_s <= 0.0) {
+    return "dram must have at least one bank and positive bandwidth";
+  }
+  if (lwp.clock_ghz <= 0.0 || lwp.issue_width <= 0) {
+    return "lwp must have positive clock and issue width";
+  }
+  return "";
+}
+
 const char* SchedulerKindName(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kInterStatic:
@@ -27,7 +66,7 @@ const char* SchedulerKindName(SchedulerKind kind) {
 struct FlashAbacus::RunState {
   SchedulerKind kind = SchedulerKind::kIntraOutOfOrder;
   std::vector<AppInstance*> instances;
-  std::function<void(RunResult)> done_cb;
+  std::function<void(RunReport)> done_cb;
   ExecutionChain chain;
   Tick start_time = 0;
 
@@ -44,21 +83,26 @@ struct FlashAbacus::RunState {
 
   int instances_remaining = 0;
   bool finished = false;
-  RunResult result;
+  RunReport result;
 };
 
 FlashAbacus::FlashAbacus(Simulator* sim, const FlashAbacusConfig& config)
     : sim_(sim), config_(config) {
-  FAB_CHECK_GE(config_.num_lwps, 3) << "need at least Flashvisor + Storengine + 1 worker";
+  const std::string err = config_.Validate();
+  FAB_CHECK(err.empty()) << "invalid FlashAbacusConfig: " << err;
   dram_ = std::make_unique<Dram>(config_.dram);
   scratchpad_ = std::make_unique<Scratchpad>(config_.scratchpad);
   tier1_ = std::make_unique<Crossbar>(config_.tier1);
   backbone_ = std::make_unique<FlashBackbone>(config_.nand);
   backbone_->set_op_observer(
       [this](Tick start, Tick end) { trace_.Add(TraceTag::kFlashOp, start, end); });
+  backbone_->set_bus_observer([this](int ch, Tick start, Tick end) {
+    trace_.Add(TraceTag::kFlashChan, start, end, 1.0, ch);
+  });
   flashvisor_ = std::make_unique<Flashvisor>(sim_, backbone_.get(), dram_.get(),
                                              scratchpad_.get(), config_.flashvisor);
   storengine_ = std::make_unique<Storengine>(sim_, flashvisor_.get(), config_.storengine);
+  storengine_->set_trace(&trace_);
   pcie_ = std::make_unique<BandwidthResource>("pcie", config_.pcie_gb_per_s,
                                               config_.pcie_latency);
   const int n_workers = config_.num_lwps - 2;  // LWP0 Flashvisor, LWP1 Storengine
@@ -66,6 +110,24 @@ FlashAbacus::FlashAbacus(Simulator* sim, const FlashAbacusConfig& config)
     workers_.push_back(
         std::make_unique<Lwp>(i + 2, config_.lwp, dram_.get(), tier1_.get(), config_.cache));
   }
+  RegisterMetrics();
+}
+
+void FlashAbacus::RegisterMetrics() {
+  for (const auto& w : workers_) {
+    w->RegisterMetrics(&metrics_, "lwp/" + std::to_string(w->id()));
+  }
+  flashvisor_->RegisterMetrics(&metrics_, "flashvisor");
+  storengine_->RegisterMetrics(&metrics_, "storengine");
+  backbone_->RegisterMetrics(&metrics_, "flash");
+  dram_->RegisterMetrics(&metrics_, "dram");
+  scratchpad_->RegisterMetrics(&metrics_, "scratchpad");
+  tier1_->RegisterMetrics(&metrics_, "noc/tier1");
+  metrics_.RegisterCounter("pcie/transfers", &pcie_->transfers_counter());
+  metrics_.RegisterGauge("pcie/bytes_moved", [this](Tick) { return pcie_->bytes_moved(); });
+  metrics_.RegisterGauge("pcie/busy_ns", [this](Tick now) {
+    return static_cast<double>(pcie_->BusyTime(now));
+  });
 }
 
 FlashAbacus::~FlashAbacus() = default;
@@ -141,7 +203,7 @@ void FlashAbacus::ReadSectionFromFlash(AppInstance* inst, int section_idx,
 }
 
 void FlashAbacus::Run(std::vector<AppInstance*> instances, SchedulerKind kind,
-                      std::function<void(RunResult)> done) {
+                      std::function<void(RunReport)> done) {
   FAB_CHECK(run_ == nullptr || run_->finished) << "device already running a workload";
   FAB_CHECK(!instances.empty());
   run_ = std::make_unique<RunState>();
@@ -397,7 +459,7 @@ void FlashAbacus::RunKernelMicroblock(RunState* rs, AppInstance* inst, int worke
   Lwp& lwp = *workers_[static_cast<std::size_t>(worker)];
   const ScreenWork work = ComputeScreenWork(*inst, mblk, 0, 1);
   const Lwp::ScreenTiming t = lwp.ExecuteScreen(sim_->Now(), work);
-  trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy);
+  trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy, lwp.id());
   ScreenRef ref{inst, mblk, 0, 1};
   rs->chain.OnDispatched(ref);
   sim_->ScheduleAt(t.end, [this, rs, inst, worker, mblk, ref]() {
@@ -451,7 +513,7 @@ void FlashAbacus::ExecuteScreenOn(RunState* rs, const ScreenRef& ref, int worker
   const ScreenWork work = ComputeScreenWork(*ref.inst, ref.mblk, ref.screen, ref.num_screens);
   const Tick start = sim_->Now() + flashvisor_->config().queue_latency;
   const Lwp::ScreenTiming t = lwp.ExecuteScreen(start, work);
-  trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy);
+  trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy, lwp.id());
   sim_->ScheduleAt(t.end, [this, rs, ref, worker]() {
     const MicroblockSpec& spec =
         ref.inst->spec().microblocks[static_cast<std::size_t>(ref.mblk)];
@@ -533,8 +595,9 @@ void FlashAbacus::MaybeFinishRun(RunState* rs) {
 }
 
 void FlashAbacus::FinalizeResult(RunState* rs) {
-  RunResult& res = rs->result;
+  RunReport& res = rs->result;
   const Tick end = sim_->Now();
+  res.metrics = metrics_.Snapshot(end);
   res.makespan = end - rs->start_time;
   double input_bytes = 0.0;
   for (const AppInstance* inst : rs->instances) {

@@ -20,6 +20,7 @@
 #include "src/core/kernel.h"
 #include "src/core/kernel_table.h"
 #include "src/core/lwp.h"
+#include "src/core/run_report.h"
 #include "src/core/storengine.h"
 #include "src/core/trace.h"
 #include "src/flash/flash_backbone.h"
@@ -27,6 +28,7 @@
 #include "src/mem/scratchpad.h"
 #include "src/noc/crossbar.h"
 #include "src/power/energy_meter.h"
+#include "src/sim/metrics.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
@@ -62,24 +64,19 @@ struct FlashAbacusConfig {
   // compute. 1.0 reverts to fully-gated loads.
   double load_stream_fraction = 0.2;
   PowerModel power;
-};
 
-// Outcome of one accelerated run (one workload, one scheduler).
-struct RunResult {
-  std::string system;
-  Tick makespan = 0;
-  double input_bytes = 0.0;   // modelled bytes processed (all instances)
-  double throughput_mb_s = 0.0;
-  Histogram kernel_latency_ms;      // per-instance submit->complete
-  std::vector<Tick> completion_times;  // for the Fig-12 CDFs
-  double worker_utilization = 0.0;  // mean across worker LWPs
-  EnergyMeter energy;
-  RunTrace trace;
-  // Energy decomposition shorthand (joules).
-  double EnergyDataMovement() const { return energy.BucketJoules(EnergyBucket::kDataMovement); }
-  double EnergyComputation() const { return energy.BucketJoules(EnergyBucket::kComputation); }
-  double EnergyStorage() const { return energy.BucketJoules(EnergyBucket::kStorageAccess); }
-  double EnergyTotal() const { return energy.TotalJoules(); }
+  // The Table-1 device of the paper (the defaults above).
+  static FlashAbacusConfig Paper();
+  // A scaled-down device for unit tests and quick smoke runs: same geometry,
+  // model_scale = 1/256 so end-to-end runs finish in milliseconds of sim time.
+  static FlashAbacusConfig Small();
+
+  // Returns an empty string when the configuration is a buildable device, or
+  // a human-readable description of the first problem found (e.g. fewer than
+  // 3 LWPs — Flashvisor + Storengine + at least one worker — or non-positive
+  // link bandwidths/scales). The FlashAbacus constructor CHECK-fails on a
+  // non-empty result.
+  std::string Validate() const;
 };
 
 class FlashAbacus {
@@ -95,10 +92,10 @@ class FlashAbacus {
   void InstallData(AppInstance* inst, std::function<void(Tick)> done);
 
   // Offloads and executes the instances under `kind`; `done` receives the
-  // result when every instance has completed (including output writeback to
+  // report when every instance has completed (including output writeback to
   // the DDR3L write buffer).
   void Run(std::vector<AppInstance*> instances, SchedulerKind kind,
-           std::function<void(RunResult)> done);
+           std::function<void(RunReport)> done);
 
   // Reads an output section's current flash contents into `out` (sized to the
   // section's functional bytes) — used by tests to verify end-to-end flow.
@@ -113,10 +110,15 @@ class FlashAbacus {
   Lwp& worker(int i) { return *workers_[static_cast<std::size_t>(i)]; }
   const FlashAbacusConfig& config() const { return config_; }
   RunTrace& trace() { return trace_; }
+  // Every component's counters/gauges, registered under the naming scheme of
+  // docs/OBSERVABILITY.md; RunReport carries a Snapshot() of this registry.
+  const MetricsRegistry& metrics() const { return metrics_; }
   Simulator& sim() { return *sim_; }
 
  private:
   struct RunState;
+
+  void RegisterMetrics();
 
   void OffloadKernel(RunState* rs, AppInstance* inst);
   void StartLoad(RunState* rs, AppInstance* inst);
@@ -147,6 +149,7 @@ class FlashAbacus {
   std::unique_ptr<BandwidthResource> pcie_;
   std::vector<std::unique_ptr<Lwp>> workers_;
   RunTrace trace_;
+  MetricsRegistry metrics_;
   std::unique_ptr<RunState> run_;
 };
 

@@ -143,7 +143,7 @@ void Flashvisor::DoRead(IoRequest req, Tick service_end) {
       FlashBackbone::OpResult r =
           backbone_->ReadGroup(start, phys, carries_data ? group_buf.data() : nullptr);
       if (r.ecc_event) {
-        ++ecc_events_;
+        ecc_events_.Add();
       }
       flash_done = std::max(flash_done, r.done);
       if (carries_data) {
@@ -151,7 +151,7 @@ void Flashvisor::DoRead(IoRequest req, Tick service_end) {
         std::memcpy(static_cast<std::uint8_t*>(req.func_data) + req_off, group_buf.data(), n);
       }
     }
-    ++reads_served_;
+    reads_served_.Add();
     const bool hold = req.hold_lock;
     if (hold) {
       FAB_CHECK(req.lock_holder) << "hold_lock without lock_holder";
@@ -217,7 +217,7 @@ void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
       flash_done = std::max(flash_done, r.done);
     }
     write_drain_horizon_ = std::max(write_drain_horizon_, flash_done);
-    ++writes_served_;
+    writes_served_.Add();
     // The caller sees completion once the DDR3L write buffer holds the data
     // — but the buffer is finite: acceptance stalls until enough earlier
     // writes have programmed out. The range lock is held until the programs
@@ -284,7 +284,7 @@ void Flashvisor::ForegroundReclaim(Tick now) {
   ++reclaim_depth_;
   const std::uint64_t victim = blocks_.PickVictim();
   FAB_CHECK_NE(victim, BlockManager::kNone) << "no sealed block groups to reclaim";
-  ++foreground_reclaims_;
+  foreground_reclaims_.Add();
   // Inline reclamation monopolizes the Flashvisor core (the overhead the
   // Storengine split exists to avoid): queued requests wait behind it.
   core_.Occupy(now, 20 * kUs);
@@ -362,6 +362,19 @@ void Flashvisor::SealActiveBlockGroup(Tick now) {
   blocks_.SealBlockGroup(active_bg_);
   active_bg_ = BlockManager::kNone;
   active_slot_ = 0;
+}
+
+void Flashvisor::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterCounter(prefix + "/reads_served", &reads_served_);
+  reg->RegisterCounter(prefix + "/writes_served", &writes_served_);
+  reg->RegisterCounter(prefix + "/ecc_events", &ecc_events_);
+  reg->RegisterCounter(prefix + "/foreground_reclaims", &foreground_reclaims_);
+  reg->RegisterGauge(prefix + "/write_buffer_used_bytes",
+                     [this](Tick) { return static_cast<double>(write_buffer_used_); });
+  reg->RegisterGauge(prefix + "/core_busy_ns",
+                     [this](Tick now) { return static_cast<double>(core_.BusyTime(now)); });
+  reg->RegisterGauge(prefix + "/core_utilization",
+                     [this](Tick now) { return core_.Utilization(now); });
 }
 
 }  // namespace fabacus

@@ -28,7 +28,9 @@
 #include "src/mem/dram.h"
 #include "src/mem/scratchpad.h"
 #include "src/noc/message_queue.h"
+#include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/sim/stats.h"
 
 namespace fabacus {
 
@@ -97,13 +99,17 @@ class Flashvisor {
   // complete; this is the latest such completion (tests run the simulator to
   // this horizon before checking flash contents).
   Tick write_drain_horizon() const { return write_drain_horizon_; }
-  std::uint64_t reads_served() const { return reads_served_; }
-  std::uint64_t writes_served() const { return writes_served_; }
-  std::uint64_t ecc_events() const { return ecc_events_; }
+  std::uint64_t reads_served() const { return reads_served_.value(); }
+  std::uint64_t writes_served() const { return writes_served_.value(); }
+  std::uint64_t ecc_events() const { return ecc_events_.value(); }
   // Emergency reclaims performed inline on the write path because the free
   // pool was exhausted (paper §4.3: "garbage collection [is] invoked on
   // demand" when background reclamation falls behind).
-  std::uint64_t foreground_reclaims() const { return foreground_reclaims_; }
+  std::uint64_t foreground_reclaims() const { return foreground_reclaims_.value(); }
+
+  // Registers request/ECC/reclaim counters plus core-occupancy and
+  // write-buffer gauges under `prefix` (e.g. "flashvisor").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
 
   // Storengine hook: invoked (with current time) when the free pool dips
   // below the GC watermark.
@@ -152,10 +158,10 @@ class Flashvisor {
   std::uint32_t active_slot_ = 0;
   std::uint64_t logical_alloc_cursor_ = 0;
   Tick write_drain_horizon_ = 0;
-  std::uint64_t reads_served_ = 0;
-  std::uint64_t writes_served_ = 0;
-  std::uint64_t ecc_events_ = 0;
-  std::uint64_t foreground_reclaims_ = 0;
+  Counter reads_served_;
+  Counter writes_served_;
+  Counter ecc_events_;
+  Counter foreground_reclaims_;
   int reclaim_depth_ = 0;
   std::function<void(Tick)> gc_trigger_;
 };

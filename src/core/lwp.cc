@@ -63,7 +63,7 @@ Lwp::ScreenTiming Lwp::ExecuteScreen(Tick now, const ScreenWork& work) {
   busy_until_ = start + std::max<Tick>(duration, 1);
   busy_.AddInterval(start, busy_until_);
   intervals_.emplace_back(start, busy_until_);
-  ++screens_executed_;
+  screens_executed_.Add();
 
   ScreenTiming t;
   t.start = start;
@@ -106,8 +106,17 @@ Tick Lwp::SleepTime(Tick window_start, Tick window_end) const {
 Tick Lwp::BootKernel(Tick now) {
   const Tick start = std::max(now, busy_until_);
   busy_until_ = start + config_.boot_overhead;
+  kernel_boots_.Add();
   // Boot time is occupancy but not useful execution; don't count it busy.
   return busy_until_;
+}
+
+void Lwp::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterCounter(prefix + "/screens_executed", &screens_executed_);
+  reg->RegisterCounter(prefix + "/kernel_boots", &kernel_boots_);
+  reg->RegisterGauge(prefix + "/busy_ns",
+                     [this](Tick now) { return static_cast<double>(BusyTime(now)); });
+  reg->RegisterGauge(prefix + "/utilization", [this](Tick now) { return Utilization(now); });
 }
 
 }  // namespace fabacus

@@ -18,6 +18,7 @@
 #include "src/mem/cache_model.h"
 #include "src/mem/dram.h"
 #include "src/noc/crossbar.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -68,8 +69,14 @@ class Lwp {
   Tick busy_until() const { return busy_until_; }
   Tick BusyTime(Tick now) const { return busy_.BusyTime(now); }
   double Utilization(Tick now) const { return busy_.Utilization(now); }
-  std::uint64_t screens_executed() const { return screens_executed_; }
+  std::uint64_t screens_executed() const { return screens_executed_.value(); }
+  std::uint64_t kernel_boots() const { return kernel_boots_.value(); }
   const LwpConfig& config() const { return config_; }
+
+  // Registers this LWP's metrics under `prefix` (e.g. "lwp/2"):
+  // <prefix>/screens_executed, <prefix>/kernel_boots, <prefix>/busy_ns,
+  // <prefix>/utilization.
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
 
   // Busy intervals in execution order (for PSC sleep accounting and traces).
   const std::vector<std::pair<Tick, Tick>>& busy_intervals() const { return intervals_; }
@@ -88,7 +95,8 @@ class Lwp {
   Tick busy_until_ = 0;
   BusyTracker busy_;
   std::vector<std::pair<Tick, Tick>> intervals_;
-  std::uint64_t screens_executed_ = 0;
+  Counter screens_executed_;
+  Counter kernel_boots_;
 };
 
 }  // namespace fabacus

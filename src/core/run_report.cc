@@ -1,0 +1,103 @@
+#include "src/core/run_report.h"
+
+#include "src/sim/json.h"
+
+namespace fabacus {
+namespace {
+
+// Tags worth summarizing in the report; the full interval list lives in the
+// Chrome-trace export, the report only carries per-tag aggregates.
+constexpr TraceTag kSummaryTags[] = {
+    TraceTag::kLwpCompute, TraceTag::kFlashOp,  TraceTag::kHostStack,
+    TraceTag::kSsdOp,      TraceTag::kPcieXfer, TraceTag::kSchedule,
+    TraceTag::kGc,         TraceTag::kFlashChan,
+};
+
+void WriteHistogramSummary(JsonWriter* w, const Histogram& h) {
+  w->BeginObject();
+  w->Field("count", static_cast<double>(h.count()));
+  if (h.count() > 0) {
+    w->Field("min", h.Min())
+        .Field("mean", h.Mean())
+        .Field("p50", h.Percentile(50))
+        .Field("p95", h.Percentile(95))
+        .Field("p99", h.Percentile(99))
+        .Field("max", h.Max());
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+EnergyBreakdown RunReport::EnergySummary() const {
+  EnergyBreakdown b;
+  b.data_movement_j = energy.BucketJoules(EnergyBucket::kDataMovement);
+  b.computation_j = energy.BucketJoules(EnergyBucket::kComputation);
+  b.storage_access_j = energy.BucketJoules(EnergyBucket::kStorageAccess);
+  b.total_j = energy.TotalJoules();
+  return b;
+}
+
+void RunReport::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("schema_version", kSchemaVersion);
+  w->Field("system", system);
+  w->Field("makespan_ns", static_cast<double>(makespan));
+  w->Field("input_bytes", input_bytes);
+  w->Field("throughput_mb_s", throughput_mb_s);
+  w->Field("worker_utilization", worker_utilization);
+
+  w->Key("kernel_latency_ms");
+  WriteHistogramSummary(w, kernel_latency_ms);
+
+  w->Key("completion_times_ms").BeginArray();
+  for (Tick t : completion_times) {
+    w->Value(TicksToMs(t));
+  }
+  w->EndArray();
+
+  const EnergyBreakdown e = EnergySummary();
+  w->Key("energy").BeginObject();
+  w->Field("total_j", e.total_j)
+      .Field("data_movement_j", e.data_movement_j)
+      .Field("computation_j", e.computation_j)
+      .Field("storage_access_j", e.storage_access_j);
+  w->Key("components").BeginObject();
+  for (const auto& [name, joules] : energy.per_component()) {
+    w->Field(name, joules);
+  }
+  w->EndObject();
+  w->EndObject();
+
+  w->Key("metrics");
+  metrics.WriteJson(w);
+
+  w->Key("trace_summary").BeginObject();
+  for (TraceTag tag : kSummaryTags) {
+    std::size_t n = 0;
+    for (const TaggedInterval& iv : trace.intervals()) {
+      if (iv.tag == tag) {
+        ++n;
+      }
+    }
+    if (n == 0) {
+      continue;
+    }
+    w->Key(TraceTagName(tag)).BeginObject();
+    w->Field("intervals", static_cast<double>(n))
+        .Field("union_ns", static_cast<double>(trace.UnionTime(tag)))
+        .Field("total_ns", static_cast<double>(trace.TotalTime(tag)))
+        .EndObject();
+  }
+  w->EndObject();
+
+  w->EndObject();
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.TakeString();
+}
+
+}  // namespace fabacus

@@ -1,0 +1,78 @@
+// RunReport: the outcome of one accelerated run (one workload set, one
+// scheduler), bundling everything the paper's evaluation reads — makespan and
+// throughput, per-instance latency histogram and completion times, the energy
+// decomposition, the full tagged interval trace, and a MetricsSnapshot of
+// every component counter/gauge/histogram. Serializes to versioned JSON
+// (schema_version pins the layout; see docs/OBSERVABILITY.md).
+//
+// RunReport supersedes the RunResult grab-bag; RunResult remains as a
+// deprecated alias for one release so downstream code keeps compiling.
+#ifndef SRC_CORE_RUN_REPORT_H_
+#define SRC_CORE_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/trace.h"
+#include "src/power/energy_meter.h"
+#include "src/sim/metrics.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+class JsonWriter;
+
+// The paper's Fig-13/16 energy decomposition, in joules.
+struct EnergyBreakdown {
+  double data_movement_j = 0.0;
+  double computation_j = 0.0;
+  double storage_access_j = 0.0;
+  double total_j = 0.0;
+};
+
+struct RunReport {
+  // Bump when the JSON layout changes shape (adding fields is compatible and
+  // does not require a bump; renaming/removing does).
+  static constexpr int kSchemaVersion = 1;
+
+  std::string system;
+  Tick makespan = 0;
+  double input_bytes = 0.0;   // modelled bytes processed (all instances)
+  double throughput_mb_s = 0.0;
+  Histogram kernel_latency_ms;         // per-instance submit->complete
+  std::vector<Tick> completion_times;  // for the Fig-12 CDFs
+  double worker_utilization = 0.0;     // mean across worker LWPs
+  EnergyMeter energy;
+  RunTrace trace;
+  MetricsSnapshot metrics;  // every component counter/gauge at run end
+
+  EnergyBreakdown EnergySummary() const;
+
+  // Serializes the report (metrics snapshot, energy decomposition, latency
+  // summary, completion times, per-tag trace summary) as versioned JSON.
+  // The full interval trace is exported separately via trace.ToChromeTrace().
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+
+  // --- RunResult-era accessors, kept for one release ---
+  [[deprecated("use EnergySummary().data_movement_j")]] double EnergyDataMovement() const {
+    return energy.BucketJoules(EnergyBucket::kDataMovement);
+  }
+  [[deprecated("use EnergySummary().computation_j")]] double EnergyComputation() const {
+    return energy.BucketJoules(EnergyBucket::kComputation);
+  }
+  [[deprecated("use EnergySummary().storage_access_j")]] double EnergyStorage() const {
+    return energy.BucketJoules(EnergyBucket::kStorageAccess);
+  }
+  [[deprecated("use EnergySummary().total_j")]] double EnergyTotal() const {
+    return energy.TotalJoules();
+  }
+};
+
+// Deprecated name of RunReport, kept for one release for downstream callers.
+using RunResult [[deprecated("RunResult has been redesigned as RunReport")]] = RunReport;
+
+}  // namespace fabacus
+
+#endif  // SRC_CORE_RUN_REPORT_H_

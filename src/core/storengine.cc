@@ -60,10 +60,17 @@ void Storengine::RunGcPass(std::function<void(Tick)> done) {
     return;
   }
   gc_in_progress_ = true;
-  ++gc_passes_;
+  gc_passes_.Add();
   const SerialCore::Interval iv = core_.Occupy(sim_->Now(), config_.pass_fixed_cpu);
+  // Trace the whole pass (orchestration + migrations + erase) on GC track 0.
+  auto traced = [this, pass_start = iv.start, done = std::move(done)](Tick t) mutable {
+    if (trace_ != nullptr) {
+      trace_->Add(TraceTag::kGc, pass_start, t, 1.0, /*track=*/0);
+    }
+    done(t);
+  };
   // Walk the victim's data slots sequentially, migrating each valid group.
-  sim_->ScheduleAt(iv.end, [this, victim, done = std::move(done)]() mutable {
+  sim_->ScheduleAt(iv.end, [this, victim, done = std::move(traced)]() mutable {
     MigrateSlot(victim, 0, sim_->Now(), std::move(done));
   });
 }
@@ -113,7 +120,7 @@ void Storengine::MigrateSlot(std::uint64_t victim, std::uint32_t slot, Tick barr
         fv_->mapping().Update(lg, phys_new);
         fv_->blocks().MarkInvalid(victim, slot);
         fv_->blocks().MarkValid(fv_->BlockGroupOf(phys_new), fv_->SlotOf(phys_new));
-        ++groups_migrated_;
+        groups_migrated_.Add();
         const Tick slot_done = pr.done;
         sim_->ScheduleAt(slot_done, [this, victim, slot, slot_done, lock_id,
                                      done = std::move(done)]() mutable {
@@ -133,7 +140,7 @@ void Storengine::FinishVictim(std::uint64_t victim, Tick barrier,
       fv_->blocks().Retire(victim);
     } else {
       fv_->blocks().OnErased(victim);
-      ++blocks_reclaimed_;
+      blocks_reclaimed_.Add();
     }
     gc_in_progress_ = false;
     done(when);
@@ -158,6 +165,14 @@ void Storengine::RunJournalDump(std::function<void(Tick)> done) {
     return;
   }
   const SerialCore::Interval iv = core_.Occupy(sim_->Now(), config_.pass_fixed_cpu);
+  // Trace the dump (orchestration + programs + old-journal erase) on track 1.
+  auto traced = [this, dump_start = iv.start, done = std::move(done)](Tick t) mutable {
+    if (trace_ != nullptr) {
+      trace_->Add(TraceTag::kGc, dump_start, t, 1.0, /*track=*/1);
+    }
+    done(t);
+  };
+  done = std::move(traced);
   Tick flash_done = iv.end;
   std::vector<std::uint8_t> buf(group_bytes, 0);
   for (std::uint64_t g = 0; g < groups_needed; ++g) {
@@ -169,7 +184,7 @@ void Storengine::RunJournalDump(std::function<void(Tick)> done) {
         flash_done, fv_->GroupOfSlot(bg, static_cast<std::uint32_t>(g)), buf.data());
     flash_done = std::max(flash_done, r.done);
   }
-  ++journal_dumps_;
+  journal_dumps_.Add();
   const std::uint64_t old_journal = prev_journal_bg_;
   prev_journal_bg_ = bg;
   sim_->ScheduleAt(flash_done, [this, old_journal, done = std::move(done), flash_done]() {
@@ -189,6 +204,17 @@ void Storengine::RunJournalDump(std::function<void(Tick)> done) {
       done(flash_done);
     }
   });
+}
+
+void Storengine::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterCounter(prefix + "/gc_passes", &gc_passes_);
+  reg->RegisterCounter(prefix + "/groups_migrated", &groups_migrated_);
+  reg->RegisterCounter(prefix + "/blocks_reclaimed", &blocks_reclaimed_);
+  reg->RegisterCounter(prefix + "/journal_dumps", &journal_dumps_);
+  reg->RegisterGauge(prefix + "/core_busy_ns",
+                     [this](Tick now) { return static_cast<double>(core_.BusyTime(now)); });
+  reg->RegisterGauge(prefix + "/core_utilization",
+                     [this](Tick now) { return core_.Utilization(now); });
 }
 
 }  // namespace fabacus

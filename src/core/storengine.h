@@ -16,7 +16,10 @@
 
 #include "src/core/flashvisor.h"
 #include "src/core/serial_core.h"
+#include "src/core/trace.h"
+#include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/sim/stats.h"
 
 namespace fabacus {
 
@@ -54,12 +57,21 @@ class Storengine {
   // the first dump). Recovery tooling reads the snapshot back from here.
   std::uint64_t last_journal_bg() const { return prev_journal_bg_; }
 
-  std::uint64_t gc_passes() const { return gc_passes_; }
-  std::uint64_t groups_migrated() const { return groups_migrated_; }
-  std::uint64_t blocks_reclaimed() const { return blocks_reclaimed_; }
-  std::uint64_t journal_dumps() const { return journal_dumps_; }
+  std::uint64_t gc_passes() const { return gc_passes_.value(); }
+  std::uint64_t groups_migrated() const { return groups_migrated_.value(); }
+  std::uint64_t blocks_reclaimed() const { return blocks_reclaimed_.value(); }
+  std::uint64_t journal_dumps() const { return journal_dumps_.value(); }
   SerialCore& core() { return core_; }
   const StorengineConfig& config() const { return config_; }
+
+  // When set, background work records kGc intervals into `trace`:
+  // track 0 = GC passes (pass start -> victim reclaimed), track 1 = metadata
+  // journal dumps.
+  void set_trace(RunTrace* trace) { trace_ = trace; }
+
+  // Registers GC/journal counters plus core-occupancy gauges under `prefix`
+  // (e.g. "storengine").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
 
  private:
   void ScheduleNextGc();
@@ -75,10 +87,11 @@ class Storengine {
   bool running_ = false;
   bool gc_in_progress_ = false;
   std::uint64_t prev_journal_bg_ = BlockManager::kNone;
-  std::uint64_t gc_passes_ = 0;
-  std::uint64_t groups_migrated_ = 0;
-  std::uint64_t blocks_reclaimed_ = 0;
-  std::uint64_t journal_dumps_ = 0;
+  RunTrace* trace_ = nullptr;
+  Counter gc_passes_;
+  Counter groups_migrated_;
+  Counter blocks_reclaimed_;
+  Counter journal_dumps_;
 };
 
 }  // namespace fabacus

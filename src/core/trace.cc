@@ -1,6 +1,34 @@
 #include "src/core/trace.h"
 
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/sim/json.h"
+
 namespace fabacus {
+
+const char* TraceTagName(TraceTag tag) {
+  switch (tag) {
+    case TraceTag::kLwpCompute:
+      return "lwp_compute";
+    case TraceTag::kFlashOp:
+      return "flash_op";
+    case TraceTag::kHostStack:
+      return "host_stack";
+    case TraceTag::kSsdOp:
+      return "ssd_op";
+    case TraceTag::kPcieXfer:
+      return "pcie_xfer";
+    case TraceTag::kSchedule:
+      return "schedule";
+    case TraceTag::kGc:
+      return "storengine";
+    case TraceTag::kFlashChan:
+      return "flash_chan";
+  }
+  return "?";
+}
 
 RunTrace RunTrace::Window(Tick start, Tick end) const {
   RunTrace out;
@@ -8,10 +36,68 @@ RunTrace RunTrace::Window(Tick start, Tick end) const {
     const Tick s = std::max(iv.start, start);
     const Tick e = std::min(iv.end, end);
     if (e > s) {
-      out.Add(iv.tag, s - start, e - start, iv.weight);
+      out.Add(iv.tag, s - start, e - start, iv.weight, iv.track);
     }
   }
   return out;
+}
+
+std::string RunTrace::ToChromeTrace() const {
+  // pid = tag, tid = track. Metadata events name each process after its tag
+  // and each thread after its (tag, track) instance so Perfetto shows e.g.
+  // "lwp_compute" with one row per LWP and "flash_chan" with one row per
+  // channel bus.
+  std::set<std::pair<int, int>> tracks;
+  for (const TaggedInterval& iv : intervals_) {
+    tracks.emplace(static_cast<int>(iv.tag), iv.track);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const auto& [pid, tid] : tracks) {
+    const TraceTag tag = static_cast<TraceTag>(pid);
+    w.BeginObject()
+        .Field("ph", "M")
+        .Field("pid", pid)
+        .Field("tid", 0)
+        .Field("name", "process_name")
+        .Key("args")
+        .BeginObject()
+        .Field("name", TraceTagName(tag))
+        .EndObject()
+        .EndObject();
+    w.BeginObject()
+        .Field("ph", "M")
+        .Field("pid", pid)
+        .Field("tid", tid)
+        .Field("name", "thread_name")
+        .Key("args")
+        .BeginObject()
+        .Field("name", std::string(TraceTagName(tag)) + "/" + std::to_string(tid))
+        .EndObject()
+        .EndObject();
+  }
+  for (const TaggedInterval& iv : intervals_) {
+    // Chrome trace timestamps are microseconds; ticks are nanoseconds.
+    w.BeginObject()
+        .Field("name", TraceTagName(iv.tag))
+        .Field("cat", "fabacus")
+        .Field("ph", "X")
+        .Field("ts", static_cast<double>(iv.start) / 1e3)
+        .Field("dur", static_cast<double>(iv.end - iv.start) / 1e3)
+        .Field("pid", static_cast<int>(iv.tag))
+        .Field("tid", iv.track)
+        .Key("args")
+        .BeginObject()
+        .Field("weight", iv.weight)
+        .EndObject()
+        .EndObject();
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.TakeString();
 }
 
 Tick RunTrace::UnionTime(TraceTag tag) const {

@@ -2,10 +2,16 @@
 // active intervals; benches derive the Fig-15 time series (FU utilization,
 // power) and the energy decomposition from the same trace, so the numbers in
 // different figures are self-consistent.
+//
+// Intervals additionally carry a `track` — the instance of the tagged
+// component (LWP id, flash channel, ...). Aggregations (UnionTime, TotalTime,
+// Series) ignore it; the Chrome-trace exporter uses it to lay each LWP /
+// flash channel / control-core out on its own timeline row.
 #ifndef SRC_CORE_TRACE_H_
 #define SRC_CORE_TRACE_H_
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -14,26 +20,31 @@ namespace fabacus {
 
 enum class TraceTag : int {
   kLwpCompute = 0,   // weight = average FUs busy during the interval
-  kFlashOp,          // flash backbone array/bus activity
+  kFlashOp,          // flash backbone array/bus activity (whole device op)
   kHostStack,        // host CPU driving the storage stack / memory copies
   kSsdOp,            // external NVMe device activity
   kPcieXfer,         // PCIe DMA
   kSchedule,         // Flashvisor scheduling / translation work
-  kGc,               // Storengine background work
+  kGc,               // Storengine background work (track 0 = GC, 1 = journal)
+  kFlashChan,        // per-channel NV-DDR2 bus activity (track = channel)
 };
+
+// Human-readable tag name (Chrome-trace process names, report JSON keys).
+const char* TraceTagName(TraceTag tag);
 
 struct TaggedInterval {
   Tick start;
   Tick end;
   TraceTag tag;
   double weight;  // tag-specific magnitude (e.g. FUs busy); 1.0 by default
+  int track;      // component instance within the tag (LWP id, channel, ...)
 };
 
 class RunTrace {
  public:
-  void Add(TraceTag tag, Tick start, Tick end, double weight = 1.0) {
+  void Add(TraceTag tag, Tick start, Tick end, double weight = 1.0, int track = 0) {
     if (end > start) {
-      intervals_.push_back({start, end, tag, weight});
+      intervals_.push_back({start, end, tag, weight, track});
     }
   }
 
@@ -55,6 +66,12 @@ class RunTrace {
   // re-based so `start` becomes time 0. Used to scope a device-lifetime
   // trace to one run (dropping e.g. dataset-install activity).
   RunTrace Window(Tick start, Tick end) const;
+
+  // Serializes the trace as Chrome trace-event JSON (the format Perfetto and
+  // chrome://tracing load): one complete ("ph":"X") event per interval, one
+  // process per tag, one named thread per track, timestamps in microseconds.
+  // The interval weight rides along in args.weight. See docs/OBSERVABILITY.md.
+  std::string ToChromeTrace() const;
 
   void Clear() { intervals_.clear(); }
 

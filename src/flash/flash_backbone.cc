@@ -27,7 +27,7 @@ FlashBackbone::OpResult FlashBackbone::ReadGroup(Tick now, std::uint64_t group, 
     // Correctable-error threshold crossed: the controller re-reads the page
     // with tuned read-reference voltages (read retry) before returning data.
     r.ecc_event = true;
-    ++read_retries_;
+    read_retries_.Add();
     for (auto& ctrl : controllers_) {
       slices_done = std::max(slices_done, ctrl->ReadSlice(slices_done, addr));
     }
@@ -39,7 +39,7 @@ FlashBackbone::OpResult FlashBackbone::ReadGroup(Tick now, std::uint64_t group, 
   if (out != nullptr) {
     data_.Read(group * config_.GroupBytes(), out, config_.GroupBytes());
   }
-  ++reads_;
+  reads_.Add();
   bytes_read_ += static_cast<double>(config_.GroupBytes());
   return r;
 }
@@ -58,7 +58,7 @@ FlashBackbone::OpResult FlashBackbone::ProgramGroup(Tick now, std::uint64_t grou
   } else {
     data_.Erase(group * config_.GroupBytes(), config_.GroupBytes());
   }
-  ++programs_;
+  programs_.Add();
   bytes_programmed_ += static_cast<double>(config_.GroupBytes());
   if (op_observer_) {
     op_observer_(now, done);
@@ -83,7 +83,7 @@ FlashBackbone::OpResult FlashBackbone::EraseBlockGroup(Tick now, int block) {
       data_.Erase(g * config_.GroupBytes(), config_.GroupBytes());
     }
   }
-  ++erases_;
+  erases_.Add();
   if (op_observer_) {
     op_observer_(now, done);
   }
@@ -139,6 +139,25 @@ Tick FlashBackbone::ArrayBusyTime(Tick now) const {
     }
   }
   return busy;
+}
+
+void FlashBackbone::set_bus_observer(FlashController::BusObserver obs) {
+  for (auto& ctrl : controllers_) {
+    ctrl->set_bus_observer(obs);
+  }
+}
+
+void FlashBackbone::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterCounter(prefix + "/reads", &reads_);
+  reg->RegisterCounter(prefix + "/programs", &programs_);
+  reg->RegisterCounter(prefix + "/erases", &erases_);
+  reg->RegisterCounter(prefix + "/read_retries", &read_retries_);
+  reg->RegisterGauge(prefix + "/bytes_read", [this](Tick) { return bytes_read_; });
+  reg->RegisterGauge(prefix + "/bytes_programmed",
+                     [this](Tick) { return bytes_programmed_; });
+  for (std::size_t ch = 0; ch < controllers_.size(); ++ch) {
+    controllers_[ch]->RegisterMetrics(reg, prefix + "/ch" + std::to_string(ch));
+  }
 }
 
 }  // namespace fabacus

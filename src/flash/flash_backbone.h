@@ -16,7 +16,9 @@
 #include "src/flash/nand_config.h"
 #include "src/mem/byte_store.h"
 #include "src/noc/srio_link.h"
+#include "src/sim/metrics.h"
 #include "src/sim/rng.h"
+#include "src/sim/stats.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -51,11 +53,11 @@ class FlashBackbone {
   bool IsBadBlockGroup(int block) const;
   std::uint64_t MaxWear() const;
   std::uint64_t TotalErases() const;
-  std::uint64_t reads() const { return reads_; }
-  std::uint64_t programs() const { return programs_; }
-  std::uint64_t erases() const { return erases_; }
+  std::uint64_t reads() const { return reads_.value(); }
+  std::uint64_t programs() const { return programs_.value(); }
+  std::uint64_t erases() const { return erases_.value(); }
   // Read-retry passes triggered by correctable-error thresholds.
-  std::uint64_t read_retries() const { return read_retries_; }
+  std::uint64_t read_retries() const { return read_retries_.value(); }
   double bytes_read() const { return bytes_read_; }
   double bytes_programmed() const { return bytes_programmed_; }
   // Peak package utilization, a proxy for flash-array activity (energy model).
@@ -66,16 +68,24 @@ class FlashBackbone {
   using OpObserver = std::function<void(Tick start, Tick end)>;
   void set_op_observer(OpObserver obs) { op_observer_ = std::move(obs); }
 
+  // Installs a per-channel bus observer on every controller (see
+  // FlashController::set_bus_observer).
+  void set_bus_observer(FlashController::BusObserver obs);
+
+  // Registers device-level op counters under `prefix` (e.g. "flash") plus
+  // every controller's channel/package metrics ("flash/ch<k>/...").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
+
  private:
   NandConfig config_;
   std::vector<std::unique_ptr<FlashController>> controllers_;
   SrioLink srio_;
   ByteStore data_;
   Rng rng_;
-  std::uint64_t reads_ = 0;
-  std::uint64_t programs_ = 0;
-  std::uint64_t erases_ = 0;
-  std::uint64_t read_retries_ = 0;
+  Counter reads_;
+  Counter programs_;
+  Counter erases_;
+  Counter read_retries_;
   double bytes_read_ = 0.0;
   double bytes_programmed_ = 0.0;
   OpObserver op_observer_;

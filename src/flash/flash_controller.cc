@@ -10,11 +10,15 @@ namespace fabacus {
 TagQueue::TagQueue(int depth) : depth_(depth) { FAB_CHECK_GT(depth, 0); }
 
 Tick TagQueue::Acquire(Tick now) {
+  acquires_.Add();
   if (static_cast<int>(inflight_.size()) < depth_) {
     return now;
   }
   const Tick earliest = inflight_.top();
   inflight_.pop();
+  if (earliest > now) {
+    wait_ns_.Add(earliest - now);
+  }
   return std::max(now, earliest);
 }
 
@@ -35,6 +39,14 @@ FlashController::FlashController(const NandConfig& config, int channel)
   }
 }
 
+Tick FlashController::ReserveBus(Tick now, double bytes) {
+  const BandwidthResource::Reservation r = bus_.Reserve(now, bytes);
+  if (bus_observer_) {
+    bus_observer_(channel_, r.start, r.end);
+  }
+  return r.end;
+}
+
 Tick FlashController::ReadSlice(Tick now, const GroupAddress& addr) {
   const Tick start = tags_.Acquire(now);
   // Command phase: a few bus cycles, modelled as pure latency so queued
@@ -44,7 +56,7 @@ Tick FlashController::ReadSlice(Tick now, const GroupAddress& addr) {
   const Tick read_done = packages_[addr.package]->ReadPages(cmd_done, addr.block, addr.page);
   const double slice_bytes =
       static_cast<double>(config_.planes_per_package) * config_.page_bytes;
-  const Tick done = bus_.Reserve(read_done, slice_bytes).end;
+  const Tick done = ReserveBus(read_done, slice_bytes);
   tags_.Release(done);
   return done;
 }
@@ -53,7 +65,7 @@ Tick FlashController::ProgramSlice(Tick now, const GroupAddress& addr) {
   const Tick start = tags_.Acquire(now);
   const double slice_bytes =
       static_cast<double>(config_.planes_per_package) * config_.page_bytes;
-  const Tick xfer_done = bus_.Reserve(start, slice_bytes).end;
+  const Tick xfer_done = ReserveBus(start, slice_bytes);
   const Tick done = packages_[addr.package]->ProgramPages(xfer_done, addr.block, addr.page);
   tags_.Release(done);
   return done;
@@ -65,6 +77,18 @@ Tick FlashController::EraseSlice(Tick now, int package, int block) {
   const Tick done = packages_[package]->EraseBlock(cmd_done, block);
   tags_.Release(done);
   return done;
+}
+
+void FlashController::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterCounter(prefix + "/tag_acquires", &tags_.acquires_counter());
+  reg->RegisterCounter(prefix + "/tag_wait_ns", &tags_.wait_ns_counter());
+  reg->RegisterGauge(prefix + "/bus_bytes_moved",
+                     [this](Tick) { return bus_.bytes_moved(); });
+  reg->RegisterGauge(prefix + "/bus_busy_ns",
+                     [this](Tick now) { return static_cast<double>(BusBusyTime(now)); });
+  for (std::size_t p = 0; p < packages_.size(); ++p) {
+    packages_[p]->RegisterMetrics(reg, prefix + "/pkg" + std::to_string(p));
+  }
 }
 
 }  // namespace fabacus

@@ -5,13 +5,17 @@
 #ifndef SRC_FLASH_FLASH_CONTROLLER_H_
 #define SRC_FLASH_FLASH_CONTROLLER_H_
 
+#include <functional>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/flash/nand_config.h"
 #include "src/flash/nand_package.h"
+#include "src/sim/metrics.h"
 #include "src/sim/resource.h"
+#include "src/sim/stats.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -27,11 +31,18 @@ class TagQueue {
   void Release(Tick completion);
 
   int depth() const { return depth_; }
+  std::uint64_t acquires() const { return acquires_.value(); }
+  // Total simulated time Acquire() callers waited for a free tag.
+  std::uint64_t wait_ns() const { return wait_ns_.value(); }
+  const Counter& acquires_counter() const { return acquires_; }
+  const Counter& wait_ns_counter() const { return wait_ns_; }
 
  private:
   int depth_;
   // Completion times of in-flight ops, earliest first.
   std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>> inflight_;
+  Counter acquires_;
+  Counter wait_ns_;
 };
 
 class FlashController {
@@ -52,13 +63,26 @@ class FlashController {
   double bus_bytes_moved() const { return bus_.bytes_moved(); }
   Tick BusBusyTime(Tick now) const { return bus_.BusyTime(now); }
   double BusUtilization(Tick now) const { return bus_.Utilization(now); }
+  const TagQueue& tags() const { return tags_; }
+
+  // Observer invoked with (channel, start, end) for every NV-DDR2 bus data
+  // transfer — the per-channel kFlashChan trace tracks are built from these.
+  using BusObserver = std::function<void(int channel, Tick start, Tick end)>;
+  void set_bus_observer(BusObserver obs) { bus_observer_ = std::move(obs); }
+
+  // Registers this channel's bus/tag metrics plus every package's counters
+  // under `prefix` (e.g. "flash/ch0" -> "flash/ch0/pkg1/reads").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
 
  private:
+  Tick ReserveBus(Tick now, double bytes);
+
   const NandConfig& config_;
   int channel_;
   BandwidthResource bus_;
   TagQueue tags_;
   std::vector<std::unique_ptr<NandPackage>> packages_;
+  BusObserver bus_observer_;
 };
 
 }  // namespace fabacus

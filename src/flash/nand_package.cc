@@ -27,6 +27,7 @@ Tick NandPackage::ReadPages(Tick now, int block, int page) {
   FAB_CHECK_LT(block, config_.blocks_per_plane);
   FAB_CHECK_GE(page, 0);
   FAB_CHECK_LT(page, config_.pages_per_block);
+  reads_.Add();
   return Occupy(now, config_.read_latency);
 }
 
@@ -39,6 +40,7 @@ Tick NandPackage::ProgramPages(Tick now, int block, int page) {
       << "out-of-order program in block " << block << " (pkg " << index_ << ")";
   FAB_CHECK_LT(page, config_.pages_per_block) << "program past end of block " << block;
   ++write_point_[block];
+  programs_.Add();
   return Occupy(now, config_.program_latency);
 }
 
@@ -48,7 +50,7 @@ Tick NandPackage::EraseBlock(Tick now, int block) {
   FAB_CHECK(!bad_[block]) << "erase of bad block " << block;
   write_point_[block] = 0;
   ++wear_[block];
-  ++total_erases_;
+  total_erases_.Add();
   return Occupy(now, config_.erase_latency);
 }
 
@@ -62,6 +64,14 @@ bool NandPackage::IsProgrammed(int block, int page) const {
 
 std::uint64_t NandPackage::max_wear() const {
   return *std::max_element(wear_.begin(), wear_.end());
+}
+
+void NandPackage::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterCounter(prefix + "/reads", &reads_);
+  reg->RegisterCounter(prefix + "/programs", &programs_);
+  reg->RegisterCounter(prefix + "/erases", &total_erases_);
+  reg->RegisterGauge(prefix + "/busy_ns",
+                     [this](Tick now) { return static_cast<double>(BusyTime(now)); });
 }
 
 }  // namespace fabacus

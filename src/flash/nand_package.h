@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/flash/nand_config.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -30,7 +31,9 @@ class NandPackage {
   bool IsProgrammed(int block, int page) const;
   std::uint64_t wear(int block) const { return wear_[block]; }
   std::uint64_t max_wear() const;
-  std::uint64_t total_erases() const { return total_erases_; }
+  std::uint64_t total_erases() const { return total_erases_.value(); }
+  std::uint64_t total_reads() const { return reads_.value(); }
+  std::uint64_t total_programs() const { return programs_.value(); }
   bool IsBad(int block) const { return bad_[block]; }
   void MarkBad(int block) { bad_[block] = true; }
 
@@ -39,6 +42,10 @@ class NandPackage {
   double Utilization(Tick now) const { return busy_.Utilization(now); }
   int channel() const { return channel_; }
   int index() const { return index_; }
+
+  // Registers read/program/erase counters and a busy-time gauge under
+  // `prefix` (e.g. "flash/ch0/pkg1").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
 
  private:
   Tick Occupy(Tick now, Tick duration);
@@ -53,7 +60,9 @@ class NandPackage {
   std::vector<std::int32_t> write_point_;
   std::vector<std::uint64_t> wear_;
   std::vector<bool> bad_;
-  std::uint64_t total_erases_ = 0;
+  Counter reads_;
+  Counter programs_;
+  Counter total_erases_;
 
   static constexpr std::int32_t kNeverErased = -1;
 };

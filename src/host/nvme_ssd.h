@@ -10,7 +10,9 @@
 #include <unordered_map>
 
 #include "src/mem/byte_store.h"
+#include "src/sim/metrics.h"
 #include "src/sim/resource.h"
+#include "src/sim/stats.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -47,7 +49,18 @@ class NvmeSsd {
   const NvmeConfig& config() const { return config_; }
   double bytes_read() const { return bytes_read_; }
   double bytes_written() const { return bytes_written_; }
+  std::uint64_t commands() const { return channel_.transfers(); }
   Tick BusyTime(Tick now) const { return channel_.BusyTime(now); }
+
+  // Registers command counter plus byte/busy gauges under `prefix`
+  // (e.g. "ssd").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+    reg->RegisterCounter(prefix + "/commands", &channel_.transfers_counter());
+    reg->RegisterGauge(prefix + "/bytes_read", [this](Tick) { return bytes_read_; });
+    reg->RegisterGauge(prefix + "/bytes_written", [this](Tick) { return bytes_written_; });
+    reg->RegisterGauge(prefix + "/busy_ns",
+                       [this](Tick now) { return static_cast<double>(BusyTime(now)); });
+  }
 
  private:
   struct FileExtent {

@@ -9,7 +9,7 @@ OffloadRuntime::OffloadRuntime(const FlashAbacusConfig& config, std::uint64_t se
 
 OffloadRuntime::~OffloadRuntime() = default;
 
-RunResult OffloadRuntime::Execute(const std::vector<Job>& jobs, SchedulerKind kind) {
+RunReport OffloadRuntime::Execute(const std::vector<Job>& jobs, SchedulerKind kind) {
   FAB_CHECK(!jobs.empty());
   last_raw_.clear();
   last_workloads_.clear();
@@ -30,9 +30,9 @@ RunResult OffloadRuntime::Execute(const std::vector<Job>& jobs, SchedulerKind ki
   }
   sim_.Run();
 
-  RunResult result;
+  RunReport result;
   bool done = false;
-  device_->Run(last_raw_, kind, [&](RunResult r) {
+  device_->Run(last_raw_, kind, [&](RunReport r) {
     result = std::move(r);
     done = true;
   });

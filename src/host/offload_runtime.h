@@ -37,7 +37,7 @@ class OffloadRuntime {
   // Prepares the jobs' instances (app_id = job index), installs their data
   // on flash, executes them under `kind`, and returns when everything has
   // completed. Can be called repeatedly; each call appends fresh instances.
-  RunResult Execute(const std::vector<Job>& jobs, SchedulerKind kind);
+  RunReport Execute(const std::vector<Job>& jobs, SchedulerKind kind);
 
   // Instances created by the most recent Execute().
   const std::vector<AppInstance*>& last_instances() const { return last_raw_; }

@@ -10,9 +10,9 @@ namespace fabacus {
 struct SimdSystem::RunState {
   std::deque<AppInstance*> pending;
   std::vector<AppInstance*> instances;
-  std::function<void(RunResult)> done_cb;
+  std::function<void(RunReport)> done_cb;
   Tick start_time = 0;
-  RunResult result;
+  RunReport result;
   bool finished = false;
 };
 
@@ -31,6 +31,26 @@ SimdSystem::SimdSystem(Simulator* sim, const SimdConfig& config) : sim_(sim), co
     lwps_.push_back(
         std::make_unique<Lwp>(i, config_.lwp, dram_.get(), tier1_.get(), config_.cache));
   }
+  RegisterMetrics();
+}
+
+void SimdSystem::RegisterMetrics() {
+  for (const auto& l : lwps_) {
+    l->RegisterMetrics(&metrics_, "lwp/" + std::to_string(l->id()));
+  }
+  dram_->RegisterMetrics(&metrics_, "dram");
+  tier1_->RegisterMetrics(&metrics_, "noc/tier1");
+  ssd_->RegisterMetrics(&metrics_, "ssd");
+  metrics_.RegisterGauge("host_cpu/busy_ns", [this](Tick now) {
+    return static_cast<double>(host_cpu_->BusyTime(now));
+  });
+  metrics_.RegisterGauge("host_cpu/utilization",
+                         [this](Tick now) { return host_cpu_->Utilization(now); });
+  metrics_.RegisterCounter("pcie/transfers", &pcie_->transfers_counter());
+  metrics_.RegisterGauge("pcie/bytes_moved", [this](Tick) { return pcie_->bytes_moved(); });
+  metrics_.RegisterGauge("pcie/busy_ns", [this](Tick now) {
+    return static_cast<double>(pcie_->BusyTime(now));
+  });
 }
 
 std::string SimdSystem::FileName(const AppInstance& inst, int section_idx) {
@@ -77,7 +97,7 @@ void SimdSystem::InstallData(AppInstance* inst) {
   }
 }
 
-void SimdSystem::Run(std::vector<AppInstance*> instances, std::function<void(RunResult)> done) {
+void SimdSystem::Run(std::vector<AppInstance*> instances, std::function<void(RunReport)> done) {
   FAB_CHECK(run_ == nullptr || run_->finished);
   FAB_CHECK(!instances.empty());
   run_ = std::make_unique<RunState>();
@@ -149,7 +169,7 @@ void SimdSystem::RunMicroblock(SimdSystem::RunState* rs, AppInstance* inst, int 
   for (int s = 0; s < fanout; ++s) {
     const ScreenWork work = ComputeScreenWork(*inst, mblk, s, fanout);
     const Lwp::ScreenTiming t = lwps_[static_cast<std::size_t>(s)]->ExecuteScreen(ready, work);
-    trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy);
+    trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy, s);
     barrier = std::max(barrier, t.end);
   }
   sim_->ScheduleAt(barrier, [this, rs, inst, mblk, fanout]() {
@@ -229,8 +249,9 @@ void SimdSystem::ReadSectionFromSsd(AppInstance* inst, int section_idx,
 }
 
 void SimdSystem::FinalizeResult(SimdSystem::RunState* rs) {
-  RunResult& res = rs->result;
+  RunReport& res = rs->result;
   const Tick end = sim_->Now();
+  res.metrics = metrics_.Snapshot(end);
   res.makespan = end - rs->start_time;
   double input_bytes = 0.0;
   for (const AppInstance* inst : rs->instances) {

@@ -23,6 +23,7 @@
 #include "src/mem/dram.h"
 #include "src/noc/crossbar.h"
 #include "src/power/power_model.h"
+#include "src/sim/metrics.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
 
@@ -58,8 +59,8 @@ class SimdSystem {
   void InstallData(AppInstance* inst);
 
   // Executes the instances in submission order (strictly serial body loops);
-  // `done` receives the populated RunResult.
-  void Run(std::vector<AppInstance*> instances, std::function<void(RunResult)> done);
+  // `done` receives the populated RunReport.
+  void Run(std::vector<AppInstance*> instances, std::function<void(RunReport)> done);
 
   // Reads an output section's file contents (for end-to-end verification).
   void ReadSectionFromSsd(AppInstance* inst, int section_idx, std::vector<float>* out);
@@ -68,6 +69,7 @@ class SimdSystem {
 
   NvmeSsd& ssd() { return *ssd_; }
   RunTrace& trace() { return trace_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
   const SimdConfig& config() const { return config_; }
   int num_lwps() const { return static_cast<int>(lwps_.size()); }
 
@@ -79,6 +81,7 @@ class SimdSystem {
   void FinishCompute(RunState* rs, AppInstance* inst, Tick when);
   std::uint64_t SectionModelBytes(const AppInstance& inst, const DataSection& s) const;
   void FinalizeResult(RunState* rs);
+  void RegisterMetrics();
 
   Simulator* sim_;
   SimdConfig config_;
@@ -90,6 +93,7 @@ class SimdSystem {
   std::unique_ptr<BandwidthResource> pcie_;
   std::vector<std::unique_ptr<Lwp>> lwps_;
   RunTrace trace_;
+  MetricsRegistry metrics_;
   std::unique_ptr<RunState> run_;
 };
 

@@ -17,12 +17,14 @@ Dram::Dram(const DramConfig& config) : config_(config) {
 }
 
 Tick Dram::Access(Tick now, std::uint64_t addr, double bytes) {
+  accesses_.Add();
   const std::size_t bank =
       static_cast<std::size_t>((addr / interleave_granule_) % banks_.size());
   return banks_[bank]->Reserve(now, bytes).end;
 }
 
 Tick Dram::BulkAccess(Tick now, double bytes) {
+  accesses_.Add();
   const double per_bank = bytes / static_cast<double>(banks_.size());
   Tick end = now;
   for (auto& bank : banks_) {
@@ -56,6 +58,15 @@ double Dram::Utilization(Tick now) const {
     sum += bank->Utilization(now);
   }
   return sum / static_cast<double>(banks_.size());
+}
+
+void Dram::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterCounter(prefix + "/accesses", &accesses_);
+  reg->RegisterGauge(prefix + "/bytes_moved", [this](Tick) { return bytes_moved(); });
+  reg->RegisterGauge(prefix + "/busy_ns",
+                     [this](Tick now) { return static_cast<double>(BusyTime(now)); });
+  reg->RegisterGauge(prefix + "/utilization",
+                     [this](Tick now) { return Utilization(now); });
 }
 
 }  // namespace fabacus

@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/metrics.h"
 #include "src/sim/resource.h"
+#include "src/sim/stats.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -34,13 +36,19 @@ class Dram {
 
   const DramConfig& config() const { return config_; }
   double bytes_moved() const;
+  std::uint64_t accesses() const { return accesses_.value(); }
   Tick BusyTime(Tick now) const;
   double Utilization(Tick now) const;
+
+  // Registers access counter plus bytes/busy/utilization gauges under
+  // `prefix` (e.g. "dram").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
 
  private:
   DramConfig config_;
   std::vector<std::unique_ptr<BandwidthResource>> banks_;
   std::uint64_t interleave_granule_ = 4096;
+  Counter accesses_;
 };
 
 }  // namespace fabacus

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/metrics.h"
 #include "src/sim/resource.h"
 #include "src/sim/time.h"
 
@@ -35,6 +36,15 @@ class Scratchpad {
   Tick BusyTime(Tick now) const { return port_.BusyTime(now); }
   double Utilization(Tick now) const { return port_.Utilization(now); }
   double bytes_moved() const { return port_.bytes_moved(); }
+
+  // Registers access counter plus bytes/busy gauges under `prefix`
+  // (e.g. "scratchpad").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+    reg->RegisterCounter(prefix + "/accesses", &port_.transfers_counter());
+    reg->RegisterGauge(prefix + "/bytes_moved", [this](Tick) { return bytes_moved(); });
+    reg->RegisterGauge(prefix + "/busy_ns",
+                       [this](Tick now) { return static_cast<double>(BusyTime(now)); });
+  }
 
  private:
   ScratchpadConfig config_;

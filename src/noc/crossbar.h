@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/metrics.h"
 #include "src/sim/resource.h"
 #include "src/sim/time.h"
 
@@ -34,6 +35,17 @@ class Crossbar {
   double bytes_moved() const { return fabric_.bytes_moved(); }
   double Utilization(Tick now) const { return fabric_.Utilization(now); }
   Tick BusyTime(Tick now) const { return fabric_.BusyTime(now); }
+
+  // Registers fabric transfer counter plus bytes/busy/utilization gauges
+  // under `prefix` (e.g. "noc/tier1").
+  void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
+    reg->RegisterCounter(prefix + "/transfers", &fabric_.transfers_counter());
+    reg->RegisterGauge(prefix + "/bytes_moved", [this](Tick) { return bytes_moved(); });
+    reg->RegisterGauge(prefix + "/busy_ns",
+                       [this](Tick now) { return static_cast<double>(BusyTime(now)); });
+    reg->RegisterGauge(prefix + "/utilization",
+                       [this](Tick now) { return Utilization(now); });
+  }
 
  private:
   CrossbarConfig config_;

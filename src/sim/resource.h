@@ -36,7 +36,7 @@ class BandwidthResource {
     next_free_ = end;
     busy_.AddInterval(start, end);
     bytes_moved_ += bytes;
-    ++transfers_;
+    transfers_.Add();
     return Reservation{start, end};
   }
 
@@ -47,7 +47,8 @@ class BandwidthResource {
   double gb_per_s() const { return gb_per_s_; }
   Tick latency() const { return latency_; }
   double bytes_moved() const { return bytes_moved_; }
-  std::uint64_t transfers() const { return transfers_; }
+  std::uint64_t transfers() const { return transfers_.value(); }
+  const Counter& transfers_counter() const { return transfers_; }
   Tick BusyTime(Tick now) const { return busy_.BusyTime(now); }
   double Utilization(Tick now) const { return busy_.Utilization(now); }
 
@@ -58,7 +59,7 @@ class BandwidthResource {
   Tick next_free_ = 0;
   BusyTracker busy_;
   double bytes_moved_ = 0.0;
-  std::uint64_t transfers_ = 0;
+  Counter transfers_;
 };
 
 }  // namespace fabacus

@@ -28,16 +28,25 @@ class Counter {
 
 // Tracks the total time a resource spends busy. Supports nested/overlapping
 // demand via a depth counter: the resource is busy whenever depth > 0.
+//
+// Edge cases (locked in by sim_test):
+//  * Leave() with depth 0 is a broken Enter/Leave pairing and CHECK-fails —
+//    silently clamping would hide the component bug that unbalanced the
+//    tracker and corrupt every utilization/energy figure derived from it.
+//  * BusyTime(now) with an open interval and `now < open_since_` returns only
+//    the accumulated closed time: the open interval has not yet contributed
+//    any busy time at `now`, and must never contribute a negative span.
 class BusyTracker {
  public:
   // Marks the resource busy starting at `now`.
   void Enter(Tick now);
-  // Marks the end of one unit of demand at `now`.
+  // Marks the end of one unit of demand at `now`. Requires depth() > 0.
   void Leave(Tick now);
   // Adds a closed busy interval [start, end) directly.
   void AddInterval(Tick start, Tick end);
 
-  // Total busy time up to `now` (flushes any open interval).
+  // Total busy time up to `now` (flushes any open interval; an interval
+  // opened after `now` contributes nothing).
   Tick BusyTime(Tick now) const;
   // Busy fraction over [0, now].
   double Utilization(Tick now) const;

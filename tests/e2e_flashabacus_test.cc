@@ -1,8 +1,13 @@
 // End-to-end tests: workloads executed on the full FlashAbacus device under
-// all four schedulers, with functional verification against references and
-// flash round-trip checks.
+// all four schedulers, with functional verification against references,
+// flash round-trip checks, and observability-layer consistency (metrics
+// snapshot coverage, report JSON, Chrome-trace export).
+#include <map>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "src/sim/json.h"
 #include "tests/test_util.h"
 
 namespace fabacus {
@@ -82,7 +87,7 @@ TEST(E2eFlashAbacus, OutputSectionRoundTripsThroughFlash) {
   dev.InstallData(&inst, [](Tick) {});
   sim.Run();
   bool done = false;
-  dev.Run({&inst}, SchedulerKind::kIntraOutOfOrder, [&](RunResult) { done = true; });
+  dev.Run({&inst}, SchedulerKind::kIntraOutOfOrder, [&](RunReport) { done = true; });
   sim.Run();
   ASSERT_TRUE(done);
   // Output section index 1 = img_out; its flash contents must equal the
@@ -136,12 +141,81 @@ INSTANTIATE_TEST_SUITE_P(
       return n;
     });
 
+TEST(E2eFlashAbacus, MetricsSnapshotCoversEveryComponent) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  E2eOutcome out = RunOnFlashAbacus(*wl, 2, SchedulerKind::kIntraOutOfOrder);
+  ASSERT_TRUE(out.run_done);
+  const MetricsSnapshot& m = out.result.metrics;
+  // At least one populated counter per component family of the device.
+  EXPECT_GT(m.Value("lwp/2/screens_executed"), 0.0);
+  EXPECT_GT(m.Value("flashvisor/reads_served"), 0.0);
+  EXPECT_GT(m.Value("flash/reads"), 0.0);
+  EXPECT_GT(m.Value("flash/ch0/tag_acquires"), 0.0);
+  EXPECT_GT(m.Value("dram/accesses"), 0.0);
+  EXPECT_TRUE(m.Has("storengine/gc_passes"));
+  EXPECT_TRUE(m.Has("scratchpad/accesses"));
+  EXPECT_TRUE(m.Has("noc/tier1/transfers"));
+  EXPECT_TRUE(m.Has("pcie/transfers"));
+}
+
+TEST(E2eFlashAbacus, ReportJsonParsesWithSchemaVersion) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  E2eOutcome out = RunOnFlashAbacus(*wl, 2, SchedulerKind::kIntraOutOfOrder);
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(ParseJson(out.result.ToJson(), &v, &err)) << err;
+  EXPECT_DOUBLE_EQ(v["schema_version"].num_v, RunReport::kSchemaVersion);
+  EXPECT_EQ(v["system"].str_v, "IntraO3");
+  EXPECT_GT(v["makespan_ns"].num_v, 0.0);
+  EXPECT_GT(v["metrics"]["flashvisor/reads_served"].num_v, 0.0);
+  ASSERT_TRUE(v["trace_summary"].is_object());
+  EXPECT_GT(v["trace_summary"]["lwp_compute"]["union_ns"].num_v, 0.0);
+}
+
+TEST(E2eFlashAbacus, ChromeTraceRoundTripsAndMatchesTraceAggregates) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  E2eOutcome out = RunOnFlashAbacus(*wl, 2, SchedulerKind::kIntraOutOfOrder);
+  ASSERT_TRUE(out.run_done);
+  const std::string json = out.result.trace.ToChromeTrace();
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(ParseJson(json, &v, &err)) << err;
+  ASSERT_TRUE(v["traceEvents"].is_array());
+  ASSERT_FALSE(v["traceEvents"].array_v.empty());
+
+  // Sum of "X" event durations per pid (= tag) must reproduce the trace's
+  // per-tag TotalTime; timestamps are microseconds.
+  std::map<int, double> dur_us;
+  std::size_t x_events = 0;
+  for (const JsonValue& ev : v["traceEvents"].array_v) {
+    if (ev["ph"].str_v == "X") {
+      dur_us[static_cast<int>(ev["pid"].num_v)] += ev["dur"].num_v;
+      ++x_events;
+    } else {
+      EXPECT_EQ(ev["ph"].str_v, "M");  // only metadata besides complete events
+    }
+  }
+  EXPECT_EQ(x_events, out.result.trace.intervals().size());
+  for (const auto& [pid, us] : dur_us) {
+    const TraceTag tag = static_cast<TraceTag>(pid);
+    const double want_us = static_cast<double>(out.result.trace.TotalTime(tag)) / 1e3;
+    EXPECT_NEAR(us, want_us, 1e-6 * want_us + 1.0) << TraceTagName(tag);
+  }
+  // The per-LWP rows cover the compute tag: every kLwpCompute interval landed
+  // on a worker's track (LWP ids 2.. on FlashAbacus).
+  for (const TaggedInterval& iv : out.result.trace.intervals()) {
+    if (iv.tag == TraceTag::kLwpCompute) {
+      EXPECT_GE(iv.track, 2);
+    }
+  }
+}
+
 TEST(E2eFlashAbacus, EnergyDecompositionIsPopulated) {
   const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
   E2eOutcome out = RunOnFlashAbacus(*wl, 2, SchedulerKind::kIntraOutOfOrder);
-  EXPECT_GT(out.result.EnergyComputation(), 0.0);
-  EXPECT_GT(out.result.EnergyStorage(), 0.0);
-  EXPECT_GT(out.result.EnergyTotal(), out.result.EnergyComputation());
+  EXPECT_GT(out.result.EnergySummary().computation_j, 0.0);
+  EXPECT_GT(out.result.EnergySummary().storage_access_j, 0.0);
+  EXPECT_GT(out.result.EnergySummary().total_j, out.result.EnergySummary().computation_j);
 }
 
 }  // namespace

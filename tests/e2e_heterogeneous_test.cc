@@ -9,7 +9,7 @@ namespace fabacus {
 namespace {
 
 struct MixOutcome {
-  RunResult result;
+  RunReport result;
   std::vector<std::unique_ptr<AppInstance>> instances;
   std::vector<const Workload*> apps;
   bool run_done = false;
@@ -45,7 +45,7 @@ MixOutcome RunMix(int mix, int per_app, SchedulerKind kind,
     dev.InstallData(inst, [](Tick) {});
   }
   sim.Run();
-  dev.Run(raw, kind, [&](RunResult r) {
+  dev.Run(raw, kind, [&](RunReport r) {
     out.result = std::move(r);
     out.run_done = true;
   });

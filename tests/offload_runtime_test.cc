@@ -8,15 +8,13 @@ namespace fabacus {
 namespace {
 
 FlashAbacusConfig FastConfig() {
-  FlashAbacusConfig cfg;
-  cfg.model_scale = 1.0 / 256.0;
-  return cfg;
+  return FlashAbacusConfig::Small();
 }
 
 TEST(OffloadRuntime, ExecutesAndVerifiesSingleJob) {
   OffloadRuntime rt(FastConfig());
   const Workload* gemm = WorkloadRegistry::Get().Find("GEMM");
-  const RunResult r = rt.Execute({{gemm, 2}}, SchedulerKind::kIntraOutOfOrder);
+  const RunReport r = rt.Execute({{gemm, 2}}, SchedulerKind::kIntraOutOfOrder);
   EXPECT_GT(r.makespan, 0u);
   EXPECT_EQ(r.completion_times.size(), 2u);
   EXPECT_TRUE(rt.VerifyLast());
@@ -37,9 +35,9 @@ TEST(OffloadRuntime, MultipleJobsGetDistinctAppIds) {
 TEST(OffloadRuntime, BackToBackExecutesOnOneDevice) {
   OffloadRuntime rt(FastConfig());
   const Workload* wl = WorkloadRegistry::Get().Find("2DCON");
-  const RunResult first = rt.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
+  const RunReport first = rt.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
   EXPECT_TRUE(rt.VerifyLast());
-  const RunResult second = rt.Execute({{wl, 1}}, SchedulerKind::kIntraOutOfOrder);
+  const RunReport second = rt.Execute({{wl, 1}}, SchedulerKind::kIntraOutOfOrder);
   EXPECT_TRUE(rt.VerifyLast());
   EXPECT_GT(first.makespan, 0u);
   EXPECT_GT(second.makespan, 0u);
@@ -64,9 +62,9 @@ TEST(OffloadRuntime, PscSleepReducesEnergyOnSparseWork) {
   const Workload* wl = WorkloadRegistry::Get().Find("SYRK");
   OffloadRuntime a(with_psc);
   OffloadRuntime b(no_psc);
-  const RunResult ra = a.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
-  const RunResult rb = b.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
-  EXPECT_LT(ra.EnergyComputation(), rb.EnergyComputation());
+  const RunReport ra = a.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
+  const RunReport rb = b.Execute({{wl, 1}}, SchedulerKind::kInterDynamic);
+  EXPECT_LT(ra.EnergySummary().computation_j, rb.EnergySummary().computation_j);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ namespace fabacus {
 namespace {
 
 FlashAbacusConfig ScenarioConfig() {
-  FlashAbacusConfig cfg;
+  FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
   cfg.model_scale = 1.0 / 64.0;
   return cfg;
 }
@@ -31,7 +31,7 @@ std::vector<OffloadRuntime::Job> Fig5Jobs(const Workload* kernel) {
 TEST(PaperFig5, StaticSerializesKernelsOfOneApp) {
   auto kernel = MakeSynthetic(0.0, 640.0, /*io_free=*/true);
   OffloadRuntime rt(ScenarioConfig());
-  const RunResult r = rt.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kInterStatic);
+  const RunReport r = rt.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kInterStatic);
   // Each app's two kernels share one LWP: the second completes ~2x after the
   // first (Fig 5b's timing diagram).
   std::vector<Tick> t = r.completion_times;
@@ -47,8 +47,8 @@ TEST(PaperFig5, DynamicRunsSecondKernelsInParallel) {
   auto kernel = MakeSynthetic(0.0, 640.0, /*io_free=*/true);
   OffloadRuntime rt_static(ScenarioConfig());
   OffloadRuntime rt_dynamic(ScenarioConfig());
-  const RunResult st = rt_static.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kInterStatic);
-  const RunResult dy =
+  const RunReport st = rt_static.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kInterStatic);
+  const RunReport dy =
       rt_dynamic.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kInterDynamic);
   // Fig 5c: k1 and k3 run on the idle LWPs, cutting their latency; the whole
   // batch finishes in about half the static time (4 kernels, 6 workers).
@@ -62,9 +62,9 @@ TEST(PaperFig7, IntraSchedulingCutsSingleKernelLatency) {
   auto kernel = MakeSynthetic(0.0, 640.0, /*io_free=*/true);
   OffloadRuntime rt_inter(ScenarioConfig());
   OffloadRuntime rt_intra(ScenarioConfig());
-  const RunResult inter =
+  const RunReport inter =
       rt_inter.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kInterDynamic);
-  const RunResult intra =
+  const RunReport intra =
       rt_intra.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kIntraInOrder);
   const Tick inter_first =
       *std::min_element(inter.completion_times.begin(), inter.completion_times.end());
@@ -79,8 +79,8 @@ TEST(PaperFig7, OutOfOrderBorrowsScreensAcrossSerialMicroblocks) {
   auto kernel = MakeSynthetic(0.4, 640.0, /*io_free=*/true);
   OffloadRuntime rt_io(ScenarioConfig());
   OffloadRuntime rt_o3(ScenarioConfig());
-  const RunResult io = rt_io.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kIntraInOrder);
-  const RunResult o3 =
+  const RunReport io = rt_io.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kIntraInOrder);
+  const RunReport o3 =
       rt_o3.Execute(Fig5Jobs(kernel.get()), SchedulerKind::kIntraOutOfOrder);
   EXPECT_LT(o3.makespan, io.makespan);
   EXPECT_TRUE(rt_io.VerifyLast());

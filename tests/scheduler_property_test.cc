@@ -92,10 +92,9 @@ TEST_P(SchedulerPropertyTest, RandomKernelsSatisfyInvariantsUnderAllSchedulers) 
                                  SchedulerKind::kIntraInOrder,
                                  SchedulerKind::kIntraOutOfOrder};
   for (SchedulerKind kind : kinds) {
-    FlashAbacusConfig cfg;
-    cfg.model_scale = 1.0 / 256.0;
+    FlashAbacusConfig cfg = FlashAbacusConfig::Small();
     OffloadRuntime rt(cfg);
-    const RunResult r = rt.Execute({{&wl_a, 2}, {&wl_b, 2}}, kind);
+    const RunReport r = rt.Execute({{&wl_a, 2}, {&wl_b, 2}}, kind);
 
     // Completion invariants.
     ASSERT_EQ(r.completion_times.size(), 4u) << SchedulerKindName(kind);
@@ -122,10 +121,9 @@ TEST_P(SchedulerPropertyTest, TotalComputeIdenticalAcrossSchedulers) {
   Tick first_total = 0;
   for (SchedulerKind kind :
        {SchedulerKind::kInterDynamic, SchedulerKind::kIntraOutOfOrder}) {
-    FlashAbacusConfig cfg;
-    cfg.model_scale = 1.0 / 256.0;
+    FlashAbacusConfig cfg = FlashAbacusConfig::Small();
     OffloadRuntime rt(cfg);
-    const RunResult r = rt.Execute({{&wl, 3}}, kind);
+    const RunReport r = rt.Execute({{&wl, 3}}, kind);
     const Tick total = r.trace.TotalTime(TraceTag::kLwpCompute);
     if (first_total == 0) {
       first_total = total;

@@ -9,7 +9,7 @@ namespace fabacus {
 namespace {
 
 struct SimdOutcome {
-  RunResult result;
+  RunReport result;
   std::vector<std::unique_ptr<AppInstance>> instances;
   bool run_done = false;
 };
@@ -34,7 +34,7 @@ SimdOutcome RunOnSimd(const Workload& wl, int n_instances,
     raw.push_back(inst.get());
     out.instances.push_back(std::move(inst));
   }
-  simd.Run(raw, [&](RunResult r) {
+  simd.Run(raw, [&](RunReport r) {
     out.result = std::move(r);
     out.run_done = true;
   });
@@ -73,7 +73,7 @@ TEST(SimdSystem, OutputWrittenBackToSsd) {
   wl->Prepare(inst, rng);
   simd.InstallData(&inst);
   bool done = false;
-  simd.Run({&inst}, [&](RunResult) { done = true; });
+  simd.Run({&inst}, [&](RunReport) { done = true; });
   sim.Run();
   ASSERT_TRUE(done);
   std::vector<float> from_ssd;
@@ -86,8 +86,8 @@ TEST(SimdSystem, EnergyDominatedByHostForDataIntensive) {
   // data-intensive applications on the conventional system.
   const Workload* wl = WorkloadRegistry::Get().Find("BICG");
   SimdOutcome out = RunOnSimd(*wl, 2);
-  const double host_side = out.result.EnergyDataMovement() + out.result.EnergyStorage();
-  EXPECT_GT(host_side, out.result.EnergyComputation());
+  const double host_side = out.result.EnergySummary().data_movement_j + out.result.EnergySummary().storage_access_j;
+  EXPECT_GT(host_side, out.result.EnergySummary().computation_j);
 }
 
 TEST(SimdVsFlashAbacus, FlashAbacusFasterOnDataIntensiveWorkload) {
@@ -108,7 +108,7 @@ TEST(SimdVsFlashAbacus, FlashAbacusUsesLessEnergy) {
   FlashAbacusConfig fa_cfg;
   fa_cfg.model_scale = 1.0 / 64.0;
   E2eOutcome fa = RunOnFlashAbacus(*wl, 6, SchedulerKind::kIntraOutOfOrder, fa_cfg);
-  EXPECT_LT(fa.result.EnergyTotal(), simd.result.EnergyTotal() * 0.6);
+  EXPECT_LT(fa.result.EnergySummary().total_j, simd.result.EnergySummary().total_j * 0.6);
 }
 
 }  // namespace

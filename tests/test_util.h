@@ -23,18 +23,14 @@ inline NandConfig TinyNand() {
   return cfg;  // 4ch x 4pkg: 4*8=32 block groups, 16 groups each, 32 MB total
 }
 
-// Device config scaled for fast tests.
-inline FlashAbacusConfig TestDeviceConfig() {
-  FlashAbacusConfig cfg;
-  cfg.model_scale = 1.0 / 256.0;
-  return cfg;
-}
+// Device config scaled for fast tests (the Small preset).
+inline FlashAbacusConfig TestDeviceConfig() { return FlashAbacusConfig::Small(); }
 
 // Runs `workload` end to end on a fresh FlashAbacus device under `kind`.
 // Returns the run result; `instances` receives the executed instances so the
 // caller can Verify() them.
 struct E2eOutcome {
-  RunResult result;
+  RunReport result;
   std::vector<std::unique_ptr<AppInstance>> instances;
   bool install_done = false;
   bool run_done = false;
@@ -64,7 +60,7 @@ inline E2eOutcome RunOnFlashAbacus(const Workload& workload, int n_instances,
     });
   }
   sim.Run();
-  dev.Run(raw, kind, [&](RunResult r) {
+  dev.Run(raw, kind, [&](RunReport r) {
     out.result = std::move(r);
     out.run_done = true;
   });

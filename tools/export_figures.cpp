@@ -108,9 +108,9 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> rows;
     for (const BenchRun& r : runs) {
       rows.push_back({r.result.throughput_mb_s, TicksToMs(r.result.makespan),
-                      r.result.worker_utilization * 100.0, r.result.EnergyTotal(),
-                      r.result.EnergyDataMovement(), r.result.EnergyComputation(),
-                      r.result.EnergyStorage(), r.verified ? 1.0 : 0.0});
+                      r.result.worker_utilization * 100.0, r.result.EnergySummary().total_j,
+                      r.result.EnergySummary().data_movement_j, r.result.EnergySummary().computation_j,
+                      r.result.EnergySummary().storage_access_j, r.verified ? 1.0 : 0.0});
     }
     if (!WriteCsv(outdir + "/summary_" + target + ".csv",
                   "throughput_mb_s,makespan_ms,utilization_pct,energy_j,e_move_j,"

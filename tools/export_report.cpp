@@ -1,0 +1,169 @@
+// export_report: runs one workload set on one system and writes the full
+// observability artifacts — the versioned RunReport JSON (metrics snapshot,
+// energy decomposition, latency summary, trace aggregates) and the
+// Perfetto-loadable Chrome trace-event JSON. See docs/OBSERVABILITY.md.
+//
+// Usage:
+//   export_report --workload=gemm --sched=intra_o3
+//   export_report --workload=MX3 --sched=simd --instances=4 --out=/tmp/rep
+//
+// Flags:
+//   --workload=NAME|MXn  workload name (case-insensitive) or mix MX1..MX14
+//   --sched=KIND         simd | inter_st | inter_dy | intra_io | intra_o3
+//   --instances=N        instances per app (default 6 single / 4 mix)
+//   --out=DIR            output directory (default ".")
+//   --scale=F            modelled-data scale (default 1/16)
+//   --seed=N             RNG seed (default 42)
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace fabacus {
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+const Workload* FindWorkload(const std::string& name) {
+  const std::string want = Lower(name);
+  for (const Workload* w : WorkloadRegistry::Get().all()) {
+    if (Lower(w->name()) == want) {
+      return w;
+    }
+  }
+  return nullptr;
+}
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "export_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(body.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: export_report --workload=NAME|MXn "
+               "--sched=simd|inter_st|inter_dy|intra_io|intra_o3 "
+               "[--instances=N] [--out=DIR] [--scale=F] [--seed=N]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main(int argc, char** argv) {
+  using namespace fabacus;
+  std::string workload;
+  std::string sched;
+  std::string out_dir = ".";
+  int instances = 0;
+  double scale = kBenchScale;
+  std::uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      return Usage();
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string val = arg.substr(eq + 1);
+    if (key == "workload") {
+      workload = val;
+    } else if (key == "sched") {
+      sched = val;
+    } else if (key == "out") {
+      out_dir = val;
+    } else if (key == "instances") {
+      instances = std::atoi(val.c_str());
+    } else if (key == "scale") {
+      scale = std::atof(val.c_str());
+    } else if (key == "seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(val.c_str()));
+    } else {
+      return Usage();
+    }
+  }
+  if (workload.empty() || sched.empty()) {
+    return Usage();
+  }
+
+  // Resolve the workload set: a heterogeneous mix MXn or a single workload.
+  std::vector<const Workload*> apps;
+  const std::string wl_lower = Lower(workload);
+  if (wl_lower.rfind("mx", 0) == 0) {
+    const int m = std::atoi(wl_lower.c_str() + 2);
+    if (m < 1 || m > WorkloadRegistry::kNumMixes) {
+      std::fprintf(stderr, "export_report: unknown mix '%s' (MX1..MX%d)\n", workload.c_str(),
+                   WorkloadRegistry::kNumMixes);
+      return 2;
+    }
+    apps = WorkloadRegistry::Get().Mix(m);
+    if (instances <= 0) {
+      instances = 4;
+    }
+  } else {
+    const Workload* wl = FindWorkload(workload);
+    if (wl == nullptr) {
+      std::fprintf(stderr, "export_report: unknown workload '%s'; known:", workload.c_str());
+      for (const Workload* w : WorkloadRegistry::Get().all()) {
+        std::fprintf(stderr, " %s", w->name().c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    apps = {wl};
+    if (instances <= 0) {
+      instances = 6;
+    }
+  }
+
+  // Run the requested system.
+  const std::string sched_lower = Lower(sched);
+  BenchRun run;
+  if (sched_lower == "simd") {
+    run = RunSimdSystem(apps, instances, scale, seed);
+  } else if (sched_lower == "inter_st") {
+    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kInterStatic, scale, seed);
+  } else if (sched_lower == "inter_dy") {
+    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kInterDynamic, scale, seed);
+  } else if (sched_lower == "intra_io") {
+    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kIntraInOrder, scale, seed);
+  } else if (sched_lower == "intra_o3") {
+    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kIntraOutOfOrder, scale, seed);
+  } else {
+    std::fprintf(stderr, "export_report: unknown scheduler '%s'\n", sched.c_str());
+    return Usage();
+  }
+
+  const std::string stem = wl_lower + "_" + sched_lower;
+  const std::string report_path = out_dir + "/report_" + stem + ".json";
+  const std::string trace_path = out_dir + "/trace_" + stem + ".json";
+  if (!WriteFile(report_path, run.result.ToJson()) ||
+      !WriteFile(trace_path, run.result.trace.ToChromeTrace())) {
+    return 1;
+  }
+
+  std::printf("system: %s  workload: %s x%d  verified: %s\n", run.system.c_str(),
+              workload.c_str(), instances, run.verified ? "yes" : "NO");
+  std::printf("makespan: %.3f ms  throughput: %.1f MB/s  energy: %.3f J\n",
+              TicksToMs(run.result.makespan), run.result.throughput_mb_s,
+              run.result.EnergySummary().total_j);
+  std::printf("report: %s\ntrace:  %s (load in Perfetto / chrome://tracing)\n",
+              report_path.c_str(), trace_path.c_str());
+  return run.verified ? 0 : 1;
+}
