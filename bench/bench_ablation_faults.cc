@@ -1,0 +1,119 @@
+// Ablation: fault injection and the recovery ladder. The same workload mix
+// runs on progressively less healthy devices — pristine flash, mid-life flash
+// with wear-scaled raw bit errors, end-of-life flash that also fails
+// programs, and a device that loses an entire die mid-run. Each step shows
+// what the recovery machinery (read-retry ladder, program re-allocation, host
+// retries, patrol scrub) costs in makespan versus what it absorbs: every
+// configuration still completes and verifies.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+
+namespace fabacus {
+namespace {
+
+struct FaultOutcome {
+  RunReport report;
+  bool verified = true;
+  bool completed = false;
+};
+
+FaultOutcome RunWithFaults(const FaultConfig& fault) {
+  Simulator sim;
+  FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
+  cfg.model_scale = kBenchScale;
+  cfg.nand.fault = fault;
+  FlashAbacus dev(&sim, cfg);
+
+  std::vector<const Workload*> apps;
+  apps.push_back(WorkloadRegistry::Get().Find("ATAX"));
+  apps.push_back(WorkloadRegistry::Get().Find("GESUM"));
+  Rng rng(42);
+  std::vector<std::unique_ptr<AppInstance>> owned;
+  std::vector<AppInstance*> raw;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (int i = 0; i < 2; ++i) {
+      auto inst = std::make_unique<AppInstance>(static_cast<int>(a), i, &apps[a]->spec(),
+                                                cfg.model_scale);
+      apps[a]->Prepare(*inst, rng);
+      raw.push_back(inst.get());
+      owned.push_back(std::move(inst));
+    }
+  }
+  for (AppInstance* inst : raw) {
+    dev.InstallData(inst, [](Tick) {});
+  }
+  sim.Run();
+
+  FaultOutcome out;
+  dev.Run(raw, SchedulerKind::kIntraOutOfOrder, [&](RunReport r) {
+    out.report = std::move(r);
+    out.completed = true;
+  });
+  sim.Run();
+  for (const auto& inst : owned) {
+    out.verified =
+        out.verified && apps[static_cast<std::size_t>(inst->app_id())]->Verify(*inst);
+  }
+  return out;
+}
+
+double Metric(const FaultOutcome& o, const std::string& name) {
+  return o.report.metrics.Has(name) ? o.report.metrics.Value(name) : 0.0;
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  using namespace fabacus;
+  PrintHeader("Ablation: device health vs recovery-ladder work (IntraO3, ATAX+GESUM x2)");
+
+  FaultConfig pristine;
+
+  FaultConfig midlife;
+  midlife.read_error_base = 0.02;
+  midlife.read_error_wear_slope = 0.5;
+
+  FaultConfig endoflife;
+  endoflife.read_error_base = 0.2;
+  endoflife.read_error_wear_slope = 0.5;
+  endoflife.program_failure_rate = 0.02;
+
+  FaultConfig diekill;
+  diekill.read_error_base = 0.02;
+  diekill.plan.push_back({FaultPlanEntry::Kind::kKillDie, 2 * kMs, 1, 2});
+
+  struct Step {
+    const char* label;
+    FaultConfig fault;
+  };
+  const Step steps[] = {
+      {"pristine", pristine},
+      {"mid-life", midlife},
+      {"end-of-life", endoflife},
+      {"die-kill@2ms", diekill},
+  };
+
+  PrintRow({"device", "makespan(ms)", "retries", "uncorr", "prog-fail", "host-retry",
+            "verified"},
+           13);
+  for (const Step& s : steps) {
+    const FaultOutcome o = RunWithFaults(s.fault);
+    PrintRow({s.label, Fmt(TicksToMs(o.report.makespan), 2),
+              Fmt(Metric(o, "flash/read_retries"), 0),
+              Fmt(Metric(o, "flash/uncorrectable_reads"), 0),
+              Fmt(Metric(o, "flashvisor/program_failure_reallocs"), 0),
+              Fmt(Metric(o, "host/io_retries"), 0),
+              o.completed && o.verified ? "yes" : "NO"},
+             13);
+  }
+  std::printf("\nEvery configuration completes and verifies: correctable errors cost\n"
+              "retry-ladder latency, program failures cost re-allocated block groups,\n"
+              "and a dead die costs degraded (but successful) striped reads.\n");
+  return 0;
+}

@@ -52,7 +52,7 @@ GcOutcome RunOverwriteChurn(bool background_gc) {
     seed.type = Flashvisor::IoRequest::Type::kWrite;
     seed.flash_addr = probe_addr;
     seed.model_bytes = group_bytes;
-    seed.on_complete = [](Tick) {};
+    seed.on_complete = [](Tick, IoStatus) {};
     dev.flashvisor().SubmitIo(std::move(seed));
   }
 
@@ -67,7 +67,7 @@ GcOutcome RunOverwriteChurn(bool background_gc) {
     req.type = Flashvisor::IoRequest::Type::kWrite;
     req.flash_addr = base;
     req.model_bytes = window_bytes;
-    req.on_complete = [&](Tick) {
+    req.on_complete = [&](Tick, IoStatus) {
       if (++done < kPasses) {
         // Next burst once the previous one has drained to flash plus a
         // compute window — the write buffer does not grow without bound.
@@ -95,7 +95,7 @@ GcOutcome RunOverwriteChurn(bool background_gc) {
     req.type = Flashvisor::IoRequest::Type::kRead;
     req.flash_addr = probe_addr;
     req.model_bytes = group_bytes;
-    req.on_complete = [&, issued](Tick t) {
+    req.on_complete = [&, issued](Tick t, IoStatus) {
       read_lat.Record(TicksToUs(t - issued));
       if (done < kPasses) {
         sim.Schedule(5 * kMs, reader);

@@ -8,9 +8,14 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+# Fast pass first (fail fast on the cheap tests), then the slow-labelled
+# long-runners (fuzzers, crash-recovery sweeps) separately so their runtime
+# is visible on its own line.
+ctest --test-dir build -LE slow 2>&1 | tee test_output.txt
+ctest --test-dir build -L slow 2>&1 | tee -a test_output.txt
 
-# Sanitizer pass: the whole suite again under ASan + UBSan with -Werror.
+# Sanitizer pass: the whole suite — slow tests included, since memory bugs
+# love to hide in the long fault/fuzz runs — under ASan + UBSan with -Werror.
 cmake -B build-asan -G Ninja -DFABACUS_SANITIZE=ON -DFABACUS_WERROR=ON
 cmake --build build-asan
 ctest --test-dir build-asan 2>&1 | tee test_asan_output.txt

@@ -46,6 +46,40 @@ void BlockManager::OnErased(std::uint64_t bg) {
   free_.push_back(bg);
 }
 
+void BlockManager::Reset() {
+  free_.clear();
+  used_.clear();
+  retired_count_ = 0;
+  for (std::uint64_t bg = 0; bg < total_; ++bg) {
+    free_.push_back(bg);
+    valid_[bg].assign(groups_per_block_, false);
+    valid_count_[bg] = 0;
+    is_retired_[bg] = false;
+  }
+}
+
+namespace {
+bool EraseFromDeque(std::deque<std::uint64_t>* dq, std::uint64_t bg) {
+  for (auto it = dq->begin(); it != dq->end(); ++it) {
+    if (*it == bg) {
+      dq->erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool BlockManager::TakeFree(std::uint64_t bg) {
+  FAB_CHECK_LT(bg, total_);
+  return EraseFromDeque(&free_, bg);
+}
+
+bool BlockManager::TakeUsed(std::uint64_t bg) {
+  FAB_CHECK_LT(bg, total_);
+  return EraseFromDeque(&used_, bg);
+}
+
 void BlockManager::Retire(std::uint64_t bg) {
   FAB_CHECK_LT(bg, total_);
   if (!is_retired_[bg]) {

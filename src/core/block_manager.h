@@ -28,8 +28,23 @@ class BlockManager {
   std::uint64_t PickVictim();
   // Returns an erased block group to the free pool.
   void OnErased(std::uint64_t bg);
-  // Permanently retires a block group (uncorrectable error / erase failure).
+  // Permanently retires a block group (uncorrectable error / erase failure /
+  // program-status fail). A retired group never re-enters the free pool, but
+  // slots already holding valid data stay readable until the scrubber
+  // migrates them out.
   void Retire(std::uint64_t bg);
+  bool IsRetired(std::uint64_t bg) const { return is_retired_[bg]; }
+
+  // Crash-recovery rebuild support -------------------------------------------
+  // Returns every block group to the free pool and clears all valid bitmaps
+  // and retirement state (the on-die wear/bad state lives in the backbone).
+  void Reset();
+  // Removes `bg` from the free pool (so recovery can re-seal/retire it).
+  // Returns false when `bg` is not currently free.
+  bool TakeFree(std::uint64_t bg);
+  // Removes `bg` from the used pool (scrub victim selection). False when absent.
+  bool TakeUsed(std::uint64_t bg);
+  const std::deque<std::uint64_t>& used() const { return used_; }
 
   // Valid-page-group bookkeeping. `slot` indexes the group within its block
   // group [0, GroupsPerBlockGroup).

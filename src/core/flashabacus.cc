@@ -128,6 +128,80 @@ void FlashAbacus::RegisterMetrics() {
   metrics_.RegisterGauge("pcie/busy_ns", [this](Tick now) {
     return static_cast<double>(pcie_->BusyTime(now));
   });
+  metrics_.RegisterCounter("host/io_retries", &io_retries_);
+  metrics_.RegisterCounter("host/io_failures", &io_failures_);
+  metrics_.RegisterCounter("device/crashes", &crashes_);
+  metrics_.RegisterCounter("device/recoveries", &recoveries_);
+  metrics_.RegisterCounter("device/recovery_lost_groups", &recovery_lost_groups_);
+  metrics_.RegisterCounter("device/recovery_torn_groups", &recovery_torn_groups_);
+  metrics_.RegisterGauge("device/last_recovery_ns",
+                         [this](Tick) { return static_cast<double>(last_recovery_ns_); });
+}
+
+void FlashAbacus::SubmitIoReliable(Flashvisor::IoRequest req, int attempt) {
+  // Snapshot the request (with its original on_complete) before wrapping, so
+  // a retry resubmits an identical request through the same path.
+  Flashvisor::IoRequest retry_copy = req;
+  req.on_complete = [this, retry_copy = std::move(retry_copy), attempt](Tick t,
+                                                                        IoStatus status) mutable {
+    if (status == IoStatus::kUncorrectable && attempt + 1 < config_.io_max_attempts) {
+      // The device could not correct the data; back off and re-read. A
+      // transient cause (die stall, marginal rung) may clear; a hard loss
+      // exhausts the attempts and surfaces below.
+      io_retries_.Add();
+      sim_->Schedule(config_.io_retry_backoff,
+                     [this, retry_copy = std::move(retry_copy), attempt]() mutable {
+                       SubmitIoReliable(std::move(retry_copy), attempt + 1);
+                     });
+      return;
+    }
+    if (status == IoStatus::kUncorrectable || status == IoStatus::kProgramFailed) {
+      io_failures_.Add();
+    }
+    retry_copy.on_complete(t, status);
+  };
+  flashvisor_->SubmitIo(std::move(req));
+}
+
+void FlashAbacus::CrashAt(Tick when) {
+  sim_->ScheduleAt(when, [this]() { Crash(); });
+}
+
+void FlashAbacus::Crash() {
+  // Power cut: everything scheduled after this instant never happens, flash
+  // programs still in flight tear, and all volatile state vanishes. The
+  // flash array itself (data + OOB) survives inside the backbone.
+  crashed_ = true;
+  crashes_.Add();
+  sim_->Halt();
+  storengine_->Stop();
+  backbone_->PowerFail(sim_->Now());
+  flashvisor_->OnPowerLoss();
+  if (run_ != nullptr) {
+    // The range lock died with the device; the abandoned run's lock handles
+    // are meaningless and must not be released against the rebuilt lock.
+    for (AppInstance* inst : run_->instances) {
+      for (DataSection& s : inst->sections()) {
+        s.lock_ids.clear();
+      }
+    }
+  }
+  run_.reset();  // the abandoned run's done callback never fires
+}
+
+Flashvisor::RecoveryReport FlashAbacus::RecoverFromFlash() {
+  FAB_CHECK(crashed_) << "RecoverFromFlash is only valid after a crash";
+  const Tick start = sim_->Now();
+  const Flashvisor::RecoveryReport rep = flashvisor_->RecoverFromFlash(start);
+  // Point Storengine at the journal found on flash so its next dump frees
+  // the right predecessor, then re-arm the background daemons.
+  storengine_->SetJournalLocation(rep.found_journal ? rep.journal_bg : BlockManager::kNone);
+  recoveries_.Add();
+  recovery_lost_groups_.Add(rep.lost_groups);
+  recovery_torn_groups_.Add(rep.torn_groups);
+  last_recovery_ns_ = rep.done - start;
+  crashed_ = false;
+  return rep;
 }
 
 FlashAbacus::~FlashAbacus() = default;
@@ -173,13 +247,13 @@ void FlashAbacus::InstallData(AppInstance* inst, std::function<void(Tick)> done)
       req.func_data = inst->buffer(s.spec->buffer_index).data();
       req.func_bytes = SectionFuncBytes(*inst, s);
     }
-    req.on_complete = [pending, latest, done](Tick t) {
+    req.on_complete = [pending, latest, done](Tick t, IoStatus) {
       *latest = std::max(*latest, t);
       if (--*pending == 0) {
         done(*latest);
       }
     };
-    flashvisor_->SubmitIo(std::move(req));
+    SubmitIoReliable(std::move(req));
   }
   if (*pending == 0) {
     sim_->Schedule(0, [done, latest]() { done(*latest); });
@@ -198,8 +272,8 @@ void FlashAbacus::ReadSectionFromFlash(AppInstance* inst, int section_idx,
   req.model_bytes = s.model_bytes;
   req.func_data = out->data();
   req.func_bytes = func_bytes;
-  req.on_complete = std::move(done);
-  flashvisor_->SubmitIo(std::move(req));
+  req.on_complete = [done = std::move(done)](Tick t, IoStatus) { done(t); };
+  SubmitIoReliable(std::move(req));
 }
 
 void FlashAbacus::Run(std::vector<AppInstance*> instances, SchedulerKind kind,
@@ -336,7 +410,7 @@ void FlashAbacus::StartLoad(RunState* rs, AppInstance* inst) {
     DataSection* section = p.section;
     req.lock_holder = [section](RangeLock::LockId id) { section->lock_ids.push_back(id); };
     if (p.is_head) {
-      req.on_complete = [this, rs, inst](Tick t) {
+      req.on_complete = [this, rs, inst](Tick t, IoStatus) {
         if (--rs->loads_pending[inst] == 0) {
           inst->load_done_time = t;
           rs->chain.MarkLoadDone(inst);
@@ -351,7 +425,7 @@ void FlashAbacus::StartLoad(RunState* rs, AppInstance* inst) {
           }
         }
       };
-      flashvisor_->SubmitIo(std::move(req));
+      SubmitIoReliable(std::move(req));
     } else {
       // Tails self-pace: one outstanding chunk per section, so background
       // streaming never books the whole device ahead of other kernels'
@@ -376,7 +450,7 @@ void FlashAbacus::StreamTail(RunState* rs, AppInstance* inst, DataSection* secti
   req.hold_lock = true;
   req.lock_holder = [section](RangeLock::LockId id) { section->lock_ids.push_back(id); };
   req.on_complete = [this, rs, inst, section, addr, remaining, chunk, func_data,
-                     func_remaining](Tick) {
+                     func_remaining](Tick, IoStatus) {
     if (remaining > chunk) {
       const std::uint64_t consumed_func = std::min(func_remaining, chunk);
       StreamTail(rs, inst, section, addr + chunk, remaining - chunk,
@@ -389,7 +463,7 @@ void FlashAbacus::StreamTail(RunState* rs, AppInstance* inst, DataSection* secti
       StartWriteback(rs, inst);
     }
   };
-  flashvisor_->SubmitIo(std::move(req));
+  SubmitIoReliable(std::move(req));
 }
 
 void FlashAbacus::OnComputeDone(RunState* rs, AppInstance* inst) {
@@ -563,12 +637,12 @@ void FlashAbacus::StartWriteback(RunState* rs, AppInstance* inst) {
       req.func_data = inst->buffer(s.spec->buffer_index).data();
       req.func_bytes = SectionFuncBytes(*inst, s);
     }
-    req.on_complete = [this, rs, inst](Tick t) {
+    req.on_complete = [this, rs, inst](Tick t, IoStatus) {
       if (--rs->stores_pending[inst] == 0) {
         FinishInstance(rs, inst, t);
       }
     };
-    flashvisor_->SubmitIo(std::move(req));
+    SubmitIoReliable(std::move(req));
   }
 }
 

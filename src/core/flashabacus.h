@@ -63,6 +63,11 @@ struct FlashAbacusConfig {
   // of their input sections is resident; the tail streams in behind the
   // compute. 1.0 reverts to fully-gated loads.
   double load_stream_fraction = 0.2;
+  // Host-visible I/O retry policy: an uncorrectable completion is retried
+  // (whole request) up to io_max_attempts total submissions, each resubmit
+  // delayed by io_retry_backoff.
+  int io_max_attempts = 3;
+  Tick io_retry_backoff = 200 * kUs;
   PowerModel power;
 
   // The Table-1 device of the paper (the defaults above).
@@ -102,6 +107,22 @@ class FlashAbacus {
   void ReadSectionFromFlash(AppInstance* inst, int section_idx, std::vector<float>* out,
                             std::function<void(Tick)> done);
 
+  // --- Power-loss crash injection and recovery -----------------------------
+  // Schedules a power failure at absolute tick `when`: the event queue is
+  // cleared (nothing after the cut executes), in-flight flash programs tear,
+  // and every volatile structure (mapping table, block pools, write buffer,
+  // locks, queues) is wiped. Any in-progress Run() is abandoned — its done
+  // callback never fires.
+  void CrashAt(Tick when);
+  // Rebuilds the FTL from flash alone (journal snapshot + OOB replay); see
+  // Flashvisor::RecoverFromFlash. Re-seats Storengine's journal location and
+  // re-arms it so the device is usable again. Only valid after a crash.
+  Flashvisor::RecoveryReport RecoverFromFlash();
+  bool crashed() const { return crashed_; }
+
+  std::uint64_t io_retries() const { return io_retries_.value(); }
+  std::uint64_t io_failures() const { return io_failures_.value(); }
+
   int num_workers() const { return static_cast<int>(workers_.size()); }
   Flashvisor& flashvisor() { return *flashvisor_; }
   Storengine& storengine() { return *storengine_; }
@@ -119,6 +140,11 @@ class FlashAbacus {
   struct RunState;
 
   void RegisterMetrics();
+  // Submits through Flashvisor with host-side retry: an uncorrectable
+  // completion is resubmitted (bounded attempts, io_retry_backoff apart);
+  // the caller's on_complete sees the final outcome only.
+  void SubmitIoReliable(Flashvisor::IoRequest req, int attempt = 0);
+  void Crash();
 
   void OffloadKernel(RunState* rs, AppInstance* inst);
   void StartLoad(RunState* rs, AppInstance* inst);
@@ -151,6 +177,15 @@ class FlashAbacus {
   RunTrace trace_;
   MetricsRegistry metrics_;
   std::unique_ptr<RunState> run_;
+
+  bool crashed_ = false;
+  Counter io_retries_;
+  Counter io_failures_;
+  Counter crashes_;
+  Counter recoveries_;
+  Counter recovery_lost_groups_;
+  Counter recovery_torn_groups_;
+  Tick last_recovery_ns_ = 0;
 };
 
 }  // namespace fabacus

@@ -126,6 +126,7 @@ void Flashvisor::DoRead(IoRequest req, Tick service_end) {
                group_bytes](RangeLock::LockId lock_id) mutable {
     const Tick start = sim_->Now();
     Tick flash_done = start;
+    IoStatus status = IoStatus::kOk;
     std::vector<std::uint8_t> group_buf(group_bytes);
     for (std::uint64_t i = 0; i < n_groups; ++i) {
       const std::uint64_t lg = first_lg + i;
@@ -145,6 +146,10 @@ void Flashvisor::DoRead(IoRequest req, Tick service_end) {
       if (r.ecc_event) {
         ecc_events_.Add();
       }
+      if (r.status == IoStatus::kUncorrectable) {
+        uncorrectable_reads_.Add();
+      }
+      status = WorseStatus(status, r.status);
       flash_done = std::max(flash_done, r.done);
       if (carries_data) {
         const std::uint64_t n = std::min(group_bytes, req.func_bytes - req_off);
@@ -163,13 +168,13 @@ void Flashvisor::DoRead(IoRequest req, Tick service_end) {
     // transfers that have not started yet.
     const double model_bytes = static_cast<double>(req.model_bytes);
     sim_->ScheduleAt(flash_done, [this, model_bytes, cb = std::move(req.on_complete), hold,
-                                  lock_id]() mutable {
+                                  lock_id, status]() mutable {
       const Tick done = dram_->BulkAccess(sim_->Now(), model_bytes);
-      sim_->ScheduleAt(done, [this, cb = std::move(cb), done, hold, lock_id]() {
+      sim_->ScheduleAt(done, [this, cb = std::move(cb), done, hold, lock_id, status]() {
         if (!hold) {
           lock_.Release(lock_id);
         }
-        cb(done);
+        cb(done, status);
       });
     });
   };
@@ -192,16 +197,10 @@ void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
     // Stage the data out of the kernel's data section in DDR3L.
     const Tick staged = dram_->BulkAccess(start, static_cast<double>(req.model_bytes));
     Tick flash_done = staged;
+    IoStatus status = IoStatus::kOk;
     std::vector<std::uint8_t> group_buf(group_bytes);
     for (std::uint64_t i = 0; i < n_groups; ++i) {
       const std::uint64_t lg = first_lg + i;
-      Tick alloc_io = staged;
-      const std::uint32_t phys = AllocatePhysicalGroup(staged, &alloc_io);
-      const std::uint32_t old = map_.Update(lg, phys);
-      if (old != MappingTable::kUnmapped) {
-        blocks_.MarkInvalid(BlockGroupOf(old), SlotOf(old));
-      }
-      blocks_.MarkValid(BlockGroupOf(phys), SlotOf(phys));
       const std::uint64_t req_off = i * group_bytes;
       const bool carries_data = req.func_data != nullptr && req_off < req.func_bytes;
       const void* payload = nullptr;
@@ -212,9 +211,17 @@ void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
                     n);
         payload = group_buf.data();
       }
-      FlashBackbone::OpResult r =
-          backbone_->ProgramGroup(std::max(staged, alloc_io), phys, payload);
-      flash_done = std::max(flash_done, r.done);
+      // Program first, then map: the mapping only ever points at a group the
+      // device accepted (a program-status fail re-allocates transparently).
+      Tick prog_done = staged;
+      const std::uint32_t phys = ProgramReliable(
+          staged, static_cast<std::uint32_t>(lg), payload, &prog_done, &status);
+      const std::uint32_t old = map_.Update(lg, phys);
+      if (old != MappingTable::kUnmapped) {
+        blocks_.MarkInvalid(BlockGroupOf(old), SlotOf(old));
+      }
+      blocks_.MarkValid(BlockGroupOf(phys), SlotOf(phys));
+      flash_done = std::max(flash_done, prog_done);
     }
     write_drain_horizon_ = std::max(write_drain_horizon_, flash_done);
     writes_served_.Add();
@@ -223,8 +230,9 @@ void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
     // writes have programmed out. The range lock is held until the programs
     // land so overlapping readers see the paper's blocking behaviour.
     const Tick accepted = AdmitWrite(staged, req.model_bytes, flash_done);
-    sim_->ScheduleAt(accepted,
-                     [cb = std::move(req.on_complete), accepted]() { cb(accepted); });
+    sim_->ScheduleAt(accepted, [cb = std::move(req.on_complete), accepted, status]() {
+      cb(accepted, status);
+    });
     sim_->ScheduleAt(flash_done, [this, lock_id]() { lock_.Release(lock_id); });
   };
 
@@ -306,11 +314,12 @@ void Flashvisor::ForegroundReclaim(Tick now) {
       continue;
     }
     FlashBackbone::OpResult rd = backbone_->ReadGroup(now, phys_old, buf.data());
-    Tick alloc_io = rd.done;
-    const std::uint32_t phys_new = AllocatePhysicalGroup(rd.done, &alloc_io);
-    FlashBackbone::OpResult pr =
-        backbone_->ProgramGroup(std::max(rd.done, alloc_io), phys_new, buf.data());
-    write_drain_horizon_ = std::max(write_drain_horizon_, pr.done);
+    if (rd.status == IoStatus::kUncorrectable) {
+      uncorrectable_reads_.Add();
+    }
+    Tick prog_done = rd.done;
+    const std::uint32_t phys_new = ProgramReliable(rd.done, lg, buf.data(), &prog_done);
+    write_drain_horizon_ = std::max(write_drain_horizon_, prog_done);
     map_.Update(lg, phys_new);
     blocks_.MarkInvalid(victim, slot);
     blocks_.MarkValid(BlockGroupOf(phys_new), SlotOf(phys_new));
@@ -324,6 +333,39 @@ void Flashvisor::ForegroundReclaim(Tick now) {
     blocks_.OnErased(victim);
   }
   --reclaim_depth_;
+}
+
+std::uint32_t Flashvisor::ProgramReliable(Tick now, std::uint32_t oob_tag, const void* payload,
+                                          Tick* done_out, IoStatus* status_out) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Tick alloc_io = now;
+    const std::uint32_t phys = AllocatePhysicalGroup(now, &alloc_io);
+    FlashBackbone::OpResult r =
+        backbone_->ProgramGroup(std::max(now, alloc_io), phys, payload, oob_tag);
+    *done_out = std::max(*done_out, r.done);
+    if (r.status != IoStatus::kProgramFailed) {
+      if (status_out != nullptr) {
+        *status_out = WorseStatus(*status_out, r.status);
+      }
+      return phys;
+    }
+    // Program-status fail: abandon the whole active block group — its
+    // remaining pages are suspect — and re-program in a fresh one. Slots that
+    // already hold valid data stay readable in the retired group until the
+    // patrol scrubber migrates them out.
+    program_failure_reallocs_.Add();
+    RetireActiveBlockGroup();
+  }
+  FAB_CHECK(false) << "programs keep failing across fresh block groups";
+  return 0;
+}
+
+void Flashvisor::RetireActiveBlockGroup() {
+  FAB_CHECK_NE(active_bg_, BlockManager::kNone);
+  blocks_.Retire(active_bg_);
+  retired_block_groups_.Add();
+  active_bg_ = BlockManager::kNone;
+  active_slot_ = 0;
 }
 
 std::uint32_t Flashvisor::AllocatePhysicalGroup(Tick now, Tick* io_done) {
@@ -353,21 +395,167 @@ void Flashvisor::SealActiveBlockGroup(Tick now) {
   std::vector<std::uint8_t> footer(2 * cfg.GroupBytes(), 0);
   std::memcpy(footer.data(), summary.data(),
               std::min<std::uint64_t>(summary.size() * sizeof(std::uint32_t), footer.size()));
+  bool failed = false;
   for (std::uint32_t f = 0; f < 2; ++f) {
     const std::uint32_t phys = GroupOfSlot(active_bg_, data_slots + f);
     FlashBackbone::OpResult r =
-        backbone_->ProgramGroup(now, phys, footer.data() + f * cfg.GroupBytes());
+        backbone_->ProgramGroup(now, phys, footer.data() + f * cfg.GroupBytes(), kOobFooter);
+    failed = failed || r.status == IoStatus::kProgramFailed;
     write_drain_horizon_ = std::max(write_drain_horizon_, r.done);
+  }
+  if (failed) {
+    // A block whose footer won't program is not trustworthy as a sealed GC
+    // candidate; retire it (the data slots remain readable for the scrubber).
+    RetireActiveBlockGroup();
+    return;
   }
   blocks_.SealBlockGroup(active_bg_);
   active_bg_ = BlockManager::kNone;
   active_slot_ = 0;
 }
 
+void Flashvisor::OnPowerLoss() {
+  map_.Clear();
+  blocks_.Reset();
+  while (!write_buffer_.empty()) {
+    write_buffer_.pop();
+  }
+  write_buffer_used_ = 0;
+  active_bg_ = BlockManager::kNone;
+  active_slot_ = 0;
+  write_drain_horizon_ = 0;
+  reclaim_depth_ = 0;
+  lock_.Reset();
+  inbound_.Reset();
+}
+
+Flashvisor::RecoveryReport Flashvisor::RecoverFromFlash(Tick now) {
+  const auto& cfg = backbone_->config();
+  const std::uint64_t group_bytes = cfg.GroupBytes();
+  const std::uint64_t total_bgs = cfg.TotalBlockGroups();
+  const std::uint32_t data_slots = DataSlotsPerBlockGroup();
+  const std::uint64_t journal_groups = (map_.table_bytes() + group_bytes - 1) / group_bytes;
+  RecoveryReport rep;
+  rep.done = now;
+
+  // Phase 1: locate the newest *complete* journal. One timed read per block
+  // group probes its first page; the OOB records tell us what lives there.
+  // Dumps are serialized, so the highest-sequence complete journal wins (a
+  // torn dump falls back to its still-intact predecessor).
+  for (std::uint64_t bg = 0; bg < total_bgs; ++bg) {
+    const std::uint32_t g0 = GroupOfSlot(bg, 0);
+    FlashBackbone::OpResult r = backbone_->ReadGroup(now, g0, nullptr);
+    rep.done = std::max(rep.done, r.done);
+    if (backbone_->Oob(g0).tag != kOobJournal) {
+      continue;
+    }
+    bool complete = true;
+    std::uint64_t seq = 0;
+    for (std::uint64_t j = 0; j < journal_groups; ++j) {
+      const FlashBackbone::OobEntry& e =
+          backbone_->Oob(GroupOfSlot(bg, static_cast<std::uint32_t>(j)));
+      complete = complete && e.tag == kOobJournal;
+      seq = std::max(seq, e.seq);
+    }
+    if (complete && (!rep.found_journal || seq > rep.journal_seq)) {
+      rep.found_journal = true;
+      rep.journal_bg = bg;
+      rep.journal_seq = seq;
+    }
+  }
+
+  // Phase 2: restore the snapshot (timed reads of the journal payload).
+  map_.Clear();
+  if (rep.found_journal) {
+    std::vector<std::uint8_t> snapshot(journal_groups * group_bytes);
+    for (std::uint64_t j = 0; j < journal_groups; ++j) {
+      FlashBackbone::OpResult r =
+          backbone_->ReadGroup(now, GroupOfSlot(rep.journal_bg, static_cast<std::uint32_t>(j)),
+                               snapshot.data() + j * group_bytes);
+      rep.done = std::max(rep.done, r.done);
+    }
+    snapshot.resize(map_.table_bytes());
+    map_.Restore(snapshot);
+    rep.restored_entries = map_.mapped_count();
+  }
+
+  // Phase 3: replay post-journal data programs in device order. The OOB
+  // sequence numbers give the exact program order, so later writes to the
+  // same logical group supersede earlier ones just as they did pre-crash.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> replay;  // (seq, phys)
+  for (std::uint64_t g = 0; g < cfg.TotalGroups(); ++g) {
+    const FlashBackbone::OobEntry& e = backbone_->Oob(g);
+    if (e.tag == kOobTorn) {
+      ++rep.torn_groups;
+      continue;
+    }
+    if (e.tag < kOobReservedFloor && e.seq > rep.journal_seq) {
+      replay.emplace_back(e.seq, static_cast<std::uint32_t>(g));
+    }
+  }
+  std::sort(replay.begin(), replay.end());
+  for (const auto& entry : replay) {
+    const std::uint32_t phys = entry.second;
+    map_.Update(backbone_->Oob(phys).tag, phys);
+    ++rep.replayed_groups;
+  }
+
+  // Phase 4: integrity check — a mapping is only kept if its target still
+  // carries the matching OOB tag (not erased, torn, or re-purposed since the
+  // journal). Anything else is reported lost rather than served as garbage.
+  for (std::uint64_t lg = 0; lg < map_.entries(); ++lg) {
+    const std::uint32_t phys = map_.Lookup(lg);
+    if (phys == MappingTable::kUnmapped) {
+      continue;
+    }
+    if (backbone_->Oob(phys).tag != static_cast<std::uint32_t>(lg)) {
+      map_.Unmap(lg);
+      ++rep.lost_groups;
+    }
+  }
+
+  // Phase 5: rebuild the block-group pools from device state. Any group with
+  // a programmed page cannot be handed out as free (NAND program-order
+  // discipline); it becomes a sealed GC candidate instead.
+  blocks_.Reset();
+  for (std::uint64_t bg = 0; bg < total_bgs; ++bg) {
+    if (backbone_->IsBadBlockGroup(static_cast<int>(bg))) {
+      FAB_CHECK(blocks_.TakeFree(bg));
+      blocks_.Retire(bg);
+      retired_block_groups_.Add();
+      continue;
+    }
+    bool programmed = false;
+    for (std::uint64_t s = 0; s < cfg.GroupsPerBlockGroup() && !programmed; ++s) {
+      programmed = backbone_->Oob(GroupOfSlot(bg, static_cast<std::uint32_t>(s))).tag !=
+                   kOobUnwritten;
+    }
+    if (!programmed) {
+      continue;  // stays in the free pool
+    }
+    FAB_CHECK(blocks_.TakeFree(bg));
+    if (rep.found_journal && bg == rep.journal_bg) {
+      // The live journal: held out of both pools, exactly as during normal
+      // operation (the next dump erases and frees it).
+      continue;
+    }
+    blocks_.SealBlockGroup(bg);
+    for (std::uint32_t s = 0; s < data_slots; ++s) {
+      if (map_.ReverseLookup(GroupOfSlot(bg, s)) != MappingTable::kUnmapped) {
+        blocks_.MarkValid(bg, s);
+      }
+    }
+  }
+  return rep;
+}
+
 void Flashvisor::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
   reg->RegisterCounter(prefix + "/reads_served", &reads_served_);
   reg->RegisterCounter(prefix + "/writes_served", &writes_served_);
   reg->RegisterCounter(prefix + "/ecc_events", &ecc_events_);
+  reg->RegisterCounter(prefix + "/uncorrectable_reads", &uncorrectable_reads_);
+  reg->RegisterCounter(prefix + "/program_failure_reallocs", &program_failure_reallocs_);
+  reg->RegisterCounter(prefix + "/retired_block_groups", &retired_block_groups_);
   reg->RegisterCounter(prefix + "/foreground_reclaims", &foreground_reclaims_);
   reg->RegisterGauge(prefix + "/write_buffer_used_bytes",
                      [this](Tick) { return static_cast<double>(write_buffer_used_); });

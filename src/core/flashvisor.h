@@ -57,8 +57,11 @@ class Flashvisor {
     void* func_data = nullptr;       // functional payload buffer
     std::uint64_t func_bytes = 0;    // bytes of real data (<= model_bytes)
     // Fires when the request is complete: read data resident in DDR3L, or
-    // write accepted into the DDR3L write buffer.
-    std::function<void(Tick)> on_complete;
+    // write accepted into the DDR3L write buffer. The status is the worst
+    // outcome across the request's groups — kUncorrectable read data is
+    // still delivered (garbage at device level) so the host can decide to
+    // retry or fail the offload.
+    std::function<void(Tick, IoStatus)> on_complete;
     // Reads: when true the section's read lock is held after completion and
     // its id is handed to `lock_holder`; the owner calls ReleaseLock() later
     // (at kernel completion). Writes always hold their lock until the flash
@@ -102,6 +105,10 @@ class Flashvisor {
   std::uint64_t reads_served() const { return reads_served_.value(); }
   std::uint64_t writes_served() const { return writes_served_.value(); }
   std::uint64_t ecc_events() const { return ecc_events_.value(); }
+  std::uint64_t uncorrectable_reads() const { return uncorrectable_reads_.value(); }
+  // Program-status fails absorbed by re-allocating to a fresh block group.
+  std::uint64_t program_failure_reallocs() const { return program_failure_reallocs_.value(); }
+  std::uint64_t retired_block_groups() const { return retired_block_groups_.value(); }
   // Emergency reclaims performed inline on the write path because the free
   // pool was exhausted (paper §4.3: "garbage collection [is] invoked on
   // demand" when background reclamation falls behind).
@@ -119,6 +126,37 @@ class Flashvisor {
   // Allocates the next physical page-group slot in the active block group,
   // sealing it (with a summary write) when full. Returns the physical group.
   std::uint32_t AllocatePhysicalGroup(Tick now, Tick* io_done);
+  // Allocate + program with program-failure handling: a program-status fail
+  // retires the active block group (its already-written slots stay readable
+  // until the scrubber migrates them) and re-allocates in a fresh one.
+  // `oob_tag` lands in the group's out-of-band record (the logical group for
+  // data, or a kOob* constant). `*done_out` is max'ed with the program
+  // completion; `*status_out` (optional) accumulates the worst non-fatal
+  // status (dead-die degradation). Returns the physical group programmed.
+  std::uint32_t ProgramReliable(Tick now, std::uint32_t oob_tag, const void* payload,
+                                Tick* done_out, IoStatus* status_out = nullptr);
+
+  // --- Power-loss crash recovery -------------------------------------------
+  // Models the volatile state vanishing: mapping table, block-manager
+  // bookkeeping, write buffer, range lock and inbound queue all clear. The
+  // flash array (including OOB records) survives in the backbone.
+  void OnPowerLoss();
+
+  struct RecoveryReport {
+    bool found_journal = false;
+    std::uint64_t journal_bg = BlockManager::kNone;
+    std::uint64_t journal_seq = 0;     // programs up to here are in the snapshot
+    std::uint64_t restored_entries = 0;  // mappings restored from the journal
+    std::uint64_t replayed_groups = 0;   // post-journal programs replayed from OOB
+    std::uint64_t torn_groups = 0;       // half-programmed groups found
+    std::uint64_t lost_groups = 0;       // mappings dropped (stale/torn target)
+    Tick done = 0;                       // completion of the recovery reads
+  };
+  // Rebuilds the mapping table from flash alone: locate the newest complete
+  // journal by OOB scan, restore its snapshot, replay every data program
+  // with a later sequence number in order, drop mappings whose target does
+  // not carry the matching OOB tag, and rebuild the block-group pools.
+  RecoveryReport RecoverFromFlash(Tick now);
   // Number of data slots per block group (excludes the summary footer).
   std::uint32_t DataSlotsPerBlockGroup() const;
   std::uint64_t BlockGroupOf(std::uint32_t phys_group) const;
@@ -129,6 +167,7 @@ class Flashvisor {
   void HandleIo(IoRequest req, std::function<void(Tick)> core_done);
   void DoRead(IoRequest req, Tick service_end);
   void DoWrite(IoRequest req, Tick service_end);
+  void RetireActiveBlockGroup();
   void SealActiveBlockGroup(Tick now);
   void EnsureActiveBlockGroup(Tick now);
   void ForegroundReclaim(Tick now);
@@ -161,6 +200,9 @@ class Flashvisor {
   Counter reads_served_;
   Counter writes_served_;
   Counter ecc_events_;
+  Counter uncorrectable_reads_;
+  Counter program_failure_reallocs_;
+  Counter retired_block_groups_;
   Counter foreground_reclaims_;
   int reclaim_depth_ = 0;
   std::function<void(Tick)> gc_trigger_;

@@ -69,6 +69,13 @@ void MappingTable::Restore(const std::vector<std::uint8_t>& snapshot) {
   }
 }
 
+void MappingTable::Clear() {
+  std::fill(forward_.begin(), forward_.end(), kUnmapped);
+  std::fill(reverse_.begin(), reverse_.end(), kUnmapped);
+  mapped_count_ = 0;
+  scratchpad_->Store(scratchpad_offset_, forward_.data(), table_bytes());
+}
+
 void MappingTable::SyncEntryToScratchpad(std::uint64_t logical_group) {
   scratchpad_->Store(scratchpad_offset_ + logical_group * sizeof(std::uint32_t),
                      &forward_[logical_group], sizeof(std::uint32_t));

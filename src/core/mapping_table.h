@@ -44,6 +44,10 @@ class MappingTable {
   void Snapshot(std::vector<std::uint8_t>* out) const;
   void Restore(const std::vector<std::uint8_t>& snapshot);
 
+  // Power loss: drops every mapping (the scratchpad is volatile). One bulk
+  // scratchpad store mirrors the now-empty table region.
+  void Clear();
+
   // Mirror of the table region inside the scratchpad byte store, kept in sync
   // on Update() so snapshots read genuine scratchpad state.
   std::uint64_t scratchpad_offset() const { return scratchpad_offset_; }

@@ -22,6 +22,14 @@ bool ModesConflict(LockMode a, LockMode b) {
 
 RangeLock::~RangeLock() { FreeSubtree(root_); }
 
+void RangeLock::Reset() {
+  FreeSubtree(root_);
+  root_ = nullptr;
+  by_id_.clear();
+  waiters_.clear();
+  held_ = 0;
+}
+
 void RangeLock::FreeSubtree(Node* n) {
   if (n == nullptr) {
     return;

@@ -51,6 +51,11 @@ class RangeLock {
   // Releases a held lock; may synchronously grant queued waiters.
   void Release(LockId id);
 
+  // Drops every held lock and queued waiter without granting anything (crash
+  // recovery: the holders' continuations are gone). Lock ids keep advancing
+  // so a stale pre-crash id can never alias a post-recovery lock.
+  void Reset();
+
   // True when [first, last] conflicts with a held lock of incompatible mode.
   bool Conflicts(std::uint64_t first_group, std::uint64_t last_group, LockMode mode) const;
 

@@ -32,6 +32,13 @@ struct StorengineConfig {
   Tick pass_fixed_cpu = 2000; // ns per GC pass / journal dump orchestration
   bool enable_journaling = true;
   bool enable_background_gc = true;
+  // Patrol scrubber: refresh-migrates (1) valid data stranded in retired
+  // block groups and (2) sealed block groups whose wear or accumulated
+  // correctable-error count crossed the refresh thresholds.
+  bool enable_scrub = true;
+  Tick scrub_interval = 400 * kMs;
+  double scrub_wear_ratio = 0.85;          // of NandConfig::endurance_cycles
+  std::uint32_t scrub_error_threshold = 4; // correctable errors per block group
 };
 
 class Storengine {
@@ -42,8 +49,14 @@ class Storengine {
   // Arms the periodic background tasks and registers the on-demand GC
   // trigger with Flashvisor.
   void Start();
-  // Stops scheduling further periodic work (in-flight passes finish).
-  void Stop() { running_ = false; }
+  // Stops background work: no journal/GC/scrub event fires after this.
+  // Bumping the epoch invalidates every already-scheduled daemon (it wakes,
+  // sees a stale epoch, and neither acts nor reschedules), so the simulator
+  // drains instead of ticking idle daemons forever.
+  void Stop() {
+    running_ = false;
+    ++epoch_;
+  }
 
   // Runs one GC pass immediately (also used by the on-demand trigger and by
   // tests); `done` fires when the victim has been reclaimed (or when there
@@ -53,14 +66,26 @@ class Storengine {
   // Dumps the mapping table to flash now.
   void RunJournalDump(std::function<void(Tick)> done);
 
+  // Runs one patrol-scrub pass now: picks the neediest victim (stranded data
+  // in a retired block group first, then worn/error-heavy sealed groups) and
+  // refresh-migrates it. `done` fires when the pass completes (immediately
+  // when there is nothing to scrub).
+  void RunScrubPass(std::function<void(Tick)> done);
+
   // Block group holding the most recent mapping-table journal (kNone before
   // the first dump). Recovery tooling reads the snapshot back from here.
   std::uint64_t last_journal_bg() const { return prev_journal_bg_; }
+  // Crash recovery re-seats the journal location found on flash, so the next
+  // dump erases/frees the right block group.
+  void SetJournalLocation(std::uint64_t bg) { prev_journal_bg_ = bg; }
 
   std::uint64_t gc_passes() const { return gc_passes_.value(); }
   std::uint64_t groups_migrated() const { return groups_migrated_.value(); }
   std::uint64_t blocks_reclaimed() const { return blocks_reclaimed_.value(); }
   std::uint64_t journal_dumps() const { return journal_dumps_.value(); }
+  std::uint64_t journal_aborts() const { return journal_aborts_.value(); }
+  std::uint64_t scrub_passes() const { return scrub_passes_.value(); }
+  std::uint64_t scrub_migrations() const { return scrub_migrations_.value(); }
   SerialCore& core() { return core_; }
   const StorengineConfig& config() const { return config_; }
 
@@ -76,22 +101,43 @@ class Storengine {
  private:
   void ScheduleNextGc();
   void ScheduleNextJournal();
-  void MigrateSlot(std::uint64_t victim, std::uint32_t slot, Tick barrier,
-                   std::function<void(Tick)> next);
+  void ScheduleNextScrub();
+  // Walks the victim's data slots from `slot`, migrating each valid group to
+  // the active write point (bumping `migrated`); calls `finish` with the
+  // final barrier once the slots are exhausted.
+  void MigrateRange(std::uint64_t victim, std::uint32_t slot, Tick barrier, Counter* migrated,
+                    std::function<void(Tick)> finish);
   void FinishVictim(std::uint64_t victim, Tick barrier, std::function<void(Tick)> done);
+  // Scrub victim selection: returns the block group to refresh, or kNone.
+  // Sets *retired_mode when the victim is a retired group (migrate-only).
+  std::uint64_t PickScrubVictim(bool* retired_mode) const;
+  // True when at least one sealed block group holds an invalid slot, i.e. a
+  // round of round-robin GC can eventually net free space. When every sealed
+  // group is fully valid the device is simply full: migrating victims would
+  // shuffle data forever (and burn erase cycles) without ever freeing a
+  // block, so the background daemon and the low-watermark trigger must back
+  // off instead of livelocking.
+  bool GcCanReclaim() const;
 
   Simulator* sim_;
   Flashvisor* fv_;
   StorengineConfig config_;
   SerialCore core_;
   bool running_ = false;
-  bool gc_in_progress_ = false;
+  std::uint64_t epoch_ = 0;  // bumped by Stop(); stale daemons self-cancel
+  // GC and scrub share the migration machinery and the active write point;
+  // one maintenance pass at a time keeps them from interleaving half-moved
+  // block groups.
+  bool maintenance_in_progress_ = false;
   std::uint64_t prev_journal_bg_ = BlockManager::kNone;
   RunTrace* trace_ = nullptr;
   Counter gc_passes_;
   Counter groups_migrated_;
   Counter blocks_reclaimed_;
   Counter journal_dumps_;
+  Counter journal_aborts_;
+  Counter scrub_passes_;
+  Counter scrub_migrations_;
 };
 
 }  // namespace fabacus

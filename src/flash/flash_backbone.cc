@@ -7,30 +7,59 @@
 
 namespace fabacus {
 
+namespace {
+// Folds the legacy backbone seed into the fault stream so two backbones built
+// with different seeds draw different fault schedules even under one config.
+FaultConfig SeededFaultConfig(const NandConfig& config, std::uint64_t seed) {
+  FaultConfig fc = config.fault;
+  fc.seed ^= seed * 0x9e3779b97f4a7c15ULL;
+  return fc;
+}
+}  // namespace
+
 FlashBackbone::FlashBackbone(const NandConfig& config, std::uint64_t seed)
-    : config_(config), srio_(SrioConfig{}), data_(config.GroupBytes()), rng_(seed) {
+    : config_(config),
+      faults_(SeededFaultConfig(config, seed), config.channels, config.packages_per_channel,
+              config.endurance_cycles, config.read_retry_ladder),
+      srio_(SrioConfig{}),
+      data_(config.GroupBytes()),
+      oob_(config.TotalGroups()),
+      block_errors_(config.blocks_per_plane, 0),
+      retry_rung_counts_(config.read_retry_ladder) {
   controllers_.reserve(config_.channels);
   for (int ch = 0; ch < config_.channels; ++ch) {
-    controllers_.push_back(std::make_unique<FlashController>(config_, ch));
+    controllers_.push_back(std::make_unique<FlashController>(config_, ch, &faults_));
   }
 }
 
 FlashBackbone::OpResult FlashBackbone::ReadGroup(Tick now, std::uint64_t group, void* out) {
   FAB_CHECK_LT(group, config_.TotalGroups());
   const GroupAddress addr = DecodeGroup(config_, group);
-  Tick slices_done = 0;
-  for (auto& ctrl : controllers_) {
-    slices_done = std::max(slices_done, ctrl->ReadSlice(now, addr));
-  }
   OpResult r;
-  if (config_.read_error_rate > 0.0 && rng_.NextDouble() < config_.read_error_rate) {
-    // Correctable-error threshold crossed: the controller re-reads the page
-    // with tuned read-reference voltages (read retry) before returning data.
+  Tick slices_done = 0;
+  bool any_dead = false;
+  for (auto& ctrl : controllers_) {
+    const FlashController::ReadSliceResult s = ctrl->ReadSlice(now, addr);
+    slices_done = std::max(slices_done, s.done);
+    r.retry_rungs = std::max(r.retry_rungs, s.rungs);
+    if (s.uncorrectable) {
+      r.status = WorseStatus(r.status, IoStatus::kUncorrectable);
+    }
+    any_dead = any_dead || s.dead_die;
+  }
+  if (r.retry_rungs > 0) {
     r.ecc_event = true;
     read_retries_.Add();
-    for (auto& ctrl : controllers_) {
-      slices_done = std::max(slices_done, ctrl->ReadSlice(slices_done, addr));
-    }
+    retry_rung_counts_[r.retry_rungs - 1].Add();
+    block_errors_[addr.block] += 1;
+    r.status = WorseStatus(r.status, IoStatus::kDegraded);
+  }
+  if (any_dead) {
+    dead_die_reads_.Add();
+    r.status = WorseStatus(r.status, IoStatus::kDegraded);
+  }
+  if (r.status == IoStatus::kUncorrectable) {
+    uncorrectable_reads_.Add();
   }
   r.done = srio_.Transfer(slices_done, static_cast<double>(config_.GroupBytes()));
   if (op_observer_) {
@@ -45,34 +74,68 @@ FlashBackbone::OpResult FlashBackbone::ReadGroup(Tick now, std::uint64_t group, 
 }
 
 FlashBackbone::OpResult FlashBackbone::ProgramGroup(Tick now, std::uint64_t group,
-                                                    const void* data) {
+                                                    const void* data, std::uint32_t oob_tag) {
   FAB_CHECK_LT(group, config_.TotalGroups());
   const GroupAddress addr = DecodeGroup(config_, group);
   const Tick at_fmc = srio_.Transfer(now, static_cast<double>(config_.GroupBytes()));
+  OpResult r;
+  bool any_dead = false;
+  bool failed = false;
   Tick done = 0;
   for (auto& ctrl : controllers_) {
-    done = std::max(done, ctrl->ProgramSlice(at_fmc, addr));
+    const FlashController::ProgramSliceResult s = ctrl->ProgramSlice(at_fmc, addr);
+    done = std::max(done, s.done);
+    failed = failed || s.failed;
+    any_dead = any_dead || s.dead_die;
   }
-  if (data != nullptr) {
-    data_.Write(group * config_.GroupBytes(), data, config_.GroupBytes());
-  } else {
+  if (failed) {
+    r.status = IoStatus::kProgramFailed;
+    program_failures_.Add();
+    // The page state is suspect: the caller re-programs elsewhere and retires
+    // this block group. Contents stay zeroed so a stray read sees no data.
     data_.Erase(group * config_.GroupBytes(), config_.GroupBytes());
+    oob_[group] = OobEntry{kOobNone, ++program_seq_};
+  } else {
+    if (data != nullptr) {
+      data_.Write(group * config_.GroupBytes(), data, config_.GroupBytes());
+    } else {
+      data_.Erase(group * config_.GroupBytes(), config_.GroupBytes());
+    }
+    oob_[group] = OobEntry{oob_tag, ++program_seq_};
+    // A program only becomes durable when every die reports completion;
+    // power loss before `done` tears it (recovery must not trust the data).
+    inflight_programs_.push_back(InflightProgram{group, done});
+  }
+  if (any_dead) {
+    dead_die_programs_.Add();
+    r.status = WorseStatus(r.status, IoStatus::kDegraded);
+  }
+  // Lazily prune completed entries so the in-flight list stays small.
+  if (inflight_programs_.size() > 64) {
+    inflight_programs_.erase(
+        std::remove_if(inflight_programs_.begin(), inflight_programs_.end(),
+                       [now](const InflightProgram& p) { return p.done <= now; }),
+        inflight_programs_.end());
   }
   programs_.Add();
   bytes_programmed_ += static_cast<double>(config_.GroupBytes());
   if (op_observer_) {
     op_observer_(now, done);
   }
-  OpResult r;
   r.done = done;
   return r;
 }
 
 FlashBackbone::OpResult FlashBackbone::EraseBlockGroup(Tick now, int block) {
+  OpResult r;
   Tick done = 0;
+  // One failure draw per superblock erase: a failed erase retires the whole
+  // block group, so every die's block is fenced off together.
+  const bool failed = faults_.EraseFails(BlockGroupWear(block));
   for (auto& ctrl : controllers_) {
     for (int pkg = 0; pkg < config_.packages_per_channel; ++pkg) {
-      done = std::max(done, ctrl->EraseSlice(now, pkg, block));
+      const FlashController::EraseSliceResult s = ctrl->EraseSlice(now, pkg, block, failed);
+      done = std::max(done, s.done);
     }
   }
   // Drop the stored contents of every group in the superblock: all packages,
@@ -81,23 +144,31 @@ FlashBackbone::OpResult FlashBackbone::EraseBlockGroup(Tick now, int block) {
     for (int page = 0; page < config_.pages_per_block; ++page) {
       const std::uint64_t g = EncodeGroup(config_, GroupAddress{pkg, block, page});
       data_.Erase(g * config_.GroupBytes(), config_.GroupBytes());
+      oob_[g] = OobEntry{};
     }
   }
+  block_errors_[block] = 0;
   erases_.Add();
   if (op_observer_) {
     op_observer_(now, done);
   }
-  OpResult r;
   r.done = done;
-  if (config_.erase_failure_rate > 0.0 && rng_.NextDouble() < config_.erase_failure_rate) {
-    for (auto& ctrl : controllers_) {
-      for (int pkg = 0; pkg < config_.packages_per_channel; ++pkg) {
-        ctrl->package(pkg).MarkBad(block);
-      }
-    }
+  if (failed) {
     r.became_bad = true;
+    erase_failures_.Add();
   }
   return r;
+}
+
+void FlashBackbone::PowerFail(Tick now) {
+  for (const InflightProgram& p : inflight_programs_) {
+    if (p.done > now) {
+      data_.Erase(p.group * config_.GroupBytes(), config_.GroupBytes());
+      oob_[p.group].tag = kOobTorn;  // keep the seq: recovery orders torn pages too
+      torn_groups_.Add();
+    }
+  }
+  inflight_programs_.clear();
 }
 
 bool FlashBackbone::IsBadBlockGroup(int block) const {
@@ -131,6 +202,16 @@ std::uint64_t FlashBackbone::TotalErases() const {
   return n;
 }
 
+std::uint64_t FlashBackbone::BlockGroupWear(int block) const {
+  std::uint64_t w = 0;
+  for (const auto& ctrl : controllers_) {
+    for (int p = 0; p < config_.packages_per_channel; ++p) {
+      w = std::max(w, ctrl->package(p).wear(block));
+    }
+  }
+  return w;
+}
+
 Tick FlashBackbone::ArrayBusyTime(Tick now) const {
   Tick busy = 0;
   for (const auto& ctrl : controllers_) {
@@ -152,6 +233,18 @@ void FlashBackbone::RegisterMetrics(MetricsRegistry* reg, const std::string& pre
   reg->RegisterCounter(prefix + "/programs", &programs_);
   reg->RegisterCounter(prefix + "/erases", &erases_);
   reg->RegisterCounter(prefix + "/read_retries", &read_retries_);
+  reg->RegisterCounter(prefix + "/uncorrectable_reads", &uncorrectable_reads_);
+  reg->RegisterCounter(prefix + "/program_failures", &program_failures_);
+  reg->RegisterCounter(prefix + "/erase_failures", &erase_failures_);
+  reg->RegisterCounter(prefix + "/dead_die_reads", &dead_die_reads_);
+  reg->RegisterCounter(prefix + "/dead_die_programs", &dead_die_programs_);
+  reg->RegisterCounter(prefix + "/torn_groups", &torn_groups_);
+  for (std::size_t i = 0; i < retry_rung_counts_.size(); ++i) {
+    reg->RegisterCounter(prefix + "/retry_rung" + std::to_string(i + 1),
+                         &retry_rung_counts_[i]);
+  }
+  reg->RegisterGauge(prefix + "/dead_dies",
+                     [this](Tick) { return static_cast<double>(faults_.dead_die_count()); });
   reg->RegisterGauge(prefix + "/bytes_read", [this](Tick) { return bytes_read_; });
   reg->RegisterGauge(prefix + "/bytes_programmed",
                      [this](Tick) { return bytes_programmed_; });

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/flash/fault_model.h"
 #include "src/flash/nand_config.h"
 #include "src/flash/nand_package.h"
 #include "src/sim/metrics.h"
@@ -47,15 +48,37 @@ class TagQueue {
 
 class FlashController {
  public:
-  FlashController(const NandConfig& config, int channel);
+  // Per-channel outcome of one page-group slice; the backbone aggregates the
+  // worst case across channels into an OpResult / IoStatus.
+  struct ReadSliceResult {
+    Tick done = 0;
+    int rungs = 0;            // read-retry rungs walked (0 = clean first sense)
+    bool uncorrectable = false;
+    bool dead_die = false;    // served via detour to an alive die (or skipped)
+  };
+  struct ProgramSliceResult {
+    Tick done = 0;
+    bool failed = false;      // program-status fail reported by the die
+    bool dead_die = false;    // die gone: bus charged, no cells written
+  };
+  struct EraseSliceResult {
+    Tick done = 0;
+    bool failed = false;      // erase fail: the block was marked bad
+  };
+
+  FlashController(const NandConfig& config, int channel, FaultModel* faults);
 
   // This channel's slice of a page-group read: multi-plane read on `package`
-  // at (block, page), then the 2-page data transfer out over the bus.
-  Tick ReadSlice(Tick now, const GroupAddress& addr);
+  // at (block, page), then the 2-page data transfer out over the bus. A
+  // correctable-error read re-senses the page once per retry rung before the
+  // transfer; a dead target die is detoured to an alive package (re-reading
+  // the RAID-style slice reconstruction at reduced channel bandwidth).
+  ReadSliceResult ReadSlice(Tick now, const GroupAddress& addr);
   // Slice of a page-group program: data in over the bus, then program.
-  Tick ProgramSlice(Tick now, const GroupAddress& addr);
-  // Slice of a block-group erase.
-  Tick EraseSlice(Tick now, int package, int block);
+  ProgramSliceResult ProgramSlice(Tick now, const GroupAddress& addr);
+  // Slice of a block-group erase. `inject_failure` is the backbone's one
+  // per-superblock erase-failure draw (a failure retires the whole group).
+  EraseSliceResult EraseSlice(Tick now, int package, int block, bool inject_failure);
 
   NandPackage& package(int i) { return *packages_[i]; }
   const NandPackage& package(int i) const { return *packages_[i]; }
@@ -76,9 +99,12 @@ class FlashController {
 
  private:
   Tick ReserveBus(Tick now, double bytes);
+  // First alive package in this channel, or -1 when the whole channel is dead.
+  int AlivePackage(int preferred) const;
 
   const NandConfig& config_;
   int channel_;
+  FaultModel* faults_;
   BandwidthResource bus_;
   TagQueue tags_;
   std::vector<std::unique_ptr<NandPackage>> packages_;

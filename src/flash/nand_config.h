@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "src/flash/fault_model.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -32,10 +33,14 @@ struct NandConfig {
 
   int controller_tag_queue_depth = 8;  // in-flight ops per FPGA controller
 
-  // Reliability knobs (exercised by failure-injection tests).
-  double read_error_rate = 0.0;      // probability a group read reports an ECC event
-  double erase_failure_rate = 0.0;   // probability an erase retires the block
+  // Reliability model (see src/flash/fault_model.h and docs/RELIABILITY.md).
+  FaultConfig fault;
   std::uint64_t endurance_cycles = 3000;  // TLC rated program/erase cycles
+  // ONFi-style read-retry ladder: up to `read_retry_ladder` re-reads with
+  // shifted reference voltages; rung k adds k * read_retry_step of sensing
+  // setup on top of the full tR re-read.
+  int read_retry_ladder = 5;
+  Tick read_retry_step = 20 * kUs;
 
   // Derived quantities -------------------------------------------------------
   std::uint64_t GroupBytes() const {

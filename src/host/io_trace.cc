@@ -64,7 +64,7 @@ IoReplayResult ReplayIoTrace(Simulator* sim, Flashvisor* fv,
           std::min<std::uint64_t>(std::max<std::uint64_t>(e.bytes, 1), capacity - aligned);
       const Tick issued = sim->Now();
       const bool is_write = e.is_write;
-      req.on_complete = [issued, is_write, &result, latest](Tick done) {
+      req.on_complete = [issued, is_write, &result, latest](Tick done, IoStatus) {
         const double us = TicksToUs(done - issued);
         if (is_write) {
           result.write_latency_us.Record(us);

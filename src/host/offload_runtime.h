@@ -50,6 +50,12 @@ class OffloadRuntime {
   // (synchronously drives the simulator).
   std::vector<float> ReadBack(AppInstance* inst, int section_idx);
 
+  // Host-visible reliability tallies (see FlashAbacus::SubmitIoReliable):
+  // uncorrectable completions that were resubmitted, and requests that
+  // exhausted their attempts (or hit a program failure) and surfaced as-is.
+  std::uint64_t io_retries() const { return device_->io_retries(); }
+  std::uint64_t io_failures() const { return device_->io_failures(); }
+
   FlashAbacus& device() { return *device_; }
   Simulator& sim() { return sim_; }
 

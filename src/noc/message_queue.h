@@ -53,6 +53,14 @@ class MessageQueue {
     return true;
   }
 
+  // Drops queued messages and the busy latch. For crash recovery: after
+  // Simulator::Halt() the scheduled redelivery event is gone, so `busy_`
+  // would otherwise stick forever and wedge the queue.
+  void Reset() {
+    pending_.clear();
+    busy_ = false;
+  }
+
   std::size_t depth() const { return pending_.size(); }
   std::uint64_t sent() const { return sent_; }
   std::uint64_t rejected() const { return rejected_; }

@@ -18,8 +18,23 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  // Uniform in [0, n).
-  std::uint64_t NextBelow(std::uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  // Uniform in [0, n). Rejection sampling: a bare `Next() % n` over-weights
+  // the low residues whenever n does not divide 2^64. Draws below
+  // 2^64 mod n are rejected, which leaves a whole multiple of n outcomes, so
+  // every residue is exactly equally likely. Still deterministic per seed
+  // (the rejection schedule is itself a pure function of the stream).
+  std::uint64_t NextBelow(std::uint64_t n) {
+    if (n == 0) {
+      return 0;
+    }
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t v = Next();
+      if (v >= threshold) {
+        return v % n;
+      }
+    }
+  }
 
   // Uniform double in [0, 1).
   double NextDouble() {

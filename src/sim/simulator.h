@@ -43,6 +43,12 @@ class Simulator {
   // Runs a single event if one is pending; returns false when idle.
   bool Step();
 
+  // Drops every pending event (daemons included) without running it. The
+  // clock keeps its value. Models an abrupt power failure: whatever was in
+  // flight simply never completes. Callers must Reset/rebuild any component
+  // whose invariants depend on a scheduled continuation (queues, daemons).
+  void Halt() { queue_.Clear(); }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_executed() const { return events_executed_; }
 

@@ -1,0 +1,229 @@
+// Device-wide fault injection: wear-dependent read errors and the read-retry
+// ladder (with its latency cost), program-failure re-allocation, transient
+// die stalls, scripted die/channel kills with graceful degradation, and
+// determinism of the whole fault schedule under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/storengine.h"
+#include "src/flash/fault_model.h"
+#include "tests/test_util.h"
+
+namespace fabacus {
+namespace {
+
+// --- FaultModel unit behaviour ---------------------------------------------
+
+TEST(FaultModel, WearScalesReadErrorRate) {
+  FaultConfig fc;
+  fc.read_error_base = 0.02;
+  fc.read_error_wear_slope = 0.5;
+  FaultModel fm(fc, 4, 4, /*endurance_cycles=*/3000, /*ladder_depth=*/5);
+  constexpr int kDraws = 20000;
+  int fresh_errors = 0;
+  int worn_errors = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    fresh_errors += fm.OnRead(0).rungs > 0 ? 1 : 0;
+    worn_errors += fm.OnRead(3000).rungs > 0 ? 1 : 0;  // wear == endurance
+  }
+  // Fresh blocks error at ~2%, end-of-life blocks at ~52%.
+  EXPECT_LT(fresh_errors, kDraws / 10);
+  EXPECT_GT(worn_errors, fresh_errors * 5);
+}
+
+TEST(FaultModel, ExhaustedLadderIsUncorrectable) {
+  FaultConfig fc;
+  fc.read_error_base = 1.0;
+  fc.retry_rung_fail = 1.0;  // no rung ever corrects
+  FaultModel fm(fc, 4, 4, 3000, 5);
+  const ReadFault f = fm.OnRead(0);
+  EXPECT_EQ(f.rungs, 5);
+  EXPECT_TRUE(f.uncorrectable);
+}
+
+TEST(FaultModel, PlanKillsDieAtScheduledTick) {
+  FaultConfig fc;
+  fc.plan.push_back({FaultPlanEntry::Kind::kKillDie, 100 * kUs, 2, 1});
+  FaultModel fm(fc, 4, 4, 3000, 5);
+  fm.Advance(99 * kUs);
+  EXPECT_FALSE(fm.IsDeadDie(2, 1));
+  fm.Advance(100 * kUs);
+  EXPECT_TRUE(fm.IsDeadDie(2, 1));
+  EXPECT_EQ(fm.dead_die_count(), 1);
+  fm.Advance(500 * kUs);  // idempotent
+  EXPECT_EQ(fm.dead_die_count(), 1);
+}
+
+TEST(FaultModel, SameSeedSameFaultSchedule) {
+  FaultConfig fc;
+  fc.read_error_base = 0.3;
+  fc.program_failure_rate = 0.1;
+  auto draw = [&fc](std::uint64_t seed) {
+    FaultConfig c = fc;
+    c.seed = seed;
+    FaultModel fm(c, 4, 4, 3000, 5);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(fm.OnRead(100).rungs);
+      outcomes.push_back(fm.ProgramFails(100) ? 1 : 0);
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+// --- Backbone-level behaviour ----------------------------------------------
+
+TEST(FaultInjection, RetryLadderChargesReadLatency) {
+  // Satellite regression: a correctable ECC event must cost real time — each
+  // rung re-senses the page at read_retry_step spacing — not just bump a
+  // counter.
+  NandConfig clean = TinyNand();
+  NandConfig faulty = TinyNand();
+  faulty.fault.read_error_base = 1.0;
+  faulty.fault.retry_rung_fail = 0.0;  // exactly one rung corrects every read
+  FlashBackbone bb_clean(clean);
+  FlashBackbone bb_faulty(faulty);
+  const Tick clean_done = bb_clean.ReadGroup(0, 0, nullptr).done;
+  const FlashBackbone::OpResult r = bb_faulty.ReadGroup(0, 0, nullptr);
+  EXPECT_EQ(r.retry_rungs, 1);
+  EXPECT_TRUE(r.ecc_event);
+  EXPECT_EQ(r.status, IoStatus::kDegraded);
+  EXPECT_GE(r.done, clean_done + faulty.read_retry_step);
+  EXPECT_GT(bb_faulty.read_retries(), 0u);
+}
+
+TEST(FaultInjection, DieStallDelaysReads) {
+  NandConfig stall = TinyNand();
+  stall.fault.die_stall_rate = 1.0;
+  stall.fault.die_stall_ns = 300 * kUs;
+  FlashBackbone bb_clean(TinyNand());
+  FlashBackbone bb_stall(stall);
+  const Tick clean_done = bb_clean.ReadGroup(0, 0, nullptr).done;
+  EXPECT_GE(bb_stall.ReadGroup(0, 0, nullptr).done, clean_done + 300 * kUs);
+}
+
+TEST(FaultInjection, DeadDieReadsDetourAndDegrade) {
+  NandConfig cfg = TinyNand();
+  FlashBackbone bb(cfg);
+  std::vector<std::uint8_t> data(cfg.GroupBytes(), 0xA5);
+  bb.ProgramGroup(0, 0, data.data());
+  bb.faults().KillDie(0, 0);  // group 0 lives on package 0 of every channel
+  std::vector<std::uint8_t> out(cfg.GroupBytes(), 0);
+  const FlashBackbone::OpResult r = bb.ReadGroup(1 * kMs, 0, out.data());
+  EXPECT_EQ(r.status, IoStatus::kDegraded);
+  EXPECT_GT(bb.dead_die_reads(), 0u);
+  EXPECT_EQ(out, data) << "group contents survive a die loss (striped slices)";
+}
+
+TEST(FaultInjection, WholeChannelDeadStillCompletes) {
+  NandConfig cfg = TinyNand();
+  FlashBackbone bb(cfg);
+  bb.faults().KillChannel(1);
+  EXPECT_EQ(bb.faults().dead_die_count(), cfg.packages_per_channel);
+  // Reads and programs complete (degraded) instead of hanging or CHECKing.
+  EXPECT_EQ(bb.ReadGroup(0, 0, nullptr).status, IoStatus::kDegraded);
+  EXPECT_GT(bb.ProgramGroup(0, 0, nullptr).done, 0u);
+}
+
+// --- FTL-level recovery ladder ---------------------------------------------
+
+TEST(FaultInjection, ProgramFailuresReallocateAndRetire) {
+  // With a high program-failure rate the write path must keep absorbing
+  // failures: re-allocate to a fresh block group, retire the failed one, and
+  // still deliver every byte on readback.
+  Simulator sim;
+  NandConfig nand = TinyNand();
+  nand.blocks_per_plane = 24;
+  nand.fault.program_failure_rate = 0.2;
+  FlashBackbone bb(nand);
+  Dram dram{DramConfig{}};
+  Scratchpad spm{ScratchpadConfig{}};
+  Flashvisor fv(&sim, &bb, &dram, &spm);
+
+  const std::uint64_t bytes = 8ULL * nand.GroupBytes();
+  const std::uint64_t addr = fv.AllocLogicalExtent(bytes);
+  std::vector<float> data(512);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i) * 0.25f;
+  }
+  Flashvisor::IoRequest wr;
+  wr.type = Flashvisor::IoRequest::Type::kWrite;
+  wr.flash_addr = addr;
+  wr.model_bytes = bytes;
+  wr.func_data = data.data();
+  wr.func_bytes = data.size() * sizeof(float);
+  wr.on_complete = [](Tick, IoStatus) {};
+  fv.SubmitIo(std::move(wr));
+  sim.Run();
+  EXPECT_GT(fv.program_failure_reallocs(), 0u);
+  EXPECT_GT(bb.program_failures(), 0u);
+
+  std::vector<float> out(data.size(), -1.0f);
+  Flashvisor::IoRequest rd;
+  rd.type = Flashvisor::IoRequest::Type::kRead;
+  rd.flash_addr = addr;
+  rd.model_bytes = bytes;
+  rd.func_data = out.data();
+  rd.func_bytes = out.size() * sizeof(float);
+  rd.on_complete = [](Tick, IoStatus) {};
+  fv.SubmitIo(std::move(rd));
+  sim.Run();
+  EXPECT_EQ(out, data);
+}
+
+// --- Device-level end-to-end -----------------------------------------------
+
+TEST(FaultInjection, DegradedModeCompletesWorkloadWithDeadDie) {
+  // Acceptance: a PolyBench workload finishes correctly with one die killed
+  // mid-run, and the retry/uncorrectable/degraded metrics show up in the
+  // RunReport JSON.
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  ASSERT_NE(wl, nullptr);
+  FlashAbacusConfig cfg = TestDeviceConfig();
+  cfg.nand.fault.read_error_base = 0.02;
+  cfg.nand.fault.plan.push_back({FaultPlanEntry::Kind::kKillDie, 2 * kMs, 1, 2});
+  E2eOutcome out = RunOnFlashAbacus(*wl, 2, SchedulerKind::kIntraOutOfOrder, cfg);
+  ASSERT_TRUE(out.run_done);
+  for (const auto& inst : out.instances) {
+    EXPECT_TRUE(wl->Verify(*inst)) << "instance " << inst->instance_id();
+  }
+  const std::string json = out.result.ToJson();
+  EXPECT_NE(json.find("flash/dead_die_reads"), std::string::npos);
+  EXPECT_NE(json.find("flash/read_retries"), std::string::npos);
+  EXPECT_NE(json.find("flash/uncorrectable_reads"), std::string::npos);
+  EXPECT_NE(json.find("flash/dead_dies"), std::string::npos);
+  EXPECT_NE(json.find("host/io_retries"), std::string::npos);
+  EXPECT_EQ(out.result.metrics.Value("flash/dead_dies"), 1.0);
+  EXPECT_GT(out.result.metrics.Value("flash/dead_die_reads") +
+                out.result.metrics.Value("flash/dead_die_programs"),
+            0.0);
+}
+
+TEST(FaultInjection, IdenticalSeedAndPlanGiveByteIdenticalReports) {
+  // Satellite: the full fault schedule is a deterministic function of the
+  // seed + plan; two identical runs must serialize to byte-identical JSON,
+  // and a different seed must produce a different schedule.
+  const Workload* wl = WorkloadRegistry::Get().Find("GESUM");
+  ASSERT_NE(wl, nullptr);
+  auto run_json = [wl](std::uint64_t fault_seed) {
+    FlashAbacusConfig cfg = TestDeviceConfig();
+    cfg.nand.fault.seed = fault_seed;
+    cfg.nand.fault.read_error_base = 0.2;
+    cfg.nand.fault.program_failure_rate = 0.02;
+    E2eOutcome out = RunOnFlashAbacus(*wl, 2, SchedulerKind::kIntraOutOfOrder, cfg);
+    EXPECT_TRUE(out.run_done);
+    return out.result.ToJson();
+  };
+  const std::string a = run_json(0xfee1deadULL);
+  const std::string b = run_json(0xfee1deadULL);
+  const std::string c = run_json(0xdecafbadULL);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c) << "different fault seeds must perturb the schedule";
+}
+
+}  // namespace
+}  // namespace fabacus

@@ -130,7 +130,7 @@ TEST(FlashBackbone, SequentialReadsSustainMultiGbPerSecond) {
 
 TEST(FlashBackbone, EraseFailureRetiresBlockGroup) {
   NandConfig cfg = TinyNand();
-  cfg.erase_failure_rate = 1.0;  // always fail
+  cfg.fault.erase_failure_rate = 1.0;  // always fail
   FlashBackbone bb(cfg);
   const FlashBackbone::OpResult r = bb.EraseBlockGroup(0, 2);
   EXPECT_TRUE(r.became_bad);
@@ -140,7 +140,7 @@ TEST(FlashBackbone, EraseFailureRetiresBlockGroup) {
 
 TEST(FlashBackbone, EccEventsAreReportedAtConfiguredRate) {
   NandConfig cfg = TinyNand();
-  cfg.read_error_rate = 1.0;
+  cfg.fault.read_error_base = 1.0;
   FlashBackbone bb(cfg);
   EXPECT_TRUE(bb.ReadGroup(0, 0, nullptr).ecc_event);
 }

@@ -70,7 +70,7 @@ TEST_P(FtlFuzzTest, RandomOpsMatchOracle) {
       req.model_bytes = extent_bytes;
       req.func_data = data.data();
       req.func_bytes = data.size() * sizeof(float);
-      req.on_complete = [](Tick) {};
+      req.on_complete = [](Tick, IoStatus) {};
       fv.SubmitIo(std::move(req));
       sim.Run();  // serialize ops so the oracle stays a simple last-writer map
       oracle[extent] = seed;
@@ -82,7 +82,7 @@ TEST_P(FtlFuzzTest, RandomOpsMatchOracle) {
       req.model_bytes = extent_bytes;
       req.func_data = out.data();
       req.func_bytes = out.size() * sizeof(float);
-      req.on_complete = [](Tick) {};
+      req.on_complete = [](Tick, IoStatus) {};
       fv.SubmitIo(std::move(req));
       sim.Run();
       auto it = oracle.find(extent);
@@ -105,7 +105,7 @@ TEST_P(FtlFuzzTest, RandomOpsMatchOracle) {
     req.model_bytes = extent_bytes;
     req.func_data = out.data();
     req.func_bytes = out.size() * sizeof(float);
-    req.on_complete = [](Tick) {};
+    req.on_complete = [](Tick, IoStatus) {};
     fv.SubmitIo(std::move(req));
     sim.Run();
     ASSERT_EQ(out, pattern(seed)) << "final sweep, extent " << extent;

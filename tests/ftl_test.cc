@@ -35,7 +35,7 @@ class FtlFixture : public ::testing::Test {
     req.model_bytes = model_bytes != 0 ? model_bytes : payload.size() * sizeof(float);
     req.func_data = const_cast<float*>(payload.data());
     req.func_bytes = payload.size() * sizeof(float);
-    req.on_complete = [](Tick) {};
+    req.on_complete = [](Tick, IoStatus) {};
     fv_.SubmitIo(std::move(req));
     sim_.Run();
   }
@@ -48,7 +48,7 @@ class FtlFixture : public ::testing::Test {
     req.model_bytes = count * sizeof(float);
     req.func_data = out.data();
     req.func_bytes = count * sizeof(float);
-    req.on_complete = [](Tick) {};
+    req.on_complete = [](Tick, IoStatus) {};
     fv_.SubmitIo(std::move(req));
     sim_.Run();
     return out;
@@ -250,7 +250,7 @@ TEST_F(FtlFixture, WriteHoldsRangeLockUntilFlashDurable) {
   req.func_data = data.data();
   req.func_bytes = data.size() * sizeof(float);
   Tick accept_time = 0;
-  req.on_complete = [&](Tick t) { accept_time = t; };
+  req.on_complete = [&](Tick t, IoStatus) { accept_time = t; };
   fv_.SubmitIo(std::move(req));
   // Run only to the accept event: the write lock must still be held (the
   // programs have not landed), so an overlapping read would block.
@@ -283,7 +283,7 @@ TEST(WriteBuffer, SmallBufferStallsWriteAcceptance) {
       req.type = Flashvisor::IoRequest::Type::kWrite;
       req.flash_addr = fv.AllocLogicalExtent(nand.GroupBytes());
       req.model_bytes = nand.GroupBytes();
-      req.on_complete = [&second_accept, i](Tick t) {
+      req.on_complete = [&second_accept, i](Tick t, IoStatus) {
         if (i == 1) {
           second_accept = t;
         }

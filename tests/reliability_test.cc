@@ -30,7 +30,7 @@ class ReliabilityFixture : public ::testing::Test {
     req.model_bytes = model_bytes != 0 ? model_bytes : payload.size() * sizeof(float);
     req.func_data = const_cast<float*>(payload.data());
     req.func_bytes = payload.size() * sizeof(float);
-    req.on_complete = [](Tick) {};
+    req.on_complete = [](Tick, IoStatus) {};
     fv_.SubmitIo(std::move(req));
     sim_.Run();
   }
@@ -43,7 +43,7 @@ class ReliabilityFixture : public ::testing::Test {
     req.model_bytes = count * sizeof(float);
     req.func_data = out.data();
     req.func_bytes = count * sizeof(float);
-    req.on_complete = [](Tick) {};
+    req.on_complete = [](Tick, IoStatus) {};
     fv_.SubmitIo(std::move(req));
     sim_.Run();
     return out;
@@ -62,8 +62,8 @@ class EraseFailureFixture : public ReliabilityFixture {
  protected:
   EraseFailureFixture() : ReliabilityFixture([] {
     NandConfig cfg = TinyNand();
-    cfg.blocks_per_plane = 16;        // more spare blocks for retirements
-    cfg.erase_failure_rate = 0.25;    // every 4th erase retires the block
+    cfg.blocks_per_plane = 24;        // enough spare blocks for the retirements
+    cfg.fault.erase_failure_rate = 0.25;  // roughly every 4th erase retires the block
     return cfg;
   }()) {}
 };
@@ -87,7 +87,7 @@ TEST_F(EraseFailureFixture, ChurnSurvivesBadBlockRetirements) {
 
 TEST_F(ReliabilityFixture, EccEventsCountedOnReads) {
   NandConfig cfg = TinyNand();
-  cfg.read_error_rate = 1.0;
+  cfg.fault.read_error_base = 1.0;
   FlashBackbone bb(cfg);
   Simulator sim;
   Dram dram(DramConfig{});
@@ -98,14 +98,14 @@ TEST_F(ReliabilityFixture, EccEventsCountedOnReads) {
   wr.type = Flashvisor::IoRequest::Type::kWrite;
   wr.flash_addr = addr;
   wr.model_bytes = cfg.GroupBytes();
-  wr.on_complete = [](Tick) {};
+  wr.on_complete = [](Tick, IoStatus) {};
   fv.SubmitIo(std::move(wr));
   sim.Run();
   Flashvisor::IoRequest rd;
   rd.type = Flashvisor::IoRequest::Type::kRead;
   rd.flash_addr = addr;
   rd.model_bytes = cfg.GroupBytes();
-  rd.on_complete = [](Tick) {};
+  rd.on_complete = [](Tick, IoStatus) {};
   fv.SubmitIo(std::move(rd));
   sim.Run();
   EXPECT_EQ(fv.ecc_events(), 1u);
@@ -186,7 +186,7 @@ TEST_F(ReliabilityFixture, DeterministicRerunsProduceIdenticalTimelines) {
       req.type = Flashvisor::IoRequest::Type::kWrite;
       req.flash_addr = fv.AllocLogicalExtent(3 * nand.GroupBytes());
       req.model_bytes = 3 * nand.GroupBytes();
-      req.on_complete = [&completions](Tick t) { completions.push_back(t); };
+      req.on_complete = [&completions](Tick t, IoStatus) { completions.push_back(t); };
       fv.SubmitIo(std::move(req));
     }
     sim.Run();

@@ -164,5 +164,53 @@ TEST(TimeHelpers, BytesAtGBps) {
   EXPECT_EQ(BytesAtGBps(6400, 6.4), 1000u);
 }
 
+TEST(Rng, NextBelowIsUniformForSmallBounds) {
+  // Distribution sanity: every residue of a small bound lands close to its
+  // expected share.
+  Rng r(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[r.NextBelow(kBuckets)];
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], kDraws / kBuckets * 0.9) << "bucket " << b;
+    EXPECT_LT(counts[b], kDraws / kBuckets * 1.1) << "bucket " << b;
+  }
+}
+
+TEST(Rng, NextBelowHasNoModuloBiasForHugeBounds) {
+  // n = 3 * 2^62: plain `Next() % n` would hit [0, 2^62) twice as often as
+  // the rest (2^64 mod n = 2^62). Rejection sampling must keep the low
+  // quarter of the range at its fair 1/3 share, not the biased 1/2.
+  const std::uint64_t n = 3ULL << 62;
+  const std::uint64_t low_cut = 1ULL << 62;
+  Rng r(1234);
+  constexpr int kDraws = 30000;
+  int low = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = r.NextBelow(n);
+    ASSERT_LT(v, n);
+    if (v < low_cut) {
+      ++low;
+    }
+  }
+  // Fair share is 1/3 (10000); the biased sampler would give 1/2 (15000).
+  EXPECT_GT(low, kDraws / 3 - 1000);
+  EXPECT_LT(low, kDraws / 3 + 1000);
+}
+
+TEST(Rng, NextBelowEdgeCases) {
+  Rng r(5);
+  EXPECT_EQ(r.NextBelow(0), 0u);
+  EXPECT_EQ(r.NextBelow(1), 0u);
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextBelow(1000003), b.NextBelow(1000003));
+  }
+}
+
 }  // namespace
 }  // namespace fabacus

@@ -12,8 +12,8 @@ namespace {
 
 class StorengineFixture : public ::testing::Test {
  protected:
-  StorengineFixture()
-      : nand_(TinyNand()),
+  explicit StorengineFixture(NandConfig nand = TinyNand())
+      : nand_(nand),
         backbone_(nand_),
         dram_(DramConfig{}),
         scratchpad_(ScratchpadConfig{}),
@@ -29,7 +29,7 @@ class StorengineFixture : public ::testing::Test {
     req.model_bytes = model_bytes;
     req.func_data = const_cast<float*>(payload.data());
     req.func_bytes = payload.size() * sizeof(float);
-    req.on_complete = [](Tick) {};
+    req.on_complete = [](Tick, IoStatus) {};
     fv_.SubmitIo(std::move(req));
     sim_.Run();
   }
@@ -42,7 +42,7 @@ class StorengineFixture : public ::testing::Test {
     req.model_bytes = count * sizeof(float);
     req.func_data = out.data();
     req.func_bytes = count * sizeof(float);
-    req.on_complete = [](Tick) {};
+    req.on_complete = [](Tick, IoStatus) {};
     fv_.SubmitIo(std::move(req));
     sim_.Run();
     return out;
@@ -114,6 +114,85 @@ TEST_F(StorengineFixture, BackgroundTasksStopCleanly) {
   se_.Stop();
   sim_.Run();  // must drain without re-arming forever
   SUCCEED();
+}
+
+TEST_F(StorengineFixture, StopQuiescesAllBackgroundDaemons) {
+  // After Stop() no journal, GC, or scrub event may fire: the already-armed
+  // daemons must self-cancel (epoch guard) so the simulator drains instead of
+  // ticking forever, and the pass counters freeze.
+  se_.Start();
+  const std::uint64_t window = 4ULL * fv_.DataSlotsPerBlockGroup() * nand_.GroupBytes();
+  const std::uint64_t addr = fv_.AllocLogicalExtent(window);
+  for (int pass = 0; pass < 4; ++pass) {
+    Write(addr, {}, window);  // churn so the daemons have work
+  }
+  sim_.RunUntil(20 * kMs);
+  se_.Stop();
+  const std::uint64_t gc = se_.gc_passes();
+  const std::uint64_t dumps = se_.journal_dumps();
+  const std::uint64_t scrubs = se_.scrub_passes();
+  sim_.Run();  // must drain; a re-arming daemon would never let this return
+  EXPECT_EQ(se_.gc_passes(), gc);
+  EXPECT_EQ(se_.journal_dumps(), dumps);
+  EXPECT_EQ(se_.scrub_passes(), scrubs);
+
+  // Start() re-arms: a subsequent explicit pass still works (the re-armed
+  // periodic daemon may legitimately add dumps of its own while draining).
+  se_.Start();
+  bool done = false;
+  se_.RunJournalDump([&](Tick) { done = true; });
+  sim_.Run();
+  se_.Stop();
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_GE(se_.journal_dumps(), dumps + 1);
+}
+
+class ScrubErrorFixture : public StorengineFixture {
+ protected:
+  ScrubErrorFixture() : StorengineFixture([] {
+    NandConfig cfg = TinyNand();
+    cfg.fault.read_error_base = 1.0;  // every read walks the retry ladder
+    return cfg;
+  }()) {}
+};
+
+TEST_F(ScrubErrorFixture, ScrubRefreshesErrorHeavyBlockGroups) {
+  // Drive a sealed block group's correctable-error count over the scrub
+  // threshold, then run one scrub pass: the group is refresh-migrated and the
+  // data survives at a new physical home.
+  const std::uint32_t slots = fv_.DataSlotsPerBlockGroup();
+  const std::uint64_t bg_bytes = static_cast<std::uint64_t>(slots) * nand_.GroupBytes();
+  const std::uint64_t addr = fv_.AllocLogicalExtent(bg_bytes);
+  std::vector<float> live(256);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i] = static_cast<float>(i) + 0.5f;
+  }
+  Write(addr, live, bg_bytes);
+  Write(fv_.AllocLogicalExtent(nand_.GroupBytes()), {}, nand_.GroupBytes());  // seal
+  ASSERT_GT(fv_.blocks().used_count(), 0u);
+
+  // Every read walks the retry ladder, charging one correctable error to the
+  // block; cross the threshold.
+  for (std::uint32_t i = 0; i < se_.config().scrub_error_threshold + 1; ++i) {
+    EXPECT_EQ(Read(addr, live.size()), live);
+  }
+  bool done = false;
+  se_.RunScrubPass([&](Tick) { done = true; });
+  sim_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(se_.scrub_passes(), 1u);
+  EXPECT_GT(se_.scrub_migrations(), 0u);
+  EXPECT_EQ(Read(addr, live.size()), live);
+}
+
+TEST_F(StorengineFixture, ScrubWithNothingToDoIsANoOp) {
+  bool done = false;
+  se_.RunScrubPass([&](Tick) { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(se_.scrub_passes(), 0u);
+  EXPECT_EQ(se_.scrub_migrations(), 0u);
 }
 
 TEST_F(StorengineFixture, RoundRobinVictimsLevelWear) {
