@@ -102,8 +102,14 @@ int main() {
   PrintRow({"device", "makespan(ms)", "retries", "uncorr", "prog-fail", "host-retry",
             "verified"},
            13);
+  std::vector<std::function<FaultOutcome()>> jobs;
   for (const Step& s : steps) {
-    const FaultOutcome o = RunWithFaults(s.fault);
+    jobs.emplace_back([&s] { return RunWithFaults(s.fault); });
+  }
+  const std::vector<FaultOutcome> outcomes = SweepRunner().Run(std::move(jobs));
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Step& s = steps[i];
+    const FaultOutcome& o = outcomes[i];
     PrintRow({s.label, Fmt(TicksToMs(o.report.makespan), 2),
               Fmt(Metric(o, "flash/read_retries"), 0),
               Fmt(Metric(o, "flash/uncorrectable_reads"), 0),

@@ -127,8 +127,12 @@ GcOutcome RunOverwriteChurn(bool background_gc) {
 int main() {
   using namespace fabacus;
   PrintHeader("Ablation: background (Storengine) vs on-demand garbage collection");
-  const GcOutcome bg = RunOverwriteChurn(true);
-  const GcOutcome fg = RunOverwriteChurn(false);
+  std::vector<std::function<GcOutcome()>> jobs;
+  jobs.emplace_back([] { return RunOverwriteChurn(true); });
+  jobs.emplace_back([] { return RunOverwriteChurn(false); });
+  const std::vector<GcOutcome> outcomes = SweepRunner().Run(std::move(jobs));
+  const GcOutcome& bg = outcomes[0];
+  const GcOutcome& fg = outcomes[1];
   PrintRow({"mode", "bg passes", "fg reclaims", "read mean(us)", "read p99(us)",
             "read max(us)"},
            16);

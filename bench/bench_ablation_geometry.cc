@@ -31,10 +31,19 @@ int main() {
   using namespace fabacus;
   PrintHeader("Ablation: flash geometry — sequential read bandwidth (GB/s)");
   PrintRow({"channels\\pkgs", "1", "2", "4", "8"}, 14);
-  for (int channels : {1, 2, 4, 8}) {
-    std::vector<std::string> row{Fmt(channels, 0)};
-    for (int packages : {1, 2, 4, 8}) {
-      row.push_back(Fmt(SequentialReadGBps(channels, packages), 2));
+  const std::vector<int> axis = {1, 2, 4, 8};
+  std::vector<std::function<double()>> jobs;
+  for (int channels : axis) {
+    for (int packages : axis) {
+      jobs.emplace_back(
+          [channels, packages] { return SequentialReadGBps(channels, packages); });
+    }
+  }
+  const std::vector<double> gbps = SweepRunner().Run(std::move(jobs));
+  for (std::size_t c = 0; c < axis.size(); ++c) {
+    std::vector<std::string> row{Fmt(axis[c], 0)};
+    for (std::size_t p = 0; p < axis.size(); ++p) {
+      row.push_back(Fmt(gbps[c * axis.size() + p], 2));
     }
     PrintRow(row, 14);
   }

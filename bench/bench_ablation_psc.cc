@@ -14,16 +14,28 @@ int main() {
   PrintHeader("Ablation: PSC sleep states — energy vs kernels in flight (ATAX)");
   PrintRow({"kernels", "E with PSC (J)", "E no PSC (J)", "saved"}, 18);
   const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
-  for (int kernels : {1, 2, 4, 6}) {
-    FlashAbacusConfig with_psc;
-    with_psc.lwp.psc_sleep_threshold = 50 * kUs;
-    FlashAbacusConfig no_psc;
-    no_psc.lwp.psc_sleep_threshold = 1000 * kSec;  // never sleep
-    OffloadRuntime a(with_psc);
-    OffloadRuntime b(no_psc);
-    const RunReport ra = a.Execute({{wl, kernels}}, SchedulerKind::kInterDynamic);
-    const RunReport rb = b.Execute({{wl, kernels}}, SchedulerKind::kInterDynamic);
-    PrintRow({Fmt(kernels, 0), Fmt(ra.EnergySummary().total_j, 3), Fmt(rb.EnergySummary().total_j, 3),
+  const std::vector<int> points = {1, 2, 4, 6};
+  // Two jobs per point (with/without PSC); each builds its own runtime.
+  std::vector<std::function<RunReport()>> jobs;
+  for (int kernels : points) {
+    jobs.emplace_back([wl, kernels] {
+      FlashAbacusConfig with_psc;
+      with_psc.lwp.psc_sleep_threshold = 50 * kUs;
+      OffloadRuntime rt(with_psc);
+      return rt.Execute({{wl, kernels}}, SchedulerKind::kInterDynamic);
+    });
+    jobs.emplace_back([wl, kernels] {
+      FlashAbacusConfig no_psc;
+      no_psc.lwp.psc_sleep_threshold = 1000 * kSec;  // never sleep
+      OffloadRuntime rt(no_psc);
+      return rt.Execute({{wl, kernels}}, SchedulerKind::kInterDynamic);
+    });
+  }
+  const std::vector<RunReport> reports = SweepRunner().Run(std::move(jobs));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const RunReport& ra = reports[2 * i];
+    const RunReport& rb = reports[2 * i + 1];
+    PrintRow({Fmt(points[i], 0), Fmt(ra.EnergySummary().total_j, 3), Fmt(rb.EnergySummary().total_j, 3),
               Fmt((1.0 - ra.EnergySummary().total_j / rb.EnergySummary().total_j) * 100.0, 1) + "%"},
              18);
   }

@@ -56,8 +56,12 @@ int main() {
   constexpr int kRounds = 1000;
 
   PrintHeader("Ablation: range lock vs global lock vs per-page permissions");
-  const LockStats range = DriveDisjoint(false, kSections, kRounds);
-  const LockStats global = DriveDisjoint(true, kSections, kRounds);
+  std::vector<std::function<LockStats()>> jobs;
+  jobs.emplace_back([] { return DriveDisjoint(false, kSections, kRounds); });
+  jobs.emplace_back([] { return DriveDisjoint(true, kSections, kRounds); });
+  const std::vector<LockStats> stats = SweepRunner().Run(std::move(jobs));
+  const LockStats& range = stats[0];
+  const LockStats& global = stats[1];
   PrintRow({"scheme", "granted", "blocked", "extra map writes"}, 20);
   PrintRow({"range lock", Fmt(static_cast<double>(range.grants), 0),
             Fmt(static_cast<double>(range.waits), 0), "0"},

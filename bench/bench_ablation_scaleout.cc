@@ -3,6 +3,7 @@
 // system (by adding up more LWPs into the network)"). Sweeps the worker
 // count for a heterogeneous mix under IntraO3 and reports throughput and the
 // point where the flash backbone (not compute) becomes the bottleneck.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -11,39 +12,57 @@
 #include "src/sim/rng.h"
 #include "src/sim/simulator.h"
 
+namespace fabacus {
+namespace {
+
+RunReport RunMixAtScale(const std::vector<const Workload*>& mix, int lwps) {
+  Simulator sim;
+  FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
+  cfg.num_lwps = lwps;  // 2 reserved for Flashvisor/Storengine
+  // Scaling out means adding LWPs *into the network*: give the tier-1
+  // crossbar a port per LWP plus the memory port (the paper's 12-port fabric
+  // only covers the 8-LWP baseline, and Validate() rejects fewer).
+  cfg.tier1.ports = std::max(cfg.tier1.ports, lwps + 1);
+  FlashAbacus dev(&sim, cfg);
+  Rng rng(42);
+  std::vector<std::unique_ptr<AppInstance>> owned;
+  std::vector<AppInstance*> raw;
+  for (std::size_t a = 0; a < mix.size(); ++a) {
+    for (int i = 0; i < 2; ++i) {
+      owned.push_back(std::make_unique<AppInstance>(static_cast<int>(a), i,
+                                                    &mix[a]->spec(), cfg.model_scale));
+      mix[a]->Prepare(*owned.back(), rng);
+      raw.push_back(owned.back().get());
+    }
+  }
+  for (AppInstance* inst : raw) {
+    dev.InstallData(inst, [](Tick) {});
+  }
+  sim.Run();
+  RunReport result;
+  dev.Run(raw, SchedulerKind::kIntraOutOfOrder, [&](RunReport r) { result = std::move(r); });
+  sim.Run();
+  return result;
+}
+
+}  // namespace
+}  // namespace fabacus
+
 int main() {
   using namespace fabacus;
   const std::vector<const Workload*> mix = WorkloadRegistry::Get().Mix(2);
   PrintHeader("Ablation: scale-out — workers vs throughput (MX2 x12, IntraO3)");
   PrintRow({"LWPs(total)", "workers", "MB/s", "speedup", "worker util(%)"}, 14);
-  double base = 0.0;
-  for (int lwps : {4, 6, 8, 12, 16, 24}) {
-    Simulator sim;
-    FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
-    cfg.num_lwps = lwps;  // 2 reserved for Flashvisor/Storengine
-    FlashAbacus dev(&sim, cfg);
-    Rng rng(42);
-    std::vector<std::unique_ptr<AppInstance>> owned;
-    std::vector<AppInstance*> raw;
-    for (std::size_t a = 0; a < mix.size(); ++a) {
-      for (int i = 0; i < 2; ++i) {
-        owned.push_back(std::make_unique<AppInstance>(static_cast<int>(a), i,
-                                                      &mix[a]->spec(), cfg.model_scale));
-        mix[a]->Prepare(*owned.back(), rng);
-        raw.push_back(owned.back().get());
-      }
-    }
-    for (AppInstance* inst : raw) {
-      dev.InstallData(inst, [](Tick) {});
-    }
-    sim.Run();
-    RunReport result;
-    dev.Run(raw, SchedulerKind::kIntraOutOfOrder, [&](RunReport r) { result = std::move(r); });
-    sim.Run();
-    if (base == 0.0) {
-      base = result.throughput_mb_s;
-    }
-    PrintRow({Fmt(lwps, 0), Fmt(lwps - 2, 0), Fmt(result.throughput_mb_s),
+  const std::vector<int> points = {4, 6, 8, 12, 16, 24};
+  std::vector<std::function<RunReport()>> jobs;
+  for (int lwps : points) {
+    jobs.emplace_back([&mix, lwps] { return RunMixAtScale(mix, lwps); });
+  }
+  const std::vector<RunReport> results = SweepRunner().Run(std::move(jobs));
+  const double base = results[0].throughput_mb_s;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const RunReport& result = results[i];
+    PrintRow({Fmt(points[i], 0), Fmt(points[i] - 2, 0), Fmt(result.throughput_mb_s),
               Fmt(result.throughput_mb_s / base, 2) + "x",
               Fmt(result.worker_utilization * 100.0, 1)},
              14);

@@ -13,6 +13,14 @@ namespace fabacus {
 namespace {
 
 void RunHomogeneous(BenchJson* json) {
+  const std::vector<const Workload*> kernels = WorkloadRegistry::Get().polybench();
+  BenchSweep sweep;
+  std::vector<std::size_t> first;
+  for (const Workload* wl : kernels) {
+    first.push_back(sweep.AddAllSystems({wl}, 6));
+  }
+  sweep.Run();
+
   PrintHeader("Fig 10a: throughput, homogeneous workloads (MB/s; 6 instances each)");
   PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3", "O3/SIMD",
             "verified"});
@@ -20,8 +28,9 @@ void RunHomogeneous(BenchJson* json) {
   int count = 0;
   double data_accum = 0.0;
   int data_count = 0;
-  for (const Workload* wl : WorkloadRegistry::Get().polybench()) {
-    std::vector<BenchRun> runs = RunAllSystems({wl}, 6);
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    const Workload* wl = kernels[k];
+    const std::vector<BenchRun> runs = sweep.TakeSystems(first[k]);
     std::vector<std::string> row{wl->name()};
     bool verified = true;
     for (const BenchRun& r : runs) {
@@ -47,14 +56,20 @@ void RunHomogeneous(BenchJson* json) {
 }
 
 void RunHeterogeneous(BenchJson* json) {
+  BenchSweep sweep;
+  std::vector<std::size_t> first;
+  for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
+    first.push_back(sweep.AddAllSystems(WorkloadRegistry::Get().Mix(m), 4));
+  }
+  sweep.Run();
+
   PrintHeader("Fig 10b: throughput, heterogeneous workloads (MB/s; 24 instances, 4/app)");
   PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3", "O3/SIMD",
             "verified"});
   double dy_vs_st = 0.0;
   double o3_vs_dy = 0.0;
   for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
-    std::vector<const Workload*> mix = WorkloadRegistry::Get().Mix(m);
-    std::vector<BenchRun> runs = RunAllSystems(mix, 4);
+    const std::vector<BenchRun> runs = sweep.TakeSystems(first[static_cast<std::size_t>(m - 1)]);
     std::vector<std::string> row{"MX" + std::to_string(m)};
     bool verified = true;
     for (const BenchRun& r : runs) {

@@ -12,9 +12,8 @@
 namespace fabacus {
 namespace {
 
-void PrintLatencyTable(BenchJson* json, const std::string& label,
-                       const std::vector<const Workload*>& apps, int instances_per_app) {
-  std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
+void PrintLatencyRow(BenchJson* json, const std::string& label,
+                     const std::vector<BenchRun>& runs) {
   const double simd_avg = runs[0].result.kernel_latency_ms.Mean();
   std::vector<std::string> row{label};
   for (const BenchRun& r : runs) {
@@ -32,16 +31,31 @@ void PrintLatencyTable(BenchJson* json, const std::string& label,
 int main() {
   using namespace fabacus;
   BenchJson json("bench_fig11_latency");
+
+  // Enqueue both figure grids up front so the whole bench runs as one sweep.
+  const std::vector<const Workload*> kernels = WorkloadRegistry::Get().polybench();
+  BenchSweep sweep;
+  std::vector<std::size_t> homo_first;
+  for (const Workload* wl : kernels) {
+    homo_first.push_back(sweep.AddAllSystems({wl}, 6));
+  }
+  std::vector<std::size_t> mix_first;
+  for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
+    mix_first.push_back(sweep.AddAllSystems(WorkloadRegistry::Get().Mix(m), 4));
+  }
+  sweep.Run();
+
   PrintHeader("Fig 11a: latency max/avg/min normalized to SIMD avg, homogeneous");
   PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
-  for (const Workload* wl : WorkloadRegistry::Get().polybench()) {
-    PrintLatencyTable(&json, wl->name(), {wl}, 6);
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    PrintLatencyRow(&json, kernels[k]->name(), sweep.TakeSystems(homo_first[k]));
   }
 
   PrintHeader("Fig 11b: latency max/avg/min normalized to SIMD avg, heterogeneous");
   PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
   for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
-    PrintLatencyTable(&json, "MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
+    PrintLatencyRow(&json, "MX" + std::to_string(m),
+                    sweep.TakeSystems(mix_first[static_cast<std::size_t>(m - 1)]));
   }
   std::printf(
       "\npaper anchors: SIMD avg/max/min 39%%/87%%/113%% above FlashAbacus on data-intensive;"

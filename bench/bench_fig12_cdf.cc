@@ -14,9 +14,8 @@ namespace fabacus {
 namespace {
 
 void PrintCdf(BenchJson* json, const std::string& title, const std::string& label,
-              const std::vector<const Workload*>& apps, int instances_per_app) {
+              std::vector<BenchRun> runs) {
   PrintHeader(title);
-  std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
   PrintRow({"#done", "SIMD(s)", "InterSt(s)", "IntraIo(s)", "InterDy(s)", "IntraO3(s)"});
   std::vector<std::vector<Tick>> sorted;
   for (BenchRun& r : runs) {
@@ -41,9 +40,14 @@ int main() {
   using namespace fabacus;
   BenchJson json("bench_fig12_cdf");
   const Workload* atax = WorkloadRegistry::Get().Find("ATAX");
-  PrintCdf(&json, "Fig 12a: completion-time CDF, ATAX x6 (homogeneous)", "ATAX", {atax}, 6);
+  BenchSweep sweep;
+  const std::size_t atax_first = sweep.AddAllSystems({atax}, 6);
+  const std::size_t mix_first = sweep.AddAllSystems(WorkloadRegistry::Get().Mix(1), 4);
+  sweep.Run();
+  PrintCdf(&json, "Fig 12a: completion-time CDF, ATAX x6 (homogeneous)", "ATAX",
+           sweep.TakeSystems(atax_first));
   PrintCdf(&json, "Fig 12b: completion-time CDF, MX1 x24 (heterogeneous)", "MX1",
-           WorkloadRegistry::Get().Mix(1), 4);
+           sweep.TakeSystems(mix_first));
   std::printf(
       "\npaper anchors: InterDy completes the first ATAX kernel later than IntraIo/IntraO3;"
       "\nIntraO3 outperforms SIMD by ~42%% on MX1's kernels overall\n");

@@ -12,8 +12,7 @@ namespace fabacus {
 namespace {
 
 double PrintEnergyRow(BenchJson* json, const std::string& label,
-                      const std::vector<const Workload*>& apps, int instances_per_app) {
-  std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
+                      const std::vector<BenchRun>& runs) {
   const double simd_total = runs[0].result.EnergySummary().total_j;
   std::vector<std::string> row{label};
   for (const BenchRun& r : runs) {
@@ -32,19 +31,32 @@ double PrintEnergyRow(BenchJson* json, const std::string& label,
 int main() {
   using namespace fabacus;
   BenchJson json("bench_fig13_energy");
+
+  const std::vector<const Workload*> kernels = WorkloadRegistry::Get().polybench();
+  BenchSweep sweep;
+  std::vector<std::size_t> homo_first;
+  for (const Workload* wl : kernels) {
+    homo_first.push_back(sweep.AddAllSystems({wl}, 6));
+  }
+  std::vector<std::size_t> mix_first;
+  for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
+    mix_first.push_back(sweep.AddAllSystems(WorkloadRegistry::Get().Mix(m), 4));
+  }
+  sweep.Run();
+
   double o3_ratio_sum = 0.0;
   int n = 0;
   PrintHeader("Fig 13a: energy move/compute/storage normalized to SIMD total, homogeneous");
   PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
-  for (const Workload* wl : WorkloadRegistry::Get().polybench()) {
-    o3_ratio_sum += PrintEnergyRow(&json, wl->name(), {wl}, 6);
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    o3_ratio_sum += PrintEnergyRow(&json, kernels[k]->name(), sweep.TakeSystems(homo_first[k]));
     ++n;
   }
   PrintHeader("Fig 13b: energy move/compute/storage normalized to SIMD total, heterogeneous");
   PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"}, 18);
   for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
-    o3_ratio_sum +=
-        PrintEnergyRow(&json, "MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
+    o3_ratio_sum += PrintEnergyRow(&json, "MX" + std::to_string(m),
+                                   sweep.TakeSystems(mix_first[static_cast<std::size_t>(m - 1)]));
     ++n;
   }
   std::printf("\nIntraO3 total energy vs SIMD, mean across all workloads: %.1f%% less "

@@ -12,8 +12,7 @@ namespace fabacus {
 namespace {
 
 void PrintUtilRow(BenchJson* json, const std::string& label,
-                  const std::vector<const Workload*>& apps, int instances_per_app) {
-  std::vector<BenchRun> runs = RunAllSystems(apps, instances_per_app);
+                  const std::vector<BenchRun>& runs) {
   std::vector<std::string> row{label};
   for (const BenchRun& r : runs) {
     json->AddRun(label, r);
@@ -28,15 +27,29 @@ void PrintUtilRow(BenchJson* json, const std::string& label,
 int main() {
   using namespace fabacus;
   BenchJson json("bench_fig14_utilization");
+
+  const std::vector<const Workload*> kernels = WorkloadRegistry::Get().polybench();
+  BenchSweep sweep;
+  std::vector<std::size_t> homo_first;
+  for (const Workload* wl : kernels) {
+    homo_first.push_back(sweep.AddAllSystems({wl}, 6));
+  }
+  std::vector<std::size_t> mix_first;
+  for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
+    mix_first.push_back(sweep.AddAllSystems(WorkloadRegistry::Get().Mix(m), 4));
+  }
+  sweep.Run();
+
   PrintHeader("Fig 14a: LWP utilization (%), homogeneous");
   PrintRow({"workload", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"});
-  for (const Workload* wl : WorkloadRegistry::Get().polybench()) {
-    PrintUtilRow(&json, wl->name(), {wl}, 6);
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    PrintUtilRow(&json, kernels[k]->name(), sweep.TakeSystems(homo_first[k]));
   }
   PrintHeader("Fig 14b: LWP utilization (%), heterogeneous");
   PrintRow({"mix", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"});
   for (int m = 1; m <= WorkloadRegistry::kNumMixes; ++m) {
-    PrintUtilRow(&json, "MX" + std::to_string(m), WorkloadRegistry::Get().Mix(m), 4);
+    PrintUtilRow(&json, "MX" + std::to_string(m),
+                 sweep.TakeSystems(mix_first[static_cast<std::size_t>(m - 1)]));
   }
   std::printf("\npaper anchors: InterDy ~98%% on homogeneous; IntraO3 >94%% and ~15%% above "
               "InterDy on heterogeneous\n");

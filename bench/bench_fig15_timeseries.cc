@@ -58,8 +58,16 @@ void PrintSeries(const char* name, const std::vector<double>& v, double scale = 
 int main() {
   using namespace fabacus;
   const std::vector<const Workload*> mix = WorkloadRegistry::Get().Mix(1);
-  BenchRun simd = RunSimdSystem(mix, 2);
-  BenchRun o3 = RunFlashAbacusSystem(mix, 2, SchedulerKind::kIntraOutOfOrder);
+  // The time-series plots need the full per-tag trace, not just the energy tags.
+  BenchOptions opt;
+  opt.record_full_trace = true;
+  BenchSweep sweep;
+  const std::size_t simd_idx = sweep.Add([&] { return RunSimdSystem(mix, 2, opt); });
+  const std::size_t o3_idx = sweep.Add(
+      [&] { return RunFlashAbacusSystem(mix, 2, SchedulerKind::kIntraOutOfOrder, opt); });
+  sweep.Run();
+  const BenchRun& simd = sweep.Get(simd_idx);
+  const BenchRun& o3 = sweep.Get(o3_idx);
   BenchJson json("bench_fig15_timeseries");
   json.AddRun("MX1", simd);
   json.AddRun("MX1", o3);

@@ -15,9 +15,16 @@ int main() {
   PrintHeader("Fig 16a: throughput (MB/s), graph/bigdata workloads, 6 instances each");
   PrintRow({"app", "SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3", "verified"});
   double gains[3] = {0, 0, 0};
-  std::vector<std::vector<BenchRun>> all;
+  BenchSweep sweep;
+  std::vector<std::size_t> first;
   for (const Workload* wl : WorkloadRegistry::Get().graph()) {
-    std::vector<BenchRun> runs = RunAllSystems({wl}, 6);
+    first.push_back(sweep.AddAllSystems({wl}, 6));
+  }
+  sweep.Run();
+  std::vector<std::vector<BenchRun>> all;
+  std::size_t next = 0;
+  for (const Workload* wl : WorkloadRegistry::Get().graph()) {
+    std::vector<BenchRun> runs = sweep.TakeSystems(first[next++]);
     std::vector<std::string> row{wl->name()};
     bool verified = true;
     for (const BenchRun& r : runs) {

@@ -18,22 +18,34 @@ namespace {
 void RunScalingSweep() {
   const std::vector<double> ratios = {0.5, 0.4, 0.3, 0.2, 0.1, 0.0};
 
+  // Enqueue the whole (cores x ratio) grid, then run it across the pool.
+  BenchSweep sweep;
+  std::vector<std::unique_ptr<Workload>> owned;  // keep workloads alive for the jobs
+  std::vector<std::vector<std::size_t>> idx(9, std::vector<std::size_t>(ratios.size(), 0));
+  for (int cores = 1; cores <= 8; ++cores) {
+    for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+      owned.push_back(MakeSynthetic(ratios[ri], 640.0, /*io_free=*/true));
+      const Workload* syn = owned.back().get();
+      BenchOptions opt;
+      opt.num_lwps = cores;
+      idx[static_cast<std::size_t>(cores)][ri] =
+          sweep.Add([syn, opt]() { return RunSimdSystem({syn}, 6, opt); });
+    }
+  }
+  sweep.Run();
+
   PrintHeader("Fig 3b: workload throughput (GB/s) vs cores x serial ratio");
   std::vector<std::string> head{"cores"};
   for (double r : ratios) {
     head.push_back(Fmt(r * 100, 0) + "%");
   }
   PrintRow(head);
-  // Keep the per-(cores, ratio) results for the utilization table too.
-  std::vector<std::vector<double>> util(9, std::vector<double>(ratios.size(), 0.0));
   for (int cores = 1; cores <= 8; ++cores) {
     std::vector<std::string> row{Fmt(cores, 0)};
     for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
-      std::unique_ptr<Workload> syn = MakeSynthetic(ratios[ri], 640.0, /*io_free=*/true);
-      BenchRun run = RunSimdSystem({syn.get()}, 6, kBenchScale, 42, cores);
+      const BenchRun& run = sweep.Get(idx[static_cast<std::size_t>(cores)][ri]);
       const double gb_s = run.result.input_bytes / 1e9 / TicksToSeconds(run.result.makespan);
       row.push_back(Fmt(gb_s, 2));
-      util[static_cast<std::size_t>(cores)][ri] = run.result.worker_utilization * 100.0;
     }
     PrintRow(row);
   }
@@ -43,7 +55,8 @@ void RunScalingSweep() {
   for (int cores = 1; cores <= 8; ++cores) {
     std::vector<std::string> row{Fmt(cores, 0)};
     for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
-      row.push_back(Fmt(util[static_cast<std::size_t>(cores)][ri], 1));
+      const BenchRun& run = sweep.Get(idx[static_cast<std::size_t>(cores)][ri]);
+      row.push_back(Fmt(run.result.worker_utilization * 100.0, 1));
     }
     PrintRow(row);
   }
@@ -55,6 +68,18 @@ void RunBreakdowns() {
   // The eleven applications of Fig 3d/3e, paper order.
   const std::vector<std::string> apps = {"ATAX", "BICG", "2DCON", "MVT",  "SYRK", "3MM",
                                          "GESUM", "ADI",  "COVAR", "FDTD"};
+  // The time breakdown reads kLwpCompute/kSsdOp/kHostStack union times, so
+  // these runs need the full interval trace.
+  BenchOptions opt;
+  opt.record_full_trace = true;
+  BenchSweep sweep;
+  std::vector<std::size_t> idx;
+  for (const std::string& name : apps) {
+    const Workload* wl = WorkloadRegistry::Get().Find(name);
+    idx.push_back(sweep.Add([wl, opt]() { return RunSimdSystem({wl}, 6, opt); }));
+  }
+  sweep.Run();
+
   PrintHeader("Fig 3d: execution-time breakdown on SIMD+NVMe (fractions of makespan)");
   PrintRow({"app", "accelerator", "ssd", "host stack"});
   struct Energy {
@@ -64,10 +89,8 @@ void RunBreakdowns() {
     double stack;
   };
   std::vector<Energy> energies;
-  for (const std::string& name : apps) {
-    const Workload* wl = WorkloadRegistry::Get().Find(name);
-    BenchRun run = RunSimdSystem({wl}, 6);
-    const double total = static_cast<double>(run.result.makespan);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const BenchRun& run = sweep.Get(idx[a]);
     const double accel = static_cast<double>(run.result.trace.UnionTime(TraceTag::kLwpCompute));
     const double ssd = static_cast<double>(run.result.trace.UnionTime(TraceTag::kSsdOp));
     // Host-side transfer work: storage-stack CPU time plus the PCIe DMA the
@@ -76,9 +99,9 @@ void RunBreakdowns() {
     const double stack = static_cast<double>(run.result.trace.UnionTime(TraceTag::kHostStack) +
                                              run.result.trace.UnionTime(TraceTag::kPcieXfer));
     const double sum = accel + ssd + stack;
-    PrintRow({name, Fmt(accel / sum, 2), Fmt(ssd / sum, 2), Fmt(stack / sum, 2)});
-    (void)total;
-    energies.push_back({name, run.result.EnergySummary().computation_j, run.result.EnergySummary().storage_access_j,
+    PrintRow({apps[a], Fmt(accel / sum, 2), Fmt(ssd / sum, 2), Fmt(stack / sum, 2)});
+    energies.push_back({apps[a], run.result.EnergySummary().computation_j,
+                        run.result.EnergySummary().storage_access_j,
                         run.result.EnergySummary().data_movement_j});
   }
   std::printf("\npaper anchor: ATAX/BICG/MVT spend ~77%% of time on data transfers\n");

@@ -1,5 +1,8 @@
 #include "bench/bench_util.h"
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -41,20 +44,51 @@ bool VerifyAll(const std::vector<const Workload*>& apps, const InstanceSet& set)
   return ok;
 }
 
+// Wall-clock + engine counters around one simulated run.
+class RunMeter {
+ public:
+  explicit RunMeter(BenchRun* run) : run_(run), start_(std::chrono::steady_clock::now()) {}
+  void Finish(const Simulator& sim) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    run_->wall_seconds = std::chrono::duration<double>(elapsed).count();
+    run_->sim_ticks = static_cast<double>(sim.Now());
+    run_->events_executed = sim.events_executed();
+  }
+
+ private:
+  BenchRun* run_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// The sweep pool every bench shares (sized once from FABACUS_SWEEP_THREADS /
+// hardware concurrency).
+const SweepRunner& SharedSweepRunner() {
+  static SweepRunner runner;
+  return runner;
+}
+
 }  // namespace
 
 BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int instances_per_app,
-                              SchedulerKind kind, double model_scale, std::uint64_t seed) {
-  Simulator sim;
+                              SchedulerKind kind, const BenchOptions& opt) {
   FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
-  cfg.model_scale = model_scale;
+  cfg.model_scale = opt.model_scale;
+  cfg.record_full_trace = opt.record_full_trace;
+  return RunFlashAbacusSystem(apps, instances_per_app, kind, cfg, opt);
+}
+
+BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int instances_per_app,
+                              SchedulerKind kind, const FlashAbacusConfig& cfg,
+                              const BenchOptions& opt) {
+  BenchRun run;
+  RunMeter meter(&run);
+  Simulator sim(opt.backend);
   FlashAbacus dev(&sim, cfg);
-  InstanceSet set = BuildInstances(apps, instances_per_app, model_scale, seed);
+  InstanceSet set = BuildInstances(apps, instances_per_app, cfg.model_scale, opt.seed);
   for (AppInstance* inst : set.raw) {
     dev.InstallData(inst, [](Tick) {});
   }
   sim.Run();
-  BenchRun run;
   run.system = SchedulerKindName(kind);
   bool done = false;
   dev.Run(set.raw, kind, [&](RunReport r) {
@@ -66,21 +100,24 @@ BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int inst
     std::fprintf(stderr, "ERROR: %s run did not complete\n", run.system.c_str());
   }
   run.verified = VerifyAll(apps, set);
+  meter.Finish(sim);
   return run;
 }
 
 BenchRun RunSimdSystem(const std::vector<const Workload*>& apps, int instances_per_app,
-                       double model_scale, std::uint64_t seed, int num_lwps) {
-  Simulator sim;
+                       const BenchOptions& opt) {
+  BenchRun run;
+  RunMeter meter(&run);
+  Simulator sim(opt.backend);
   SimdConfig cfg;
-  cfg.model_scale = model_scale;
-  cfg.num_lwps = num_lwps;
+  cfg.model_scale = opt.model_scale;
+  cfg.num_lwps = opt.num_lwps;
+  cfg.record_full_trace = opt.record_full_trace;
   SimdSystem simd(&sim, cfg);
-  InstanceSet set = BuildInstances(apps, instances_per_app, model_scale, seed);
+  InstanceSet set = BuildInstances(apps, instances_per_app, opt.model_scale, opt.seed);
   for (AppInstance* inst : set.raw) {
     simd.InstallData(inst);
   }
-  BenchRun run;
   run.system = "SIMD";
   bool done = false;
   simd.Run(set.raw, [&](RunReport r) {
@@ -92,23 +129,64 @@ BenchRun RunSimdSystem(const std::vector<const Workload*>& apps, int instances_p
     std::fprintf(stderr, "ERROR: SIMD run did not complete\n");
   }
   run.verified = VerifyAll(apps, set);
+  meter.Finish(sim);
   return run;
 }
 
 std::vector<BenchRun> RunAllSystems(const std::vector<const Workload*>& apps,
-                                    int instances_per_app, double model_scale,
-                                    std::uint64_t seed) {
-  std::vector<BenchRun> runs;
-  runs.push_back(RunSimdSystem(apps, instances_per_app, model_scale, seed));
-  runs.push_back(RunFlashAbacusSystem(apps, instances_per_app, SchedulerKind::kInterStatic,
-                                      model_scale, seed));
-  runs.push_back(RunFlashAbacusSystem(apps, instances_per_app, SchedulerKind::kIntraInOrder,
-                                      model_scale, seed));
-  runs.push_back(RunFlashAbacusSystem(apps, instances_per_app, SchedulerKind::kInterDynamic,
-                                      model_scale, seed));
-  runs.push_back(RunFlashAbacusSystem(apps, instances_per_app,
-                                      SchedulerKind::kIntraOutOfOrder, model_scale, seed));
-  return runs;
+                                    int instances_per_app, const BenchOptions& opt) {
+  BenchSweep sweep;
+  const std::size_t first = sweep.AddAllSystems(apps, instances_per_app, opt);
+  sweep.Run();
+  return sweep.TakeSystems(first);
+}
+
+std::size_t BenchSweep::Add(std::function<BenchRun()> job) {
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::size_t BenchSweep::AddAllSystems(std::vector<const Workload*> apps, int instances_per_app,
+                                      const BenchOptions& opt) {
+  const std::size_t first =
+      Add([apps, instances_per_app, opt]() { return RunSimdSystem(apps, instances_per_app, opt); });
+  for (SchedulerKind kind :
+       {SchedulerKind::kInterStatic, SchedulerKind::kIntraInOrder, SchedulerKind::kInterDynamic,
+        SchedulerKind::kIntraOutOfOrder}) {
+    Add([apps, instances_per_app, kind, opt]() {
+      return RunFlashAbacusSystem(apps, instances_per_app, kind, opt);
+    });
+  }
+  return first;
+}
+
+void BenchSweep::Run() {
+  if (executed_ == jobs_.size()) {
+    return;
+  }
+  // The workload registry is built lazily; touch it once on this thread so
+  // worker threads only ever read it.
+  WorkloadRegistry::Get();
+  results_.resize(jobs_.size());
+  const std::size_t base = executed_;
+  SharedSweepRunner().RunIndexed(jobs_.size() - base, [&](std::size_t i) {
+    results_[base + i] = jobs_[base + i]();
+  });
+  executed_ = jobs_.size();
+}
+
+const BenchRun& BenchSweep::Get(std::size_t i) const {
+  FAB_CHECK(i < executed_) << "BenchSweep::Get before Run()";
+  return results_[i];
+}
+
+std::vector<BenchRun> BenchSweep::TakeSystems(std::size_t first) const {
+  std::vector<BenchRun> out;
+  out.reserve(5);
+  for (std::size_t i = first; i < first + 5; ++i) {
+    out.push_back(Get(i));
+  }
+  return out;
 }
 
 void PrintHeader(const std::string& title) {
@@ -132,6 +210,15 @@ std::string Fmt(double v, int precision) {
   return os.str();
 }
 
+std::uint64_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
 BenchJson::BenchJson(std::string bench_name) : bench_name_(std::move(bench_name)) {
   const char* dir = std::getenv("FABACUS_BENCH_JSON_DIR");
   if (dir != nullptr && dir[0] != '\0') {
@@ -143,7 +230,8 @@ void BenchJson::AddRun(const std::string& label, const BenchRun& run) {
   if (!enabled()) {
     return;
   }
-  rows_.push_back(Row{label, run.system, run.verified, run.result});
+  rows_.push_back(Row{label, run.system, run.verified, run.result, run.wall_seconds,
+                      run.sim_ticks, run.events_executed, PeakRssBytes()});
 }
 
 BenchJson::~BenchJson() {
@@ -158,13 +246,19 @@ BenchJson::~BenchJson() {
   for (const Row& row : rows_) {
     const EnergyBreakdown e = row.report.EnergySummary();
     const Histogram& lat = row.report.kernel_latency_ms;
+    const double wall = row.wall_seconds;
     w.BeginObject()
         .Field("label", row.label)
         .Field("system", row.system)
         .Field("verified", row.verified)
         .Field("makespan_ms", TicksToMs(row.report.makespan))
         .Field("throughput_mb_s", row.report.throughput_mb_s)
-        .Field("worker_utilization", row.report.worker_utilization);
+        .Field("worker_utilization", row.report.worker_utilization)
+        .Field("wall_seconds", wall)
+        .Field("sim_ticks_per_wall_second", wall > 0.0 ? row.sim_ticks / wall : 0.0)
+        .Field("events_per_second",
+               wall > 0.0 ? static_cast<double>(row.events_executed) / wall : 0.0)
+        .Field("peak_rss_bytes", static_cast<double>(row.peak_rss_bytes));
     w.Key("energy")
         .BeginObject()
         .Field("total_j", e.total_j)

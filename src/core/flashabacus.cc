@@ -90,6 +90,10 @@ FlashAbacus::FlashAbacus(Simulator* sim, const FlashAbacusConfig& config)
     : sim_(sim), config_(config) {
   const std::string err = config_.Validate();
   FAB_CHECK(err.empty()) << "invalid FlashAbacusConfig: " << err;
+  if (!config_.record_full_trace) {
+    trace_.SetMask(kEnergyTraceTags);
+  }
+  trace_.Reserve(config_.record_full_trace ? 16384 : 1024);
   dram_ = std::make_unique<Dram>(config_.dram);
   scratchpad_ = std::make_unique<Scratchpad>(config_.scratchpad);
   tier1_ = std::make_unique<Crossbar>(config_.tier1);

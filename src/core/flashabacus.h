@@ -68,6 +68,12 @@ struct FlashAbacusConfig {
   // delayed by io_retry_backoff.
   int io_max_attempts = 3;
   Tick io_retry_backoff = 200 * kUs;
+  // Record the full per-screen / per-bus-beat interval trace (Chrome-trace
+  // export, Fig-14/15 time series). Off by default: throughput runs then keep
+  // only the kEnergyTraceTags intervals the energy model integrates, which
+  // leaves every reported number bit-identical while skipping the dominant
+  // trace-append cost (see docs/PERFORMANCE.md).
+  bool record_full_trace = false;
   PowerModel power;
 
   // The Table-1 device of the paper (the defaults above).

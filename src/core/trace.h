@@ -32,6 +32,19 @@ enum class TraceTag : int {
 // Human-readable tag name (Chrome-trace process names, report JSON keys).
 const char* TraceTagName(TraceTag tag);
 
+constexpr unsigned TraceTagBit(TraceTag tag) { return 1u << static_cast<int>(tag); }
+
+// Record everything (Chrome-trace export, Fig-14/15 series).
+inline constexpr unsigned kAllTraceTags = 0xffffffffu;
+// The minimal tag set the energy models integrate over (UnionTime of flash /
+// PCIe / host-stack / SSD activity). Recording only these keeps run results —
+// energy decomposition included — bit-identical while skipping the
+// high-volume per-screen and per-bus-beat intervals, which are pure overhead
+// in throughput benches (see FlashAbacusConfig::record_full_trace).
+inline constexpr unsigned kEnergyTraceTags =
+    TraceTagBit(TraceTag::kFlashOp) | TraceTagBit(TraceTag::kPcieXfer) |
+    TraceTagBit(TraceTag::kHostStack) | TraceTagBit(TraceTag::kSsdOp);
+
 struct TaggedInterval {
   Tick start;
   Tick end;
@@ -43,10 +56,19 @@ struct TaggedInterval {
 class RunTrace {
  public:
   void Add(TraceTag tag, Tick start, Tick end, double weight = 1.0, int track = 0) {
-    if (end > start) {
+    if (end > start && (mask_ & TraceTagBit(tag)) != 0) {
       intervals_.push_back({start, end, tag, weight, track});
     }
   }
+
+  // Restricts recording to the given tag set (kAllTraceTags by default, so a
+  // bare RunTrace behaves as before). Gated Adds are dropped at the call.
+  void SetMask(unsigned mask) { mask_ = mask; }
+  unsigned mask() const { return mask_; }
+
+  // Pre-sizes the interval vector so steady-state recording never regrows it
+  // mid-run.
+  void Reserve(std::size_t n) { intervals_.reserve(n); }
 
   const std::vector<TaggedInterval>& intervals() const { return intervals_; }
 
@@ -77,6 +99,7 @@ class RunTrace {
 
  private:
   std::vector<TaggedInterval> intervals_;
+  unsigned mask_ = kAllTraceTags;
 };
 
 }  // namespace fabacus

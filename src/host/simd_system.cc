@@ -20,6 +20,10 @@ SimdSystem::~SimdSystem() = default;
 
 SimdSystem::SimdSystem(Simulator* sim, const SimdConfig& config) : sim_(sim), config_(config) {
   FAB_CHECK_GE(config_.num_lwps, 1);
+  if (!config_.record_full_trace) {
+    trace_.SetMask(kEnergyTraceTags);
+  }
+  trace_.Reserve(config_.record_full_trace ? 16384 : 1024);
   dram_ = std::make_unique<Dram>(config_.dram);
   tier1_ = std::make_unique<Crossbar>(config_.tier1);
   ssd_ = std::make_unique<NvmeSsd>(config_.nvme);

@@ -44,6 +44,9 @@ struct SimdConfig {
   double pcie_gb_per_s = 1.0;
   Tick pcie_latency = 1 * kUs;
   double model_scale = 1.0 / 16.0;
+  // Same semantics as FlashAbacusConfig::record_full_trace: full interval
+  // trace for Chrome-trace/Fig-15 runs, energy-model tags only otherwise.
+  bool record_full_trace = false;
   PowerModel power;
 };
 

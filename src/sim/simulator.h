@@ -14,7 +14,11 @@ namespace fabacus {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // The queue backend is selectable so a whole run can be replayed on the
+  // legacy heap engine and byte-compared against the calendar engine (see
+  // src/sim/event_queue.h and tests/sweep_determinism_test.cc).
+  explicit Simulator(EventQueue::Backend backend = EventQueue::Backend::kCalendar)
+      : queue_(backend) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

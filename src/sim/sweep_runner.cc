@@ -1,0 +1,19 @@
+#include "src/sim/sweep_runner.h"
+
+#include <cstdlib>
+
+namespace fabacus {
+
+int SweepRunner::DefaultThreads() {
+  if (const char* env = std::getenv("FABACUS_SWEEP_THREADS");
+      env != nullptr && env[0] != '\0') {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace fabacus

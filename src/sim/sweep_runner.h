@@ -1,0 +1,88 @@
+// SweepRunner: a small thread pool for running independent simulations
+// concurrently — the experiment layer's unit of parallelism.
+//
+// Each job is a self-contained closure that builds its own Simulator, device,
+// RNG and metrics registry, runs to completion, and returns its result by
+// value; nothing is shared across jobs, so the only synchronization is the
+// work-stealing index. Results land in a vector indexed by submission order,
+// which makes output ordering — and therefore every printed table and every
+// exported JSON byte — independent of the thread count (the property
+// tests/sweep_determinism_test.cc locks down).
+//
+// Thread count: explicit argument > FABACUS_SWEEP_THREADS > hardware
+// concurrency. A single-thread pool runs jobs inline on the caller's thread
+// (no spawn), which keeps gdb/perf sessions simple.
+#ifndef SRC_SIM_SWEEP_RUNNER_H_
+#define SRC_SIM_SWEEP_RUNNER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+class SweepRunner {
+ public:
+  // threads <= 0 selects the default (env override, else hardware threads).
+  explicit SweepRunner(int threads = 0)
+      : threads_(threads > 0 ? threads : DefaultThreads()) {}
+
+  // FABACUS_SWEEP_THREADS if set and positive, else hardware_concurrency.
+  static int DefaultThreads();
+
+  int threads() const { return threads_; }
+
+  // Runs every job, at most `threads()` concurrently, and returns their
+  // results in submission order regardless of completion order. R must be
+  // default-constructible and movable. Jobs must not touch shared mutable
+  // state (see file comment); a job that CHECK-fails aborts the process,
+  // exactly as it would have serially.
+  template <typename R>
+  std::vector<R> Run(std::vector<std::function<R()>> jobs) const {
+    std::vector<R> results(jobs.size());
+    RunIndexed(jobs.size(), [&](std::size_t i) { results[i] = jobs[i](); });
+    return results;
+  }
+
+  // Index-space variant: invokes fn(0..count-1) across the pool.
+  void RunIndexed(std::size_t count, const std::function<void(std::size_t)>& fn) const {
+    if (count == 0) {
+      return;
+    }
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(threads_), count);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < count; ++i) {
+        fn(i);
+      }
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto drain = [&]() {
+      for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 0; t + 1 < workers; ++t) {
+      pool.emplace_back(drain);
+    }
+    drain();  // the calling thread participates
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_SIM_SWEEP_RUNNER_H_

@@ -122,6 +122,7 @@ TEST_P(SchedulerPropertyTest, TotalComputeIdenticalAcrossSchedulers) {
   for (SchedulerKind kind :
        {SchedulerKind::kInterDynamic, SchedulerKind::kIntraOutOfOrder}) {
     FlashAbacusConfig cfg = FlashAbacusConfig::Small();
+    cfg.record_full_trace = true;  // the assertion reads kLwpCompute intervals
     OffloadRuntime rt(cfg);
     const RunReport r = rt.Execute({{&wl, 3}}, kind);
     const Tick total = r.trace.TotalTime(TraceTag::kLwpCompute);

@@ -1,0 +1,82 @@
+// Locks down the engine rewrite's two determinism contracts:
+//  1. Thread-count independence: a sweep of independent simulations returns
+//     byte-identical RunReport JSON whether it runs on 1, 2 or 8 threads.
+//  2. Backend equivalence: a whole run replayed on the legacy-style heap
+//     backend produces byte-identical reports to the calendar engine.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/sweep_runner.h"
+
+namespace fabacus {
+namespace {
+
+// Fig-10-style grid, shrunk for test runtime: the five paper systems on one
+// kernel. Report JSON captures makespan, metrics, energy, latency histogram
+// and trace aggregates — everything the figures are derived from.
+BenchOptions SmallOpt(EventQueue::Backend backend = EventQueue::Backend::kCalendar) {
+  BenchOptions opt;
+  opt.model_scale = kBenchScale / 4;
+  opt.backend = backend;
+  return opt;
+}
+
+std::vector<std::function<BenchRun()>> MakeGrid(const BenchOptions& opt) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  std::vector<std::function<BenchRun()>> jobs;
+  jobs.emplace_back([wl, opt] { return RunSimdSystem({wl}, 2, opt); });
+  for (SchedulerKind kind : {SchedulerKind::kInterStatic, SchedulerKind::kIntraInOrder,
+                             SchedulerKind::kInterDynamic, SchedulerKind::kIntraOutOfOrder}) {
+    jobs.emplace_back([wl, kind, opt] { return RunFlashAbacusSystem({wl}, 2, kind, opt); });
+  }
+  return jobs;
+}
+
+std::vector<std::string> RunGrid(int threads, const BenchOptions& opt) {
+  SweepRunner pool(threads);
+  std::vector<BenchRun> runs = pool.Run(MakeGrid(opt));
+  std::vector<std::string> reports;
+  for (const BenchRun& r : runs) {
+    EXPECT_TRUE(r.verified) << r.system;
+    reports.push_back(r.result.ToJson());
+  }
+  return reports;
+}
+
+TEST(SweepDeterminism, RepeatRunsAreByteIdentical) {
+  const std::vector<std::string> first = RunGrid(1, SmallOpt());
+  const std::vector<std::string> second = RunGrid(1, SmallOpt());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "run " << i << " diverged across repeats";
+  }
+}
+
+TEST(SweepDeterminism, ThreadCountDoesNotChangeReports) {
+  const std::vector<std::string> serial = RunGrid(1, SmallOpt());
+  for (int threads : {2, 8}) {
+    const std::vector<std::string> parallel = RunGrid(threads, SmallOpt());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i])
+          << "run " << i << " diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(SweepDeterminism, HeapAndCalendarBackendsMatch) {
+  const std::vector<std::string> calendar =
+      RunGrid(2, SmallOpt(EventQueue::Backend::kCalendar));
+  const std::vector<std::string> heap = RunGrid(2, SmallOpt(EventQueue::Backend::kHeap));
+  ASSERT_EQ(calendar.size(), heap.size());
+  for (std::size_t i = 0; i < calendar.size(); ++i) {
+    EXPECT_EQ(calendar[i], heap[i]) << "run " << i << " diverged across backends";
+  }
+}
+
+}  // namespace
+}  // namespace fabacus

@@ -24,7 +24,13 @@ inline NandConfig TinyNand() {
 }
 
 // Device config scaled for fast tests (the Small preset).
-inline FlashAbacusConfig TestDeviceConfig() { return FlashAbacusConfig::Small(); }
+inline FlashAbacusConfig TestDeviceConfig() {
+  FlashAbacusConfig cfg = FlashAbacusConfig::Small();
+  // Tests assert on per-screen / per-channel trace contents (Chrome-trace
+  // round trips, compute-time invariants), so keep the full trace on.
+  cfg.record_full_trace = true;
+  return cfg;
+}
 
 // Runs `workload` end to end on a fresh FlashAbacus device under `kind`.
 // Returns the run result; `instances` receives the executed instances so the

@@ -58,7 +58,10 @@ int main(int argc, char** argv) {
     apps.push_back(wl);
   }
 
-  std::vector<BenchRun> runs = RunAllSystems(apps, per_app);
+  // The FU-utilization series reads kLwpCompute, so keep the full trace on.
+  BenchOptions opt;
+  opt.record_full_trace = true;
+  std::vector<BenchRun> runs = RunAllSystems(apps, per_app, opt);
 
   // Fig 12-style CDF: one column per system.
   {

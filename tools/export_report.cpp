@@ -132,19 +132,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Run the requested system.
+  // Run the requested system. The Chrome-trace export wants every interval
+  // tag, so this is one of the paths that keeps the full trace on.
   const std::string sched_lower = Lower(sched);
+  BenchOptions opt;
+  opt.model_scale = scale;
+  opt.seed = seed;
+  opt.record_full_trace = true;
   BenchRun run;
   if (sched_lower == "simd") {
-    run = RunSimdSystem(apps, instances, scale, seed);
+    run = RunSimdSystem(apps, instances, opt);
   } else if (sched_lower == "inter_st") {
-    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kInterStatic, scale, seed);
+    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kInterStatic, opt);
   } else if (sched_lower == "inter_dy") {
-    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kInterDynamic, scale, seed);
+    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kInterDynamic, opt);
   } else if (sched_lower == "intra_io") {
-    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kIntraInOrder, scale, seed);
+    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kIntraInOrder, opt);
   } else if (sched_lower == "intra_o3") {
-    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kIntraOutOfOrder, scale, seed);
+    run = RunFlashAbacusSystem(apps, instances, SchedulerKind::kIntraOutOfOrder, opt);
   } else {
     std::fprintf(stderr, "export_report: unknown scheduler '%s'\n", sched.c_str());
     return Usage();
