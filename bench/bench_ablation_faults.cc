@@ -107,6 +107,7 @@ int main() {
     jobs.emplace_back([&s] { return RunWithFaults(s.fault); });
   }
   const std::vector<FaultOutcome> outcomes = SweepRunner().Run(std::move(jobs));
+  BenchJson json("bench_ablation_faults");
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const Step& s = steps[i];
     const FaultOutcome& o = outcomes[i];
@@ -117,6 +118,15 @@ int main() {
               Fmt(Metric(o, "host/io_retries"), 0),
               o.completed && o.verified ? "yes" : "NO"},
              13);
+    json.AddScalarRow(s.label, "IntraO3",
+                      {{"makespan_ms", TicksToMs(o.report.makespan)},
+                       {"read_retries", Metric(o, "flash/read_retries")},
+                       {"uncorrectable_reads", Metric(o, "flash/uncorrectable_reads")},
+                       {"program_failure_reallocs",
+                        Metric(o, "flashvisor/program_failure_reallocs")},
+                       {"host_io_retries", Metric(o, "host/io_retries")},
+                       {"energy_total_j", o.report.EnergySummary().total_j},
+                       {"verified", o.completed && o.verified ? 1.0 : 0.0}});
   }
   std::printf("\nEvery configuration completes and verifies: correctable errors cost\n"
               "retry-ladder latency, program failures cost re-allocated block groups,\n"

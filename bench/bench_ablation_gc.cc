@@ -144,6 +144,19 @@ int main() {
             Fmt(static_cast<double>(fg.foreground), 0), Fmt(fg.read_mean_us),
             Fmt(fg.read_p99_us), Fmt(fg.read_max_us)},
            16);
+  BenchJson json("bench_ablation_gc");
+  for (const auto& [label, o] : {std::pair<const char*, const GcOutcome&>{"background", bg},
+                                 {"on-demand", fg}}) {
+    json.AddScalarRow(label, "IntraO3",
+                      {{"total_time_ms", TicksToMs(o.total_time)},
+                       {"gc_passes", static_cast<double>(o.gc_passes)},
+                       {"groups_migrated", static_cast<double>(o.migrated)},
+                       {"erases", static_cast<double>(o.erases)},
+                       {"foreground_reclaims", static_cast<double>(o.foreground)},
+                       {"read_mean_us", o.read_mean_us},
+                       {"read_p99_us", o.read_p99_us},
+                       {"read_max_us", o.read_max_us}});
+  }
   std::printf("\nBackground GC reclaims ahead of demand, keeping the write path from\n"
               "stalling on pool exhaustion (paper: Storengine overlaps reclamation with\n"
               "kernel execution and address translation).\n");

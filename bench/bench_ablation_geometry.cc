@@ -47,6 +47,16 @@ int main() {
     }
     PrintRow(row, 14);
   }
+  BenchJson json("bench_ablation_geometry");
+  for (std::size_t c = 0; c < axis.size(); ++c) {
+    for (std::size_t p = 0; p < axis.size(); ++p) {
+      json.AddScalarRow("ch" + std::to_string(axis[c]) + "_pkg" + std::to_string(axis[p]),
+                        "backbone",
+                        {{"channels", static_cast<double>(axis[c])},
+                         {"packages_per_channel", static_cast<double>(axis[p])},
+                         {"seq_read_gb_s", gbps[c * axis.size() + p]}});
+    }
+  }
   std::printf("\nThe paper's 4 channels x 4 packages lands where the channel buses\n"
               "(4 x 0.8 GB/s) meet the SRIO ceiling (2.5 GB/s); fewer packages starve\n"
               "the bus on tR, more channels are wasted behind SRIO.\n");

@@ -122,6 +122,14 @@ int main() {
               Fmt(static_cast<double>(mean_cost[i]) / 1000.0, 2) + " us", Fmt(mbs[i])},
              26);
   }
+  BenchJson json("bench_ablation_mapping");
+  for (int i = 0; i < 3; ++i) {
+    json.AddScalarRow(options[i].name, "IntraO3",
+                      {{"hit_rate_solo", hit_solo[i]},
+                       {"hit_rate_24kernel", hit_multi[i]},
+                       {"mean_cost_us", static_cast<double>(mean_cost[i]) / 1000.0},
+                       {"atax_throughput_mb_s", mbs[i]}});
+  }
   std::printf(
       "\nA lone streaming kernel keeps a DFTL cache warm, but 24 concurrent kernels\n"
       "cycle more translation pages than the cache holds and every miss serializes on\n"

@@ -39,6 +39,17 @@ int main() {
               Fmt((1.0 - ra.EnergySummary().total_j / rb.EnergySummary().total_j) * 100.0, 1) + "%"},
              18);
   }
+  BenchJson json("bench_ablation_psc");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const RunReport& ra = reports[2 * i];
+    const RunReport& rb = reports[2 * i + 1];
+    json.AddScalarRow("kernels" + std::to_string(points[i]), "InterDy",
+                      {{"kernels", static_cast<double>(points[i])},
+                       {"energy_with_psc_j", ra.EnergySummary().total_j},
+                       {"energy_no_psc_j", rb.EnergySummary().total_j},
+                       {"saved_frac",
+                        1.0 - ra.EnergySummary().total_j / rb.EnergySummary().total_j}});
+  }
   std::printf("\nIdle workers sleep when the device is under-subscribed; at full\n"
               "subscription (6 kernels on 6 workers) the PSC has little left to save.\n");
   return 0;

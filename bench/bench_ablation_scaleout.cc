@@ -67,6 +67,15 @@ int main() {
               Fmt(result.worker_utilization * 100.0, 1)},
              14);
   }
+  BenchJson json("bench_ablation_scaleout");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    json.AddScalarRow("lwps" + std::to_string(points[i]), "IntraO3",
+                      {{"lwps_total", static_cast<double>(points[i])},
+                       {"workers", static_cast<double>(points[i] - 2)},
+                       {"throughput_mb_s", results[i].throughput_mb_s},
+                       {"speedup", results[i].throughput_mb_s / base},
+                       {"worker_utilization", results[i].worker_utilization}});
+  }
   std::printf("\nThroughput scales with workers until the 3.2 GB/s flash backbone / 2.5\n"
               "GB/s SRIO link saturates; past that point added LWPs idle on data\n"
               "(diminishing utilization), matching the paper's scale-out discussion.\n");

@@ -15,7 +15,7 @@
 namespace fabacus {
 namespace {
 
-void RunScalingSweep() {
+void RunScalingSweep(BenchJson* json) {
   const std::vector<double> ratios = {0.5, 0.4, 0.3, 0.2, 0.1, 0.0};
 
   // Enqueue the whole (cores x ratio) grid, then run it across the pool.
@@ -46,6 +46,11 @@ void RunScalingSweep() {
       const BenchRun& run = sweep.Get(idx[static_cast<std::size_t>(cores)][ri]);
       const double gb_s = run.result.input_bytes / 1e9 / TicksToSeconds(run.result.makespan);
       row.push_back(Fmt(gb_s, 2));
+      json->AddScalarRow("cores" + std::to_string(cores), Fmt(ratios[ri] * 100, 0) + "%serial",
+                         {{"cores", static_cast<double>(cores)},
+                          {"serial_ratio", ratios[ri]},
+                          {"throughput_gb_s", gb_s},
+                          {"utilization", run.result.worker_utilization}});
     }
     PrintRow(row);
   }
@@ -64,7 +69,7 @@ void RunScalingSweep() {
       "\npaper anchors: 30%% serial -> ~44%% throughput loss vs 0%%; utilization <46%%\n");
 }
 
-void RunBreakdowns() {
+void RunBreakdowns(BenchJson* json) {
   // The eleven applications of Fig 3d/3e, paper order.
   const std::vector<std::string> apps = {"ATAX", "BICG", "2DCON", "MVT",  "SYRK", "3MM",
                                          "GESUM", "ADI",  "COVAR", "FDTD"};
@@ -100,6 +105,10 @@ void RunBreakdowns() {
                                              run.result.trace.UnionTime(TraceTag::kPcieXfer));
     const double sum = accel + ssd + stack;
     PrintRow({apps[a], Fmt(accel / sum, 2), Fmt(ssd / sum, 2), Fmt(stack / sum, 2)});
+    json->AddScalarRow(apps[a], "SIMD",
+                       {{"time_frac_accelerator", accel / sum},
+                        {"time_frac_ssd", ssd / sum},
+                        {"time_frac_host_stack", stack / sum}});
     energies.push_back({apps[a], run.result.EnergySummary().computation_j,
                         run.result.EnergySummary().storage_access_j,
                         run.result.EnergySummary().data_movement_j});
@@ -119,7 +128,8 @@ void RunBreakdowns() {
 }  // namespace fabacus
 
 int main() {
-  fabacus::RunScalingSweep();
-  fabacus::RunBreakdowns();
+  fabacus::BenchJson json("bench_fig3_motivation");
+  fabacus::RunScalingSweep(&json);
+  fabacus::RunBreakdowns(&json);
   return 0;
 }

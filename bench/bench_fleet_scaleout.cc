@@ -1,0 +1,125 @@
+// Fleet scale-out: aggregate serving throughput across 1/2/4 simulated
+// devices under open-loop Poisson traffic at a fixed per-device arrival
+// rate, for each placement policy (docs/FLEET.md).
+//
+// With the offered load scaled in proportion to the fleet, an ideal fleet
+// serves 4x the requests of a single device in the same span; queueing,
+// shedding and placement skew eat into that. The table reports per-policy
+// aggregate throughput, client-latency percentiles, shed rate and re-route
+// retries, plus the 1->4 device scaling factor (target: >= 3x).
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fleet/fleet.h"
+
+namespace fabacus {
+namespace {
+
+constexpr double kPerDeviceRate = 200.0;  // arrivals/s offered per device
+constexpr int kPerDeviceRequests = 24;    // requests offered per device
+
+FleetConfig MakeConfig(int devices, PlacementPolicy policy) {
+  FleetConfig cfg;
+  cfg.num_devices = devices;
+  cfg.policy = policy;
+  cfg.traffic.model = TrafficConfig::Model::kOpenLoop;
+  cfg.traffic.seed = 42;
+  cfg.traffic.num_clients = 8;
+  cfg.traffic.arrival_rate_per_s = kPerDeviceRate * devices;
+  cfg.traffic.total_requests = kPerDeviceRequests * devices;
+  cfg.max_route_attempts = 1;  // keeps every policy on the partitioned path
+  return cfg;
+}
+
+struct Cell {
+  int devices;
+  FleetReport rep;
+};
+
+void Run(BenchJson* json) {
+  const std::vector<PlacementPolicy> policies = {PlacementPolicy::kRoundRobin,
+                                                 PlacementPolicy::kLeastOutstanding,
+                                                 PlacementPolicy::kDataAffinity};
+  const std::vector<int> device_counts = {1, 2, 4};
+
+  PrintHeader("Fleet scale-out: aggregate throughput vs device count (" +
+              Fmt(kPerDeviceRate, 0) + " req/s offered per device)");
+  PrintRow({"policy", "devices", "exec", "served", "shed%", "retries", "req/s", "MB/s",
+            "p50 ms", "p99 ms", "util", "inst hits", "verified"});
+
+  std::vector<std::vector<Cell>> by_policy;
+  for (PlacementPolicy policy : policies) {
+    by_policy.emplace_back();
+    for (int devices : device_counts) {
+      FleetConfig cfg = MakeConfig(devices, policy);
+      if (!PolicyIsOblivious(policy) && devices > 1) {
+        cfg.max_route_attempts = 2;  // state-aware: lockstep anyway, use retries
+      }
+      FleetReport rep = RunFleet(cfg);
+
+      double util = 0.0;
+      std::uint64_t hits = 0;
+      for (const FleetDeviceStats& d : rep.devices) {
+        util += d.utilization;
+        hits += d.install_hits;
+      }
+      util /= static_cast<double>(rep.devices.size());
+      const double shed_pct =
+          rep.offered > 0 ? 100.0 * static_cast<double>(rep.shed) /
+                                static_cast<double>(rep.offered)
+                          : 0.0;
+      const double p50 = rep.latency_ms.count() > 0 ? rep.latency_ms.Percentile(50) : 0.0;
+      const double p99 = rep.latency_ms.count() > 0 ? rep.latency_ms.Percentile(99) : 0.0;
+
+      const char* short_name = policy == PlacementPolicy::kRoundRobin        ? "rr"
+                               : policy == PlacementPolicy::kLeastOutstanding ? "least-out"
+                                                                              : "affinity";
+      PrintRow({short_name, std::to_string(devices), rep.execution,
+                std::to_string(rep.served), Fmt(shed_pct, 1),
+                std::to_string(rep.route_retries), Fmt(rep.throughput_rps, 1),
+                Fmt(rep.served_mb_s, 2), Fmt(p50, 2), Fmt(p99, 2), Fmt(util, 2),
+                std::to_string(hits), rep.verified ? "yes" : "NO"});
+
+      json->AddScalarRow("d" + std::to_string(devices), rep.policy,
+                         {{"devices", static_cast<double>(devices)},
+                          {"offered", static_cast<double>(rep.offered)},
+                          {"served", static_cast<double>(rep.served)},
+                          {"shed", static_cast<double>(rep.shed)},
+                          {"route_retries", static_cast<double>(rep.route_retries)},
+                          {"slo_violations", static_cast<double>(rep.slo_violations)},
+                          {"throughput_rps", rep.throughput_rps},
+                          {"served_mb_s", rep.served_mb_s},
+                          {"latency_p50_ms", p50},
+                          {"latency_p99_ms", p99},
+                          {"shed_rate", shed_pct / 100.0},
+                          {"mean_utilization", util},
+                          {"install_hits", static_cast<double>(hits)},
+                          {"makespan_ms", TicksToMs(rep.makespan)},
+                          {"verified", rep.verified ? 1.0 : 0.0}});
+      by_policy.back().push_back({devices, std::move(rep)});
+    }
+  }
+
+  std::printf("\nAggregate throughput scaling, 1 -> %d devices (ideal %.1fx, target >= 3x):\n",
+              device_counts.back(), static_cast<double>(device_counts.back()));
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const Cell& one = by_policy[p].front();
+    const Cell& top = by_policy[p].back();
+    const double scaling = one.rep.throughput_rps > 0.0
+                               ? top.rep.throughput_rps / one.rep.throughput_rps
+                               : 0.0;
+    std::printf("  %-18s %.2fx\n", PlacementPolicyName(policies[p]), scaling);
+  }
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  fabacus::BenchJson json("bench_fleet_scaleout");
+  fabacus::Run(&json);
+  return 0;
+}

@@ -230,8 +230,30 @@ void BenchJson::AddRun(const std::string& label, const BenchRun& run) {
   if (!enabled()) {
     return;
   }
-  rows_.push_back(Row{label, run.system, run.verified, run.result, run.wall_seconds,
-                      run.sim_ticks, run.events_executed, PeakRssBytes()});
+  Row row;
+  row.label = label;
+  row.system = run.system;
+  row.verified = run.verified;
+  row.has_report = true;
+  row.report = run.result;
+  row.wall_seconds = run.wall_seconds;
+  row.sim_ticks = run.sim_ticks;
+  row.events_executed = run.events_executed;
+  row.peak_rss_bytes = PeakRssBytes();
+  rows_.push_back(std::move(row));
+}
+
+void BenchJson::AddScalarRow(const std::string& label, const std::string& system,
+                             const std::vector<std::pair<std::string, double>>& fields) {
+  if (!enabled()) {
+    return;
+  }
+  Row row;
+  row.label = label;
+  row.system = system;
+  row.peak_rss_bytes = PeakRssBytes();
+  row.scalars = fields;
+  rows_.push_back(std::move(row));
 }
 
 BenchJson::~BenchJson() {
@@ -244,6 +266,17 @@ BenchJson::~BenchJson() {
   w.Field("bench", bench_name_);
   w.Key("rows").BeginArray();
   for (const Row& row : rows_) {
+    if (!row.has_report) {
+      w.BeginObject()
+          .Field("label", row.label)
+          .Field("system", row.system)
+          .Field("peak_rss_bytes", static_cast<double>(row.peak_rss_bytes));
+      for (const auto& [name, value] : row.scalars) {
+        w.Field(name, value);
+      }
+      w.EndObject();
+      continue;
+    }
     const EnergyBreakdown e = row.report.EnergySummary();
     const Histogram& lat = row.report.kernel_latency_ms;
     const double wall = row.wall_seconds;

@@ -130,6 +130,10 @@ class BenchJson {
 
   bool enabled() const { return !out_dir_.empty(); }
   void AddRun(const std::string& label, const BenchRun& run);
+  // For benches whose results are not RunReports (ablations, fleet runs):
+  // emits one row of named scalar fields under `label`/`system`.
+  void AddScalarRow(const std::string& label, const std::string& system,
+                    const std::vector<std::pair<std::string, double>>& fields);
 
  private:
   std::string bench_name_;
@@ -137,12 +141,14 @@ class BenchJson {
   struct Row {
     std::string label;
     std::string system;
-    bool verified;
+    bool verified = true;
+    bool has_report = false;  // false => only `scalars` is meaningful
     RunReport report;
-    double wall_seconds;
-    double sim_ticks;
-    std::uint64_t events_executed;
-    std::uint64_t peak_rss_bytes;
+    double wall_seconds = 0.0;
+    double sim_ticks = 0.0;
+    std::uint64_t events_executed = 0;
+    std::uint64_t peak_rss_bytes = 0;
+    std::vector<std::pair<std::string, double>> scalars;
   };
   std::vector<Row> rows_;
 };

@@ -1,0 +1,32 @@
+#include "src/fleet/admission_queue.h"
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+AdmissionQueue::AdmissionQueue(std::size_t max_depth) : max_depth_(max_depth) {
+  FAB_CHECK_GT(max_depth, 0u) << "admission queue needs at least one slot";
+}
+
+bool AdmissionQueue::TryEnqueue(FleetRequest* r, Tick now) {
+  FAB_CHECK(r != nullptr);
+  if (queue_.size() >= max_depth_) {
+    rejected_.Add();
+    return false;
+  }
+  queue_.push_back(r);
+  enqueued_.Add();
+  peak_depth_ = std::max(peak_depth_, queue_.size());
+  depth_series_.Record(now, static_cast<double>(queue_.size()));
+  return true;
+}
+
+FleetRequest* AdmissionQueue::Dequeue(Tick now) {
+  FAB_CHECK(!queue_.empty()) << "dequeue from empty admission queue";
+  FleetRequest* r = queue_.front();
+  queue_.pop_front();
+  depth_series_.Record(now, static_cast<double>(queue_.size()));
+  return r;
+}
+
+}  // namespace fabacus

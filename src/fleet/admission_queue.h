@@ -1,0 +1,49 @@
+// Bounded admission queue of one fleet shard: requests the router placed on
+// this device wait here for a batch slot. Depth is capped — an arrival that
+// finds the queue full is rejected, and the router either re-routes it
+// (bounded retries) or sheds it. Every transition is recorded in a
+// queue-depth time series so overload is visible in the fleet report, not
+// just in its tail latencies.
+#ifndef SRC_FLEET_ADMISSION_QUEUE_H_
+#define SRC_FLEET_ADMISSION_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "src/fleet/traffic.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t max_depth);
+
+  // False when the queue is at max_depth (the request is NOT queued).
+  bool TryEnqueue(FleetRequest* r, Tick now);
+  // FIFO; CHECK-fails on an empty queue.
+  FleetRequest* Dequeue(Tick now);
+
+  std::size_t depth() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t max_depth() const { return max_depth_; }
+
+  std::uint64_t enqueued() const { return enqueued_.value(); }
+  std::uint64_t rejected() const { return rejected_.value(); }
+  std::size_t peak_depth() const { return peak_depth_; }
+  // (time, depth) after every enqueue/dequeue.
+  const TimeSeries& depth_series() const { return depth_series_; }
+
+ private:
+  std::size_t max_depth_;
+  std::deque<FleetRequest*> queue_;
+  Counter enqueued_;
+  Counter rejected_;
+  std::size_t peak_depth_ = 0;
+  TimeSeries depth_series_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_FLEET_ADMISSION_QUEUE_H_

@@ -1,0 +1,595 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "src/sim/json.h"
+#include "src/sim/log.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sweep_runner.h"
+
+namespace fabacus {
+namespace {
+
+std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stable per-instance seed: the same (fleet seed, shard, workload, slot)
+// always prepares the same dataset, independent of execution order — the
+// partitioned and lockstep paths must produce identical flash contents.
+std::uint64_t InstanceSeed(std::uint64_t base, int shard, int workload, std::size_t slot) {
+  std::uint64_t z = base;
+  z = Mix64(z + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(shard) + 1));
+  z = Mix64(z + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(workload) + 1));
+  z = Mix64(z + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(slot) + 1));
+  return z;
+}
+
+void WriteHistogramSummary(JsonWriter* w, const Histogram& h) {
+  w->BeginObject();
+  w->Field("count", static_cast<double>(h.count()));
+  if (h.count() > 0) {
+    w->Field("min", h.Min())
+        .Field("mean", h.Mean())
+        .Field("p50", h.Percentile(50))
+        .Field("p95", h.Percentile(95))
+        .Field("p99", h.Percentile(99))
+        .Field("max", h.Max());
+  }
+  w->EndObject();
+}
+
+constexpr std::size_t kQueueDepthBuckets = 32;
+
+}  // namespace
+
+std::string FleetConfig::Validate() const {
+  if (num_devices < 1) {
+    return "num_devices must be >= 1, got " + std::to_string(num_devices);
+  }
+  const std::string dev = device.Validate();
+  if (!dev.empty()) {
+    return "device config: " + dev;
+  }
+  const std::string tr = traffic.Validate();
+  if (!tr.empty()) {
+    return "traffic config: " + tr;
+  }
+  if (queue_depth < 1) {
+    return "queue_depth must be >= 1";
+  }
+  if (max_batch < 1) {
+    return "max_batch must be >= 1, got " + std::to_string(max_batch);
+  }
+  if (max_route_attempts < 1 || max_route_attempts > num_devices) {
+    return "max_route_attempts must be in [1, num_devices], got " +
+           std::to_string(max_route_attempts);
+  }
+  if (slo_ms <= 0.0) {
+    return "slo_ms must be positive, got " + std::to_string(slo_ms);
+  }
+  if (execution == Execution::kPartitioned && !CanPartition()) {
+    return "partitioned execution needs open-loop traffic, an oblivious placement "
+           "policy and max_route_attempts == 1";
+  }
+  return "";
+}
+
+bool FleetConfig::CanPartition() const {
+  return traffic.model == TrafficConfig::Model::kOpenLoop && PolicyIsOblivious(policy) &&
+         max_route_attempts == 1;
+}
+
+// One independently-simulated device plus its fleet-side serving state.
+struct FleetSim::Shard {
+  explicit Shard(std::size_t queue_slots) : queue(queue_slots) {}
+
+  int index = 0;
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<FlashAbacus> dev;
+  AdmissionQueue queue;
+
+  bool busy = false;
+  std::vector<FleetRequest*> current_batch;
+
+  // Installed (flash-resident) workload instances, reusable across requests.
+  struct CachedInstance {
+    std::unique_ptr<AppInstance> inst;
+    std::uint64_t seed = 0;
+    bool in_use = false;
+  };
+  std::vector<std::vector<CachedInstance>> cache;  // [workload_idx]
+
+  FleetDeviceStats stats;
+  bool verified = true;
+};
+
+// Advances a set of shards through their arrival/batch-completion events in
+// deterministic (time, sequence) order. The lockstep path runs one loop over
+// every shard; the partitioned path runs one loop per shard (pre-routed
+// arrivals, no router, no closed-loop generator) on the sweep pool.
+struct FleetSim::ServeLoop {
+  FleetSim* fleet;
+  std::vector<Shard*> shards;             // lockstep: indexed by device id
+  ShardRouter* router = nullptr;          // null = arrivals are pre-routed
+  TrafficGenerator* gen = nullptr;        // closed-loop source (lockstep only)
+  std::deque<FleetRequest>* pool = nullptr;  // owner of generated requests
+
+  struct Ev {
+    Tick t;
+    std::uint64_t seq;
+    bool arrival;
+    FleetRequest* req;    // arrival payload
+    Shard* shard;         // batch-done payload
+  };
+  struct EvAfter {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, EvAfter> heap;
+  std::uint64_t seq = 0;
+
+  void PushArrival(FleetRequest* r) { heap.push({r->arrival, seq++, true, r, nullptr}); }
+  void PushBatchDone(Shard* s, Tick t) { heap.push({t, seq++, false, nullptr, s}); }
+
+  void Run() {
+    while (!heap.empty()) {
+      const Ev e = heap.top();
+      heap.pop();
+      if (e.arrival) {
+        OnArrival(e.req, e.t);
+      } else {
+        OnBatchDone(e.shard, e.t);
+      }
+    }
+  }
+
+  Shard* ShardByIndex(int index) const {
+    for (Shard* s : shards) {
+      if (s->index == index) {
+        return s;
+      }
+    }
+    FAB_CHECK(false) << "no shard " << index << " in this serve loop";
+    return nullptr;
+  }
+
+  std::vector<int> Outstanding() const {
+    std::vector<int> out(static_cast<std::size_t>(fleet->config_.num_devices), 0);
+    for (const Shard* s : shards) {
+      out[static_cast<std::size_t>(s->index)] =
+          static_cast<int>(s->queue.depth() + s->current_batch.size());
+    }
+    return out;
+  }
+
+  void OnArrival(FleetRequest* r, Tick now) {
+    Shard* admitted = nullptr;
+    int primary = -1;
+    if (router == nullptr) {
+      primary = r->device;  // pre-routed
+      Shard* s = ShardByIndex(primary);
+      if (s->queue.TryEnqueue(r, now)) {
+        admitted = s;
+      }
+    } else {
+      const std::vector<int> outstanding = Outstanding();
+      for (int attempt = 0; attempt < fleet->config_.max_route_attempts; ++attempt) {
+        const int d = router->Route(*r, outstanding, attempt);
+        if (attempt == 0) {
+          primary = d;
+        } else {
+          ++r->route_retries;
+        }
+        Shard* s = ShardByIndex(d);
+        if (s->queue.TryEnqueue(r, now)) {
+          admitted = s;
+          break;
+        }
+      }
+    }
+    if (admitted == nullptr) {
+      r->outcome = FleetRequest::Outcome::kShed;
+      r->device = -1;
+      ShardByIndex(primary)->stats.shed += 1;
+      ClientDone(r, now);  // a shed response still frees the client to retry
+      return;
+    }
+    r->device = admitted->index;
+    if (!admitted->busy) {
+      StartBatch(admitted, now);
+    }
+  }
+
+  void OnBatchDone(Shard* s, Tick now) {
+    const std::vector<FleetRequest*> batch = std::move(s->current_batch);
+    s->current_batch.clear();
+    s->busy = false;
+    for (FleetRequest* r : batch) {
+      ClientDone(r, r->complete);
+    }
+    if (!s->queue.empty()) {
+      StartBatch(s, now);
+    }
+  }
+
+  void ClientDone(FleetRequest* r, Tick now) {
+    if (gen == nullptr) {
+      return;
+    }
+    FleetRequest next;
+    if (gen->NextForClient(r->client_id, now, &next)) {
+      pool->push_back(next);
+      PushArrival(&pool->back());
+    }
+  }
+
+  void StartBatch(Shard* s, Tick now) {
+    FAB_CHECK(!s->busy);
+    FAB_CHECK(!s->queue.empty());
+    s->busy = true;
+    while (!s->queue.empty() &&
+           s->current_batch.size() < static_cast<std::size_t>(fleet->config_.max_batch)) {
+      FleetRequest* r = s->queue.Dequeue(now);
+      r->dispatch = now;
+      s->current_batch.push_back(r);
+    }
+    PushBatchDone(s, RunBatch(s, now));
+  }
+
+  // Executes the shard's current batch on its device, eagerly running the
+  // device simulator to completion, and returns the batch-done tick. Eager
+  // execution is sound because shards only interact through routing, which
+  // reads fleet-level bookkeeping processed in global event order.
+  Tick RunBatch(Shard* s, Tick now) {
+    if (s->sim->Now() < now) {
+      // Align the shard clock with fleet time (the previous batch's write
+      // drain may have advanced it, an idle gap may lag it).
+      s->sim->ScheduleAt(now, []() {});
+      s->sim->Run();
+    }
+    std::vector<AppInstance*> insts;
+    insts.reserve(s->current_batch.size());
+    bool fresh_install = false;
+    for (FleetRequest* r : s->current_batch) {
+      insts.push_back(Acquire(s, r, &fresh_install));
+    }
+    if (fresh_install) {
+      s->sim->Run();  // drain the dataset installs before the offload
+    }
+    bool completed = false;
+    Tick end = 0;
+    RunReport rep;
+    s->dev->Run(insts, fleet->config_.scheduler, [&](RunReport rr) {
+      rep = std::move(rr);
+      end = s->sim->Now();
+      completed = true;
+    });
+    s->sim->Run();
+    FAB_CHECK(completed) << "fleet batch did not complete on shard " << s->index;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      FleetRequest* r = s->current_batch[i];
+      r->complete = insts[i]->complete_time;
+      r->outcome = FleetRequest::Outcome::kServed;
+      if (fleet->config_.verify_outputs) {
+        s->verified = s->verified &&
+                      fleet->traffic_->mix()[static_cast<std::size_t>(r->workload_idx)]->Verify(
+                          *insts[i]);
+      }
+      Release(s, r, insts[i]);
+    }
+    s->stats.batches += 1;
+    s->stats.served += insts.size();
+    s->stats.busy_ns += end - now;
+    s->stats.batch_ms.Record(TicksToMs(end - now));
+    s->stats.energy_j += rep.EnergySummary().total_j;
+    return end;
+  }
+
+  AppInstance* Acquire(Shard* s, FleetRequest* r, bool* fresh_install) {
+    const Workload* wl = fleet->traffic_->mix()[static_cast<std::size_t>(r->workload_idx)];
+    auto& cache = s->cache[static_cast<std::size_t>(r->workload_idx)];
+    for (Shard::CachedInstance& slot : cache) {
+      if (slot.in_use) {
+        continue;
+      }
+      // Dataset already flash-resident: re-prepare the buffers with the
+      // slot's original seed (matching the flash contents) and reset the
+      // execution timeline.
+      slot.in_use = true;
+      AppInstance* inst = slot.inst.get();
+      Rng rng(slot.seed);
+      wl->Prepare(*inst, rng);
+      inst->done = false;
+      inst->submit_time = 0;
+      inst->load_done_time = 0;
+      inst->compute_done_time = 0;
+      inst->complete_time = 0;
+      s->stats.install_hits += 1;
+      return inst;
+    }
+    const std::uint64_t seed =
+        InstanceSeed(fleet->config_.traffic.seed, s->index, r->workload_idx, cache.size());
+    auto inst = std::make_unique<AppInstance>(r->workload_idx, static_cast<int>(cache.size()),
+                                              &wl->spec(), fleet->config_.device.model_scale);
+    Rng rng(seed);
+    wl->Prepare(*inst, rng);
+    s->dev->InstallData(inst.get(), [](Tick) {});
+    *fresh_install = true;
+    s->stats.installs += 1;
+    cache.push_back({std::move(inst), seed, true});
+    return cache.back().inst.get();
+  }
+
+  void Release(Shard* s, FleetRequest* r, AppInstance* inst) {
+    for (Shard::CachedInstance& slot : s->cache[static_cast<std::size_t>(r->workload_idx)]) {
+      if (slot.inst.get() == inst) {
+        slot.in_use = false;
+        return;
+      }
+    }
+    FAB_CHECK(false) << "released instance not in shard cache";
+  }
+};
+
+FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
+  const std::string problem = config_.Validate();
+  FAB_CHECK(problem.empty()) << "bad FleetConfig: " << problem;
+  traffic_ = std::make_unique<TrafficGenerator>(config_.traffic);
+  BuildShards();
+}
+
+FleetSim::~FleetSim() = default;
+
+void FleetSim::BuildShards() {
+  for (int d = 0; d < config_.num_devices; ++d) {
+    auto shard = std::make_unique<Shard>(config_.queue_depth);
+    shard->index = d;
+    shard->sim = std::make_unique<Simulator>(config_.backend);
+    FlashAbacusConfig dev_cfg = config_.device;
+    // Decorrelate the shards' random fault schedules; a common seed would
+    // make "independent" devices fail in lockstep.
+    dev_cfg.nand.fault.seed ^= Mix64(static_cast<std::uint64_t>(d) + 0x51aDULL);
+    shard->dev = std::make_unique<FlashAbacus>(shard->sim.get(), dev_cfg);
+    shard->cache.resize(traffic_->mix().size());
+    shards_.push_back(std::move(shard));
+  }
+}
+
+FleetReport FleetSim::Run() {
+  FAB_CHECK(!ran_) << "FleetSim is one-shot; build a new one per run";
+  ran_ = true;
+  // The lazily-built registry must exist before any worker threads read it.
+  WorkloadRegistry::Get();
+
+  std::deque<FleetRequest> pool;
+  for (FleetRequest& r : traffic_->InitialArrivals()) {
+    pool.push_back(r);
+  }
+  const std::size_t initial = pool.size();
+
+  const bool partitioned = config_.execution == FleetConfig::Execution::kPartitioned ||
+                           (config_.execution == FleetConfig::Execution::kAuto &&
+                            config_.CanPartition());
+  if (partitioned) {
+    FAB_CHECK(config_.CanPartition());
+    // Oblivious routing: place the whole schedule up front, then serve every
+    // shard's slice independently on the sweep pool. Per-request outcomes
+    // merge in submission order, so the report is identical to lockstep
+    // execution at any thread count.
+    ShardRouter router(config_.policy, config_.num_devices);
+    const std::vector<int> zeros(static_cast<std::size_t>(config_.num_devices), 0);
+    std::vector<std::vector<FleetRequest*>> slices(
+        static_cast<std::size_t>(config_.num_devices));
+    for (FleetRequest& r : pool) {
+      r.device = router.Route(r, zeros, 0);
+      slices[static_cast<std::size_t>(r.device)].push_back(&r);
+    }
+    SweepRunner runner(config_.sweep_threads);
+    runner.RunIndexed(shards_.size(), [&](std::size_t d) {
+      ServeLoop loop;
+      loop.fleet = this;
+      loop.shards = {shards_[d].get()};
+      for (FleetRequest* r : slices[d]) {
+        loop.PushArrival(r);
+      }
+      loop.Run();
+    });
+  } else {
+    ServeLoop loop;
+    loop.fleet = this;
+    for (auto& s : shards_) {
+      loop.shards.push_back(s.get());
+    }
+    ShardRouter router(config_.policy, config_.num_devices);
+    loop.router = &router;
+    loop.gen = traffic_.get();
+    loop.pool = &pool;
+    for (std::size_t i = 0; i < initial; ++i) {
+      loop.PushArrival(&pool[i]);
+    }
+    loop.Run();
+  }
+
+  std::vector<FleetRequest*> requests;
+  requests.reserve(pool.size());
+  for (FleetRequest& r : pool) {
+    requests.push_back(&r);
+  }
+  return Finalize(std::move(requests), partitioned ? "partitioned" : "lockstep");
+}
+
+FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
+                               const std::string& execution) {
+  std::sort(requests.begin(), requests.end(),
+            [](const FleetRequest* a, const FleetRequest* b) { return a->id < b->id; });
+
+  FleetReport rep;
+  rep.policy = PlacementPolicyName(config_.policy);
+  rep.traffic_model = TrafficModelName(config_.traffic.model);
+  rep.scheduler = SchedulerKindName(config_.scheduler);
+  rep.execution = execution;
+  rep.num_devices = config_.num_devices;
+  rep.client_latency_ms.resize(static_cast<std::size_t>(config_.traffic.num_clients));
+
+  double served_bytes = 0.0;
+  for (FleetRequest* r : requests) {
+    ++rep.offered;
+    rep.route_retries += static_cast<std::uint64_t>(r->route_retries);
+    if (r->outcome == FleetRequest::Outcome::kShed) {
+      ++rep.shed;
+      rep.makespan = std::max(rep.makespan, r->arrival);
+      continue;
+    }
+    FAB_CHECK(r->outcome == FleetRequest::Outcome::kServed)
+        << "request " << r->id << " neither served nor shed";
+    ++rep.served;
+    rep.makespan = std::max(rep.makespan, r->complete);
+    const double lat_ms = TicksToMs(r->complete - r->arrival);
+    r->slo_violated = lat_ms > config_.slo_ms;
+    if (r->slo_violated) {
+      ++rep.slo_violations;
+    }
+    rep.latency_ms.Record(lat_ms);
+    rep.client_latency_ms[static_cast<std::size_t>(r->client_id)].Record(lat_ms);
+    shards_[static_cast<std::size_t>(r->device)]->stats.latency_ms.Record(lat_ms);
+    const KernelSpec& spec = traffic_->mix()[static_cast<std::size_t>(r->workload_idx)]->spec();
+    served_bytes += spec.model_input_mb * 1024.0 * 1024.0 * config_.device.model_scale;
+  }
+  const double seconds = TicksToSeconds(rep.makespan);
+  rep.throughput_rps = seconds > 0.0 ? static_cast<double>(rep.served) / seconds : 0.0;
+  rep.served_mb_s = seconds > 0.0 ? served_bytes / (1024.0 * 1024.0) / seconds : 0.0;
+
+  for (auto& shard : shards_) {
+    shard->stats.utilization =
+        rep.makespan > 0
+            ? static_cast<double>(std::min(shard->stats.busy_ns, rep.makespan)) /
+                  static_cast<double>(rep.makespan)
+            : 0.0;
+    shard->stats.peak_queue_depth = shard->queue.peak_depth();
+    shard->stats.queue_depth = shard->queue.depth_series();
+    shard->stats.events_executed = shard->sim->events_executed();
+    rep.verified = rep.verified && shard->verified;
+    rep.devices.push_back(shard->stats);
+  }
+
+  // Everything above also flows through the observability layer: one
+  // fleet/* metrics hierarchy, snapshotted at the fleet makespan.
+  MetricsRegistry reg;
+  std::deque<Counter> counters;
+  auto counter = [&](const std::string& name, std::uint64_t v) {
+    counters.emplace_back();
+    counters.back().Add(v);
+    reg.RegisterCounter(name, &counters.back());
+  };
+  counter("fleet/offered", rep.offered);
+  counter("fleet/served", rep.served);
+  counter("fleet/shed", rep.shed);
+  counter("fleet/route_retries", rep.route_retries);
+  counter("fleet/slo_violations", rep.slo_violations);
+  reg.RegisterGauge("fleet/throughput_rps", [&rep](Tick) { return rep.throughput_rps; });
+  reg.RegisterHistogram("fleet/latency_ms", &rep.latency_ms);
+  for (std::size_t d = 0; d < rep.devices.size(); ++d) {
+    const std::string p = "fleet/device/" + std::to_string(d) + "/";
+    const FleetDeviceStats& st = rep.devices[d];
+    counter(p + "served", st.served);
+    counter(p + "shed", st.shed);
+    counter(p + "batches", st.batches);
+    counter(p + "installs", st.installs);
+    counter(p + "install_hits", st.install_hits);
+    counter(p + "peak_queue_depth", st.peak_queue_depth);
+    reg.RegisterGauge(p + "utilization", [&rep, d](Tick) { return rep.devices[d].utilization; });
+    reg.RegisterHistogram(p + "latency_ms", &rep.devices[d].latency_ms);
+    reg.RegisterHistogram(p + "batch_ms", &rep.devices[d].batch_ms);
+  }
+  for (std::size_t c = 0; c < rep.client_latency_ms.size(); ++c) {
+    reg.RegisterHistogram("fleet/client/" + std::to_string(c) + "/latency_ms",
+                          &rep.client_latency_ms[c]);
+  }
+  rep.metrics = reg.Snapshot(rep.makespan);
+  return rep;
+}
+
+void FleetReport::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("schema_version", kSchemaVersion);
+  w->Field("policy", policy);
+  w->Field("traffic_model", traffic_model);
+  w->Field("scheduler", scheduler);
+  w->Field("execution", execution);
+  w->Field("num_devices", num_devices);
+  w->Field("makespan_ms", TicksToMs(makespan));
+  w->Field("offered", static_cast<double>(offered));
+  w->Field("served", static_cast<double>(served));
+  w->Field("shed", static_cast<double>(shed));
+  w->Field("route_retries", static_cast<double>(route_retries));
+  w->Field("slo_violations", static_cast<double>(slo_violations));
+  w->Field("throughput_rps", throughput_rps);
+  w->Field("served_mb_s", served_mb_s);
+  w->Field("verified", verified);
+
+  w->Key("latency_ms");
+  WriteHistogramSummary(w, latency_ms);
+
+  w->Key("clients").BeginArray();
+  for (std::size_t c = 0; c < client_latency_ms.size(); ++c) {
+    w->BeginObject().Field("client", static_cast<double>(c)).Key("latency_ms");
+    WriteHistogramSummary(w, client_latency_ms[c]);
+    w->EndObject();
+  }
+  w->EndArray();
+
+  w->Key("devices").BeginArray();
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const FleetDeviceStats& st = devices[d];
+    w->BeginObject()
+        .Field("device", static_cast<double>(d))
+        .Field("served", static_cast<double>(st.served))
+        .Field("shed", static_cast<double>(st.shed))
+        .Field("batches", static_cast<double>(st.batches))
+        .Field("installs", static_cast<double>(st.installs))
+        .Field("install_hits", static_cast<double>(st.install_hits))
+        .Field("busy_ms", TicksToMs(st.busy_ns))
+        .Field("utilization", st.utilization)
+        .Field("energy_j", st.energy_j)
+        .Field("events_executed", static_cast<double>(st.events_executed))
+        .Field("peak_queue_depth", static_cast<double>(st.peak_queue_depth));
+    w->Key("latency_ms");
+    WriteHistogramSummary(w, st.latency_ms);
+    w->Key("batch_ms");
+    WriteHistogramSummary(w, st.batch_ms);
+    w->Key("queue_depth").BeginObject();
+    w->Field("samples", static_cast<double>(st.queue_depth.samples().size()));
+    w->Key("series").BeginArray();
+    if (!st.queue_depth.empty() && makespan > 0) {
+      for (double v : st.queue_depth.Rebucket(makespan, kQueueDepthBuckets)) {
+        w->Value(v);
+      }
+    }
+    w->EndArray();
+    w->EndObject();
+    w->EndObject();
+  }
+  w->EndArray();
+
+  w->Key("metrics");
+  metrics.WriteJson(w);
+
+  w->EndObject();
+}
+
+std::string FleetReport::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.TakeString();
+}
+
+FleetReport RunFleet(const FleetConfig& config) { return FleetSim(config).Run(); }
+
+}  // namespace fabacus

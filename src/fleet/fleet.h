@@ -1,0 +1,147 @@
+// FleetSim: serve synthetic client traffic across N independently-simulated
+// FlashAbacus devices (docs/FLEET.md).
+//
+// Each shard owns a private Simulator + FlashAbacus device plus a bounded
+// AdmissionQueue; a ShardRouter places every arrival; admitted requests are
+// coalesced into batches (up to `max_batch`) that run on the shard under the
+// configured scheduler. Installed workload instances are cached per shard, so
+// a request whose dataset is already flash-resident skips the install writes
+// — the locality the data-affinity policy exploits.
+//
+// Execution models, both bit-deterministic per (config, seed):
+//  * kLockstep    — one global event loop advances arrivals and batch
+//    completions in (time, sequence) order across all shards. Required for
+//    closed-loop traffic, state-aware routing and admission re-routing.
+//  * kPartitioned — the whole open-loop schedule is routed up front, then
+//    every shard simulates its own slice concurrently on a SweepRunner pool,
+//    results merging in submission order. Valid only when the routing is
+//    oblivious (round-robin / data-affinity, no re-route retries); produces
+//    byte-identical reports to kLockstep at any thread count (fleet_test
+//    locks both properties down).
+//
+// Per-client and per-device latency percentiles, SLO violations, shed/retry
+// counters and queue-depth series all flow through a MetricsRegistry snapshot
+// embedded in the FleetReport, which serializes to schema-stable JSON like
+// RunReport does.
+#ifndef SRC_FLEET_FLEET_H_
+#define SRC_FLEET_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/flashabacus.h"
+#include "src/fleet/admission_queue.h"
+#include "src/sim/event_queue.h"
+#include "src/fleet/shard_router.h"
+#include "src/fleet/traffic.h"
+#include "src/sim/metrics.h"
+#include "src/sim/stats.h"
+
+namespace fabacus {
+
+struct FleetConfig {
+  enum class Execution { kAuto, kLockstep, kPartitioned };
+
+  int num_devices = 2;
+  // Per-shard device; fault seeds are decorrelated per shard automatically.
+  FlashAbacusConfig device = FlashAbacusConfig::Small();
+  SchedulerKind scheduler = SchedulerKind::kIntraOutOfOrder;
+  PlacementPolicy policy = PlacementPolicy::kRoundRobin;
+  TrafficConfig traffic;
+
+  std::size_t queue_depth = 16;  // admission bound per shard
+  int max_route_attempts = 2;    // placements tried before shedding
+  int max_batch = 4;             // requests coalesced per device dispatch
+  double slo_ms = 250.0;         // client-latency objective per request
+  bool verify_outputs = true;    // functional check of every served request
+
+  // kAuto picks kPartitioned when legal (open loop + oblivious policy +
+  // max_route_attempts == 1), else kLockstep.
+  Execution execution = Execution::kAuto;
+  int sweep_threads = 0;  // partitioned pool width; 0 = env/hardware default
+  // Event-queue backend of every shard simulator.
+  EventQueue::Backend backend = EventQueue::Backend::kCalendar;
+
+  // Empty when runnable, else the first problem found.
+  std::string Validate() const;
+  bool CanPartition() const;
+};
+
+// Per-shard slice of a fleet run.
+struct FleetDeviceStats {
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;       // rejections charged to this shard's queue
+  std::uint64_t batches = 0;
+  std::uint64_t installs = 0;       // fresh dataset installs (flash writes)
+  std::uint64_t install_hits = 0;   // requests served from cached datasets
+  Tick busy_ns = 0;                 // union of batch service windows
+  double utilization = 0.0;         // busy_ns / fleet makespan
+  double energy_j = 0.0;            // accelerator energy across its batches
+  std::uint64_t events_executed = 0;
+  std::size_t peak_queue_depth = 0;
+  Histogram latency_ms;   // client-perceived latency of requests it served
+  Histogram batch_ms;     // service window per batch
+  TimeSeries queue_depth; // admission-queue depth over time
+};
+
+struct FleetReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string policy;
+  std::string traffic_model;
+  std::string scheduler;
+  std::string execution;  // "lockstep" | "partitioned"
+  int num_devices = 0;
+
+  Tick makespan = 0;  // last completion (or last arrival when all shed)
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t route_retries = 0;
+  std::uint64_t slo_violations = 0;
+  double throughput_rps = 0.0;  // served requests per simulated second
+  double served_mb_s = 0.0;     // modelled bytes of served requests per second
+  bool verified = true;
+
+  Histogram latency_ms;                    // all served requests
+  std::vector<FleetDeviceStats> devices;   // indexed by shard
+  std::vector<Histogram> client_latency_ms;  // indexed by client id
+  MetricsSnapshot metrics;                 // fleet/* hierarchy
+
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+};
+
+class FleetSim {
+ public:
+  explicit FleetSim(const FleetConfig& config);
+  ~FleetSim();
+  FleetSim(const FleetSim&) = delete;
+  FleetSim& operator=(const FleetSim&) = delete;
+
+  // Serves the configured traffic to completion and returns the merged
+  // report. One-shot: a FleetSim instance runs once.
+  FleetReport Run();
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  struct Shard;
+  struct ServeLoop;
+
+  void BuildShards();
+  FleetReport Finalize(std::vector<FleetRequest*> requests, const std::string& execution);
+
+  FleetConfig config_;
+  std::unique_ptr<TrafficGenerator> traffic_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool ran_ = false;
+};
+
+// Convenience: configure, run, report.
+FleetReport RunFleet(const FleetConfig& config);
+
+}  // namespace fabacus
+
+#endif  // SRC_FLEET_FLEET_H_

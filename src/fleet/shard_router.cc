@@ -1,0 +1,64 @@
+#include "src/fleet/shard_router.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+const char* PlacementPolicyName(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicy::kLeastOutstanding:
+      return "least-outstanding";
+    case PlacementPolicy::kDataAffinity:
+      return "data-affinity";
+  }
+  return "?";
+}
+
+bool PolicyIsOblivious(PlacementPolicy p) { return p != PlacementPolicy::kLeastOutstanding; }
+
+ShardRouter::ShardRouter(PlacementPolicy policy, int num_devices)
+    : policy_(policy), num_devices_(num_devices) {
+  FAB_CHECK_GE(num_devices, 1);
+}
+
+int ShardRouter::Route(const FleetRequest& r, const std::vector<int>& outstanding, int attempt) {
+  const std::uint64_t n = static_cast<std::uint64_t>(num_devices_);
+  const std::uint64_t a = static_cast<std::uint64_t>(attempt);
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin: {
+      // One rotation step per request; retries probe the following devices.
+      if (attempt == 0) {
+        rr_next_ = (rr_next_ + 1) % n;
+      }
+      return static_cast<int>((rr_next_ + a) % n);
+    }
+    case PlacementPolicy::kLeastOutstanding: {
+      FAB_CHECK_EQ(outstanding.size(), n) << "outstanding vector size mismatch";
+      // attempt-th smallest (outstanding, index); deterministic under ties.
+      std::vector<int> order(num_devices_);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int x, int y) {
+        const std::size_t sx = static_cast<std::size_t>(x);
+        const std::size_t sy = static_cast<std::size_t>(y);
+        return outstanding[sx] != outstanding[sy] ? outstanding[sx] < outstanding[sy] : x < y;
+      });
+      return order[static_cast<std::size_t>(a % n)];
+    }
+    case PlacementPolicy::kDataAffinity: {
+      // SplitMix64-style scramble of the workload id: the dataset's home
+      // device. Retries spiral outward from home.
+      std::uint64_t z = static_cast<std::uint64_t>(r.workload_idx) + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<int>(((z ^ (z >> 31)) + a) % n);
+    }
+  }
+  return 0;
+}
+
+}  // namespace fabacus

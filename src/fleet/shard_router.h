@@ -1,0 +1,54 @@
+// ShardRouter: pluggable placement of client requests onto fleet shards.
+//
+//  * kRoundRobin       — rotate over the devices in arrival order. Oblivious
+//    to device state; the throughput baseline.
+//  * kLeastOutstanding — pick the device with the fewest queued + in-flight
+//    requests (ties to the lowest index). The classic join-shortest-queue
+//    latency policy; needs live fleet state.
+//  * kDataAffinity     — hash the request's workload to a home device so
+//    repeated requests for a dataset land where its flash-resident copy
+//    already lives (install-cache hits instead of fresh flash writes).
+//    Oblivious; trades balance for flash locality.
+//
+// `attempt` > 0 asks for the policy's next-best candidate after an admission
+// rejection; every policy enumerates all devices across num_devices attempts.
+#ifndef SRC_FLEET_SHARD_ROUTER_H_
+#define SRC_FLEET_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fleet/traffic.h"
+
+namespace fabacus {
+
+enum class PlacementPolicy { kRoundRobin, kLeastOutstanding, kDataAffinity };
+
+const char* PlacementPolicyName(PlacementPolicy p);
+
+// True when the policy's choice depends only on the request stream, never on
+// device state — the precondition for routing a whole open-loop schedule up
+// front and simulating the shards in parallel (see FleetSim).
+bool PolicyIsOblivious(PlacementPolicy p);
+
+class ShardRouter {
+ public:
+  ShardRouter(PlacementPolicy policy, int num_devices);
+
+  PlacementPolicy policy() const { return policy_; }
+  int num_devices() const { return num_devices_; }
+
+  // Device for `r`. `outstanding[d]` = queued + in-flight requests on shard d
+  // (consulted only by state-aware policies; pass zeros for oblivious ones).
+  // `attempt` 0 is the primary choice, 1.. the fallbacks after rejections.
+  int Route(const FleetRequest& r, const std::vector<int>& outstanding, int attempt = 0);
+
+ private:
+  PlacementPolicy policy_;
+  int num_devices_;
+  std::uint64_t rr_next_ = 0;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_FLEET_SHARD_ROUTER_H_

@@ -1,0 +1,143 @@
+#include "src/fleet/traffic.h"
+
+#include <cmath>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+namespace {
+
+std::vector<TrafficMixEntry> DefaultMix() {
+  return {{"ATAX", 1.0}, {"BICG", 1.0}, {"MVT", 1.0}, {"GESUM", 1.0}};
+}
+
+}  // namespace
+
+const char* TrafficModelName(TrafficConfig::Model m) {
+  switch (m) {
+    case TrafficConfig::Model::kOpenLoop:
+      return "open-loop";
+    case TrafficConfig::Model::kClosedLoop:
+      return "closed-loop";
+  }
+  return "?";
+}
+
+std::string TrafficConfig::Validate() const {
+  if (num_clients < 1) {
+    return "num_clients must be >= 1, got " + std::to_string(num_clients);
+  }
+  if (model == Model::kOpenLoop) {
+    if (arrival_rate_per_s <= 0.0) {
+      return "arrival_rate_per_s must be positive, got " + std::to_string(arrival_rate_per_s);
+    }
+    if (total_requests < 1) {
+      return "total_requests must be >= 1, got " + std::to_string(total_requests);
+    }
+  } else {
+    if (requests_per_client < 1) {
+      return "requests_per_client must be >= 1, got " + std::to_string(requests_per_client);
+    }
+  }
+  for (const TrafficMixEntry& e : mix) {
+    if (e.weight <= 0.0) {
+      return "mix weight for " + e.workload + " must be positive";
+    }
+    if (WorkloadRegistry::Get().Find(e.workload) == nullptr) {
+      return "unknown workload in mix: " + e.workload;
+    }
+  }
+  return "";
+}
+
+TrafficGenerator::TrafficGenerator(const TrafficConfig& config)
+    : config_(config), rng_(config.seed) {
+  const std::string problem = config_.Validate();
+  FAB_CHECK(problem.empty()) << "bad TrafficConfig: " << problem;
+  if (config_.mix.empty()) {
+    config_.mix = DefaultMix();
+  }
+  double total = 0.0;
+  for (const TrafficMixEntry& e : config_.mix) {
+    const Workload* wl = WorkloadRegistry::Get().Find(e.workload);
+    FAB_CHECK(wl != nullptr) << "unknown workload in mix: " << e.workload;
+    mix_.push_back(wl);
+    total += e.weight;
+  }
+  double cum = 0.0;
+  for (const TrafficMixEntry& e : config_.mix) {
+    cum += e.weight / total;
+    cumulative_weight_.push_back(cum);
+  }
+  cumulative_weight_.back() = 1.0;  // guard against rounding at the tail
+  emitted_per_client_.assign(static_cast<std::size_t>(config_.num_clients), 0);
+}
+
+int TrafficGenerator::total_requests() const {
+  return config_.model == TrafficConfig::Model::kOpenLoop
+             ? config_.total_requests
+             : config_.num_clients * config_.requests_per_client;
+}
+
+int TrafficGenerator::DrawWorkload() {
+  const double u = rng_.NextDouble();
+  for (std::size_t i = 0; i < cumulative_weight_.size(); ++i) {
+    if (u < cumulative_weight_[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(cumulative_weight_.size()) - 1;
+}
+
+Tick TrafficGenerator::DrawExponential(double mean_ns) {
+  // Inverse-CDF sampling; NextDouble() < 1 keeps the log argument positive.
+  const double u = rng_.NextDouble();
+  return static_cast<Tick>(-mean_ns * std::log(1.0 - u));
+}
+
+FleetRequest TrafficGenerator::MakeRequest(int client, Tick arrival) {
+  FleetRequest r;
+  r.id = next_id_++;
+  r.client_id = client;
+  r.workload_idx = DrawWorkload();
+  r.arrival = arrival;
+  return r;
+}
+
+std::vector<FleetRequest> TrafficGenerator::InitialArrivals() {
+  std::vector<FleetRequest> out;
+  if (config_.model == TrafficConfig::Model::kOpenLoop) {
+    const double mean_gap_ns = 1e9 / config_.arrival_rate_per_s;
+    Tick t = 0;
+    out.reserve(static_cast<std::size_t>(config_.total_requests));
+    for (int i = 0; i < config_.total_requests; ++i) {
+      t += DrawExponential(mean_gap_ns);
+      out.push_back(MakeRequest(i % config_.num_clients, t));
+    }
+    return out;
+  }
+  out.reserve(static_cast<std::size_t>(config_.num_clients));
+  for (int c = 0; c < config_.num_clients; ++c) {
+    out.push_back(MakeRequest(c, DrawExponential(static_cast<double>(config_.mean_think_time))));
+    emitted_per_client_[static_cast<std::size_t>(c)] = 1;
+  }
+  return out;
+}
+
+bool TrafficGenerator::NextForClient(int client, Tick now, FleetRequest* out) {
+  if (config_.model == TrafficConfig::Model::kOpenLoop) {
+    return false;
+  }
+  FAB_CHECK_GE(client, 0);
+  FAB_CHECK_LT(client, config_.num_clients);
+  int& emitted = emitted_per_client_[static_cast<std::size_t>(client)];
+  if (emitted >= config_.requests_per_client) {
+    return false;
+  }
+  ++emitted;
+  *out = MakeRequest(client, now + DrawExponential(static_cast<double>(config_.mean_think_time)));
+  return true;
+}
+
+}  // namespace fabacus

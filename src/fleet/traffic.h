@@ -1,0 +1,115 @@
+// Synthetic client traffic for the fleet serving layer (see docs/FLEET.md).
+//
+// A TrafficGenerator turns a seed plus a TrafficConfig into a deterministic
+// request schedule over a kernel mix drawn from the WorkloadRegistry:
+//  * open loop  — a Poisson arrival process at a fixed aggregate rate; the
+//    whole schedule exists up front, so overload shows up as queueing and
+//    shedding rather than back-pressure on the clients.
+//  * closed loop — N clients that each keep one request in flight and think
+//    (exponentially distributed) between completions; arrival times emerge
+//    from the simulation, so the offered load adapts to service latency.
+//
+// Everything is drawn from one SplitMix64 stream: identical seed + config =>
+// identical request ids, clients, workloads and arrival schedule (the fleet
+// tests lock this down).
+#ifndef SRC_FLEET_TRAFFIC_H_
+#define SRC_FLEET_TRAFFIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+
+// One client request: execute one instance of a registry workload somewhere
+// in the fleet. The routing/serving fields are filled in as the request moves
+// through admission, dispatch and completion.
+struct FleetRequest {
+  enum class Outcome { kPending, kServed, kShed };
+
+  int id = 0;            // global submission order (generator-assigned)
+  int client_id = 0;
+  int workload_idx = 0;  // index into TrafficGenerator::mix()
+  Tick arrival = 0;
+
+  Outcome outcome = Outcome::kPending;
+  int device = -1;       // shard that admitted (or -1 when shed)
+  int route_retries = 0; // admission rejections before placement/shedding
+  Tick dispatch = 0;     // dequeued from admission into a device batch
+  Tick complete = 0;     // device-reported completion (writeback accepted)
+  bool slo_violated = false;
+};
+
+struct TrafficMixEntry {
+  std::string workload;  // registry name, e.g. "ATAX"
+  double weight = 1.0;   // relative draw probability
+};
+
+struct TrafficConfig {
+  enum class Model { kOpenLoop, kClosedLoop };
+
+  Model model = Model::kOpenLoop;
+  std::uint64_t seed = 1;
+  int num_clients = 8;
+
+  // Open loop: Poisson arrivals at `arrival_rate_per_s` aggregate across the
+  // fleet until `total_requests` have been emitted; requests round-robin over
+  // the clients.
+  double arrival_rate_per_s = 2000.0;
+  int total_requests = 128;
+
+  // Closed loop: every client issues `requests_per_client` requests, one at a
+  // time, with exponential think time (mean `mean_think_time`) after each
+  // completion (or shed).
+  int requests_per_client = 8;
+  Tick mean_think_time = 500 * kUs;
+
+  // Kernel mix; empty selects a light data-intensive default
+  // (ATAX/BICG/MVT/GESUM, equal weights).
+  std::vector<TrafficMixEntry> mix;
+
+  // Empty when well-formed, else a description of the first problem.
+  std::string Validate() const;
+};
+
+const char* TrafficModelName(TrafficConfig::Model m);
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficConfig& config);
+
+  const TrafficConfig& config() const { return config_; }
+  // Resolved kernel mix, in config order.
+  const std::vector<const Workload*>& mix() const { return mix_; }
+
+  // Open loop: the complete arrival schedule, in arrival order.
+  // Closed loop: each client's first request.
+  std::vector<FleetRequest> InitialArrivals();
+
+  // Closed loop only: the next request of `client` after its previous one
+  // finished (served or shed) at `now`. Returns false when the client has
+  // issued its full quota (and always for open loop).
+  bool NextForClient(int client, Tick now, FleetRequest* out);
+
+  // Requests this generator will emit over its lifetime.
+  int total_requests() const;
+
+ private:
+  FleetRequest MakeRequest(int client, Tick arrival);
+  int DrawWorkload();
+  Tick DrawExponential(double mean_ns);
+
+  TrafficConfig config_;
+  std::vector<const Workload*> mix_;
+  std::vector<double> cumulative_weight_;  // normalized CDF over the mix
+  Rng rng_;
+  int next_id_ = 0;
+  std::vector<int> emitted_per_client_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_FLEET_TRAFFIC_H_

@@ -1,0 +1,222 @@
+// Golden-report regression suite: one canonical workload set (ATAX + GEMM,
+// one instance each, seed 42, kBenchScale/4) runs on each of the five paper
+// systems; the full RunReport JSON is compared byte-for-byte against the
+// checked-in goldens in tests/golden/. Any behavioral drift — a timing
+// constant, an energy coefficient, a scheduler decision, a metric name —
+// shows up as a failing diff listing exactly which fields moved.
+//
+// Refreshing after an intentional change:
+//   scripts/update_goldens.sh        (or FABACUS_UPDATE_GOLDENS=1, see below)
+// then review the golden diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/json.h"
+
+#ifndef FABACUS_GOLDEN_DIR
+#error "build must define FABACUS_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace fabacus {
+namespace {
+
+constexpr int kMaxDiffLines = 40;
+
+BenchRun RunCanonical(const std::string& system) {
+  BenchOptions opt;
+  opt.model_scale = kBenchScale / 4;
+  opt.seed = 42;
+  const WorkloadRegistry& reg = WorkloadRegistry::Get();
+  const std::vector<const Workload*> apps = {reg.Find("ATAX"), reg.Find("GEMM")};
+  if (system == "SIMD") {
+    return RunSimdSystem(apps, 1, opt);
+  }
+  for (SchedulerKind kind : {SchedulerKind::kInterStatic, SchedulerKind::kInterDynamic,
+                             SchedulerKind::kIntraInOrder, SchedulerKind::kIntraOutOfOrder}) {
+    if (system == SchedulerKindName(kind)) {
+      return RunFlashAbacusSystem(apps, 1, kind, opt);
+    }
+  }
+  ADD_FAILURE() << "unknown system " << system;
+  return {};
+}
+
+std::string GoldenPath(const std::string& system) {
+  return std::string(FABACUS_GOLDEN_DIR) + "/" + system + ".json";
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Recursively walks golden vs. actual, appending one "path: golden -> actual"
+// line per leaf difference. Returns the total number of differences found
+// (diff lines are capped, the count is not).
+int DiffValues(const JsonValue& golden, const JsonValue& actual, const std::string& path,
+               std::vector<std::string>* lines);
+
+std::string Render(const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return v.bool_v ? "true" : "false";
+    case JsonValue::Type::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.num_v);
+      return buf;
+    }
+    case JsonValue::Type::kString:
+      return "\"" + v.str_v + "\"";
+    case JsonValue::Type::kArray:
+      return "<array of " + std::to_string(v.array_v.size()) + ">";
+    case JsonValue::Type::kObject:
+      return "<object of " + std::to_string(v.object_v.size()) + ">";
+  }
+  return "?";
+}
+
+void AddLine(std::vector<std::string>* lines, const std::string& line) {
+  if (static_cast<int>(lines->size()) < kMaxDiffLines) {
+    lines->push_back(line);
+  }
+}
+
+int DiffValues(const JsonValue& golden, const JsonValue& actual, const std::string& path,
+               std::vector<std::string>* lines) {
+  if (golden.type != actual.type) {
+    AddLine(lines, path + ": " + Render(golden) + " -> " + Render(actual));
+    return 1;
+  }
+  switch (golden.type) {
+    case JsonValue::Type::kObject: {
+      int diffs = 0;
+      for (const auto& [key, gv] : golden.object_v) {
+        const JsonValue* av = actual.Find(key);
+        if (av == nullptr) {
+          AddLine(lines, path + "/" + key + ": removed (was " + Render(gv) + ")");
+          ++diffs;
+          continue;
+        }
+        diffs += DiffValues(gv, *av, path + "/" + key, lines);
+      }
+      for (const auto& [key, av] : actual.object_v) {
+        if (golden.Find(key) == nullptr) {
+          AddLine(lines, path + "/" + key + ": added (" + Render(av) + ")");
+          ++diffs;
+        }
+      }
+      return diffs;
+    }
+    case JsonValue::Type::kArray: {
+      int diffs = 0;
+      if (golden.array_v.size() != actual.array_v.size()) {
+        AddLine(lines, path + ": array length " + std::to_string(golden.array_v.size()) +
+                           " -> " + std::to_string(actual.array_v.size()));
+        ++diffs;
+      }
+      const std::size_t n = std::min(golden.array_v.size(), actual.array_v.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        diffs += DiffValues(golden.array_v[i], actual.array_v[i],
+                            path + "[" + std::to_string(i) + "]", lines);
+      }
+      return diffs;
+    }
+    case JsonValue::Type::kNumber:
+      if (golden.num_v != actual.num_v) {
+        AddLine(lines, path + ": " + Render(golden) + " -> " + Render(actual));
+        return 1;
+      }
+      return 0;
+    case JsonValue::Type::kString:
+      if (golden.str_v != actual.str_v) {
+        AddLine(lines, path + ": " + Render(golden) + " -> " + Render(actual));
+        return 1;
+      }
+      return 0;
+    case JsonValue::Type::kBool:
+      if (golden.bool_v != actual.bool_v) {
+        AddLine(lines, path + ": " + Render(golden) + " -> " + Render(actual));
+        return 1;
+      }
+      return 0;
+    case JsonValue::Type::kNull:
+      return 0;
+  }
+  return 0;
+}
+
+bool UpdateMode() {
+  const char* v = std::getenv("FABACUS_UPDATE_GOLDENS");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+class GoldenReport : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenReport, MatchesCheckedInReport) {
+  const std::string system = GetParam();
+  const BenchRun run = RunCanonical(system);
+  ASSERT_TRUE(run.verified) << system << " failed functional verification";
+  const std::string actual = run.result.ToJson();
+  const std::string path = GoldenPath(system);
+
+  if (UpdateMode()) {
+    std::ofstream f(path);
+    ASSERT_TRUE(f.good()) << "cannot write " << path;
+    f << actual << "\n";
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+
+  std::string golden;
+  ASSERT_TRUE(ReadFile(path, &golden))
+      << "missing golden " << path
+      << " — generate it with scripts/update_goldens.sh and commit the result";
+  // Goldens are stored with one trailing newline; reports are emitted bare.
+  if (!golden.empty() && golden.back() == '\n') {
+    golden.pop_back();
+  }
+  if (golden == actual) {
+    return;
+  }
+
+  // Byte mismatch: produce a readable field-level diff before failing.
+  JsonValue gv, av;
+  std::string gerr, aerr;
+  ASSERT_TRUE(ParseJson(golden, &gv, &gerr)) << "golden " << path << " is not JSON: " << gerr;
+  ASSERT_TRUE(ParseJson(actual, &av, &aerr)) << "report is not JSON: " << aerr;
+  std::vector<std::string> lines;
+  const int diffs = DiffValues(gv, av, "", &lines);
+  std::string msg = system + " report drifted from " + path + " (" + std::to_string(diffs) +
+                    " field(s) changed):\n";
+  for (const std::string& line : lines) {
+    msg += "  " + line + "\n";
+  }
+  if (diffs > static_cast<int>(lines.size())) {
+    msg += "  ... " + std::to_string(diffs - static_cast<int>(lines.size())) + " more\n";
+  }
+  msg += "If intentional, refresh with scripts/update_goldens.sh and review the diff.";
+  ADD_FAILURE() << msg;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, GoldenReport,
+                         ::testing::Values("SIMD", "InterSt", "InterDy", "IntraIo", "IntraO3"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace fabacus
