@@ -230,29 +230,62 @@ void BenchJson::AddRun(const std::string& label, const BenchRun& run) {
   if (!enabled()) {
     return;
   }
+  // Expand the BenchRun into the common fields+groups row shape. The field
+  // order here is the JSON contract (docs/OBSERVABILITY.md): goldens and
+  // external tooling byte-compare these documents.
+  const EnergyBreakdown e = run.result.EnergySummary();
+  const Histogram& lat = run.result.kernel_latency_ms;
+  const double wall = run.wall_seconds;
   Row row;
   row.label = label;
   row.system = run.system;
-  row.verified = run.verified;
-  row.has_report = true;
-  row.report = run.result;
-  row.wall_seconds = run.wall_seconds;
-  row.sim_ticks = run.sim_ticks;
-  row.events_executed = run.events_executed;
-  row.peak_rss_bytes = PeakRssBytes();
+  row.fields.push_back({"verified", 0.0, true, run.verified});
+  const auto num = [&row](const std::string& name, double v) {
+    row.fields.push_back({name, v, false, false});
+  };
+  num("makespan_ms", TicksToMs(run.result.makespan));
+  num("throughput_mb_s", run.result.throughput_mb_s);
+  num("worker_utilization", run.result.worker_utilization);
+  num("wall_seconds", wall);
+  num("sim_ticks_per_wall_second", wall > 0.0 ? run.sim_ticks / wall : 0.0);
+  num("events_per_second",
+      wall > 0.0 ? static_cast<double>(run.events_executed) / wall : 0.0);
+  num("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
+  FieldGroup energy{"energy",
+                    {{"total_j", e.total_j},
+                     {"data_movement_j", e.data_movement_j},
+                     {"computation_j", e.computation_j},
+                     {"storage_access_j", e.storage_access_j}}};
+  FieldGroup latency{"kernel_latency_ms",
+                     {{"count", static_cast<double>(lat.count())}}};
+  if (lat.count() > 0) {
+    latency.fields.insert(latency.fields.end(),
+                          {{"min", lat.Min()},
+                           {"mean", lat.Mean()},
+                           {"p50", lat.Percentile(50)},
+                           {"p95", lat.Percentile(95)},
+                           {"p99", lat.Percentile(99)},
+                           {"max", lat.Max()}});
+  }
+  row.groups.push_back(std::move(energy));
+  row.groups.push_back(std::move(latency));
   rows_.push_back(std::move(row));
 }
 
 void BenchJson::AddScalarRow(const std::string& label, const std::string& system,
-                             const std::vector<std::pair<std::string, double>>& fields) {
+                             const std::vector<std::pair<std::string, double>>& fields,
+                             const std::vector<FieldGroup>& groups) {
   if (!enabled()) {
     return;
   }
   Row row;
   row.label = label;
   row.system = system;
-  row.peak_rss_bytes = PeakRssBytes();
-  row.scalars = fields;
+  row.fields.push_back({"peak_rss_bytes", static_cast<double>(PeakRssBytes()), false, false});
+  for (const auto& [name, value] : fields) {
+    row.fields.push_back({name, value, false, false});
+  }
+  row.groups = groups;
   rows_.push_back(std::move(row));
 }
 
@@ -262,54 +295,25 @@ BenchJson::~BenchJson() {
   }
   JsonWriter w;
   w.BeginObject();
-  w.Field("schema_version", RunReport::kSchemaVersion);
+  w.Field("schema_version", kJsonSchemaVersion);
   w.Field("bench", bench_name_);
   w.Key("rows").BeginArray();
   for (const Row& row : rows_) {
-    if (!row.has_report) {
-      w.BeginObject()
-          .Field("label", row.label)
-          .Field("system", row.system)
-          .Field("peak_rss_bytes", static_cast<double>(row.peak_rss_bytes));
-      for (const auto& [name, value] : row.scalars) {
+    w.BeginObject().Field("label", row.label).Field("system", row.system);
+    for (const Field& f : row.fields) {
+      if (f.is_bool) {
+        w.Field(f.name, f.flag);
+      } else {
+        w.Field(f.name, f.num);
+      }
+    }
+    for (const FieldGroup& g : row.groups) {
+      w.Key(g.name).BeginObject();
+      for (const auto& [name, value] : g.fields) {
         w.Field(name, value);
       }
       w.EndObject();
-      continue;
     }
-    const EnergyBreakdown e = row.report.EnergySummary();
-    const Histogram& lat = row.report.kernel_latency_ms;
-    const double wall = row.wall_seconds;
-    w.BeginObject()
-        .Field("label", row.label)
-        .Field("system", row.system)
-        .Field("verified", row.verified)
-        .Field("makespan_ms", TicksToMs(row.report.makespan))
-        .Field("throughput_mb_s", row.report.throughput_mb_s)
-        .Field("worker_utilization", row.report.worker_utilization)
-        .Field("wall_seconds", wall)
-        .Field("sim_ticks_per_wall_second", wall > 0.0 ? row.sim_ticks / wall : 0.0)
-        .Field("events_per_second",
-               wall > 0.0 ? static_cast<double>(row.events_executed) / wall : 0.0)
-        .Field("peak_rss_bytes", static_cast<double>(row.peak_rss_bytes));
-    w.Key("energy")
-        .BeginObject()
-        .Field("total_j", e.total_j)
-        .Field("data_movement_j", e.data_movement_j)
-        .Field("computation_j", e.computation_j)
-        .Field("storage_access_j", e.storage_access_j)
-        .EndObject();
-    w.Key("kernel_latency_ms").BeginObject();
-    w.Field("count", static_cast<double>(lat.count()));
-    if (lat.count() > 0) {
-      w.Field("min", lat.Min())
-          .Field("mean", lat.Mean())
-          .Field("p50", lat.Percentile(50))
-          .Field("p95", lat.Percentile(95))
-          .Field("p99", lat.Percentile(99))
-          .Field("max", lat.Max());
-    }
-    w.EndObject();
     w.EndObject();
   }
   w.EndArray();

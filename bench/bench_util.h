@@ -129,26 +129,37 @@ class BenchJson {
   BenchJson& operator=(const BenchJson&) = delete;
 
   bool enabled() const { return !out_dir_.empty(); }
+
+  // Every bench emits through one call shape: a row is an ordered list of
+  // named scalar fields plus optional named field groups (nested one level,
+  // e.g. "energy"), serialized in insertion order. AddRun is a thin wrapper
+  // that expands a BenchRun into that shape (verified/makespan/throughput/
+  // engine-cost fields plus the energy and kernel-latency groups); ablation
+  // and fleet benches call AddScalarRow directly.
+  struct FieldGroup {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
   void AddRun(const std::string& label, const BenchRun& run);
-  // For benches whose results are not RunReports (ablations, fleet runs):
-  // emits one row of named scalar fields under `label`/`system`.
   void AddScalarRow(const std::string& label, const std::string& system,
-                    const std::vector<std::pair<std::string, double>>& fields);
+                    const std::vector<std::pair<std::string, double>>& fields,
+                    const std::vector<FieldGroup>& groups = {});
 
  private:
   std::string bench_name_;
   std::string out_dir_;  // empty = disabled
+  // One scalar field; booleans keep their JSON type (true/false, not 0/1).
+  struct Field {
+    std::string name;
+    double num = 0.0;
+    bool is_bool = false;
+    bool flag = false;
+  };
   struct Row {
     std::string label;
     std::string system;
-    bool verified = true;
-    bool has_report = false;  // false => only `scalars` is meaningful
-    RunReport report;
-    double wall_seconds = 0.0;
-    double sim_ticks = 0.0;
-    std::uint64_t events_executed = 0;
-    std::uint64_t peak_rss_bytes = 0;
-    std::vector<std::pair<std::string, double>> scalars;
+    std::vector<Field> fields;
+    std::vector<FieldGroup> groups;
   };
   std::vector<Row> rows_;
 };

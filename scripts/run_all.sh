@@ -49,6 +49,17 @@ mkdir -p "$BENCH_JSON_DIR"
   done
 } 2>&1 | tee bench_output.txt
 
+# Snapshot pass (docs/SNAPSHOT.md): snapshot_ctl's resume-and-run gate on the
+# Small() preset — segmented-vs-unbroken byte identity, then inspect/diff/
+# resume-run over the snapshot it leaves behind.
+SNAP_DIR="$PWD/build/snapshot_smoke"
+rm -rf "$SNAP_DIR"
+mkdir -p "$SNAP_DIR"
+./build/tools/snapshot_ctl run-demo --out="$SNAP_DIR"
+./build/tools/snapshot_ctl inspect "$SNAP_DIR/demo_device.snap" >/dev/null
+./build/tools/snapshot_ctl diff "$SNAP_DIR/demo_device.snap" "$SNAP_DIR/demo_device.snap"
+./build/tools/snapshot_ctl resume-run "$SNAP_DIR/demo_device.snap"
+
 # Perf pass: the engine micro-benchmark gates on a minimum events/sec for the
 # production (calendar + EventFn) engine and on heap/calendar A/B equality.
 # The default floor is ~1/4 of a release-build laptop core's measured rate —

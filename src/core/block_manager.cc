@@ -113,4 +113,64 @@ bool BlockManager::IsValid(std::uint64_t bg, std::uint32_t slot) const {
   return valid_[bg][slot];
 }
 
+void BlockManager::SaveState(StateWriter& w) const {
+  w.U64(total_);
+  w.U64(groups_per_block_);
+  w.VecU64(std::vector<std::uint64_t>(free_.begin(), free_.end()));
+  w.VecU64(std::vector<std::uint64_t>(used_.begin(), used_.end()));
+  for (std::uint64_t bg = 0; bg < total_; ++bg) {
+    std::vector<std::uint8_t> bits(groups_per_block_);
+    for (std::uint64_t s = 0; s < groups_per_block_; ++s) {
+      bits[s] = valid_[bg][s] ? 1 : 0;
+    }
+    w.VecU8(bits);
+  }
+  w.VecU32(valid_count_);
+  std::vector<std::uint8_t> retired(total_);
+  for (std::uint64_t bg = 0; bg < total_; ++bg) {
+    retired[bg] = is_retired_[bg] ? 1 : 0;
+  }
+  w.VecU8(retired);
+}
+
+void BlockManager::LoadState(StateReader& r) {
+  if (r.U64() != total_ || r.U64() != groups_per_block_) {
+    if (r.ok()) {
+      r.Fail("block manager geometry mismatch");
+    }
+    return;
+  }
+  const std::vector<std::uint64_t> free = r.VecU64();
+  const std::vector<std::uint64_t> used = r.VecU64();
+  std::vector<std::vector<std::uint8_t>> bits(total_);
+  for (std::uint64_t bg = 0; bg < total_ && r.ok(); ++bg) {
+    bits[bg] = r.VecU8();
+    if (r.ok() && bits[bg].size() != groups_per_block_) {
+      r.Fail("valid bitmap size mismatch");
+    }
+  }
+  const std::vector<std::uint32_t> valid_count = r.VecU32();
+  const std::vector<std::uint8_t> retired = r.VecU8();
+  if (!r.ok()) {
+    return;
+  }
+  if (valid_count.size() != total_ || retired.size() != total_) {
+    r.Fail("block manager vector size mismatch");
+    return;
+  }
+  free_.assign(free.begin(), free.end());
+  used_.assign(used.begin(), used.end());
+  retired_count_ = 0;
+  for (std::uint64_t bg = 0; bg < total_; ++bg) {
+    for (std::uint64_t s = 0; s < groups_per_block_; ++s) {
+      valid_[bg][s] = bits[bg][s] != 0;
+    }
+    is_retired_[bg] = retired[bg] != 0;
+    if (is_retired_[bg]) {
+      ++retired_count_;
+    }
+  }
+  valid_count_ = valid_count;
+}
+
 }  // namespace fabacus

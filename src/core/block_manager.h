@@ -9,14 +9,16 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "src/flash/nand_config.h"
 #include "src/sim/log.h"
+#include "src/sim/snapshot.h"
 
 namespace fabacus {
 
-class BlockManager {
+class BlockManager : public Snapshottable {
  public:
   explicit BlockManager(const NandConfig& config);
 
@@ -59,6 +61,12 @@ class BlockManager {
   std::uint64_t total_block_groups() const { return total_; }
 
   static constexpr std::uint64_t kNone = ~0ULL;
+
+  // Snapshottable (docs/SNAPSHOT.md). Pool order is serialized verbatim:
+  // allocation and GC-victim order are part of deterministic replay.
+  std::string StateName() const override { return "ftl/blocks"; }
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
 
  private:
   std::uint64_t total_;

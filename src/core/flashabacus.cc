@@ -167,6 +167,161 @@ void FlashAbacus::SubmitIoReliable(Flashvisor::IoRequest req, int attempt) {
   flashvisor_->SubmitIo(std::move(req));
 }
 
+std::string FlashAbacus::ConfigFingerprint() const {
+  // Everything that shapes serialized state: geometry, capacities, core
+  // counts. Timing-only knobs are excluded — restoring into a device with
+  // different latencies is well-defined (the horizons are absolute ticks).
+  std::string fp;
+  fp += "lwps=" + std::to_string(config_.num_lwps);
+  fp += ";ch=" + std::to_string(config_.nand.channels);
+  fp += ";pkg=" + std::to_string(config_.nand.packages_per_channel);
+  fp += ";pl=" + std::to_string(config_.nand.planes_per_package);
+  fp += ";blk=" + std::to_string(config_.nand.blocks_per_plane);
+  fp += ";pgs=" + std::to_string(config_.nand.pages_per_block);
+  fp += ";pb=" + std::to_string(config_.nand.page_bytes);
+  fp += ";tagq=" + std::to_string(config_.nand.controller_tag_queue_depth);
+  fp += ";dram=" + std::to_string(config_.dram.banks);
+  fp += ";spad=" + std::to_string(config_.scratchpad.capacity_bytes);
+  fp += ";xbar=" + std::to_string(config_.tier1.ports);
+  return fp;
+}
+
+SnapshotBuilder FlashAbacus::BuildSnapshot() const {
+  FAB_CHECK(run_ == nullptr || run_->finished) << "cannot snapshot mid-run";
+  FAB_CHECK(flashvisor_->QuiescedForSnapshot())
+      << "cannot snapshot with I/O queued at Flashvisor";
+  FAB_CHECK(sim_->OnlyDaemonsPending())
+      << "cannot snapshot with live (non-daemon) events pending";
+  SnapshotBuilder b("device");
+  b.SetMeta("config", ConfigFingerprint());
+  b.SetMeta("sim_now_ns", static_cast<double>(sim_->Now()));
+  b.SetMeta("events_executed", static_cast<double>(sim_->events_executed()));
+  b.SetMeta("crashed", crashed_ ? "true" : "false");
+
+  b.AddComponent(*sim_);
+  StateWriter& w = b.AddSection("device", 1);
+  w.Str(ConfigFingerprint());
+  w.Bool(crashed_);
+  pcie_->SaveState(w);
+  io_retries_.SaveState(w);
+  io_failures_.SaveState(w);
+  crashes_.SaveState(w);
+  recoveries_.SaveState(w);
+  recovery_lost_groups_.SaveState(w);
+  recovery_torn_groups_.SaveState(w);
+  w.U64(last_recovery_ns_);
+
+  b.AddComponent(trace_);
+  b.AddComponent(*dram_);
+  b.AddComponent(*scratchpad_);
+  b.AddComponent(*tier1_);
+  b.AddComponent(*backbone_);
+  b.AddComponent(backbone_->faults());
+  for (int ch = 0; ch < config_.nand.channels; ++ch) {
+    b.AddComponent(backbone_->controller(ch));
+  }
+  b.AddComponent(*flashvisor_);
+  b.AddComponent(flashvisor_->mapping());
+  b.AddComponent(flashvisor_->blocks());
+  b.AddComponent(flashvisor_->range_lock());
+  b.AddComponent(*storengine_);
+  for (const auto& worker : workers_) {
+    b.AddComponent(*worker);
+  }
+  return b;
+}
+
+bool FlashAbacus::Snapshot(const std::string& path, std::string* error) const {
+  return BuildSnapshot().WriteFile(path, error);
+}
+
+bool FlashAbacus::Resume(const SnapshotFile& snap, std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+  FAB_CHECK(run_ == nullptr || run_->finished) << "cannot resume into a running device";
+  if (snap.kind() != "device") {
+    return fail("snapshot kind '" + snap.kind() + "' is not a device snapshot");
+  }
+  // Gate on the config fingerprint before touching any state.
+  {
+    StateReader r = snap.Open("device", 1);
+    if (!r.ok()) {
+      return fail(r.error());
+    }
+    const std::string fp = r.Str();
+    if (!r.ok()) {
+      return fail("corrupt device section: " + r.error());
+    }
+    if (fp != ConfigFingerprint()) {
+      return fail("config mismatch: snapshot built for '" + fp + "', this device is '" +
+                  ConfigFingerprint() + "'");
+    }
+  }
+  // Stale events (inert daemon ticks from a previous run) must not fire into
+  // the restored state; the queue rebuilds from component state as the
+  // resumed run schedules work.
+  sim_->Halt();
+  run_.reset();
+
+  std::string err;
+  auto restore = [&](Snapshottable* s) { return snap.Restore(s, &err); };
+  if (!restore(sim_) || !restore(&trace_) || !restore(dram_.get()) ||
+      !restore(scratchpad_.get()) || !restore(tier1_.get()) || !restore(backbone_.get()) ||
+      !restore(&backbone_->faults())) {
+    return fail(err);
+  }
+  for (int ch = 0; ch < config_.nand.channels; ++ch) {
+    if (!restore(&backbone_->controller(ch))) {
+      return fail(err);
+    }
+  }
+  if (!restore(flashvisor_.get()) || !restore(&flashvisor_->mapping()) ||
+      !restore(&flashvisor_->blocks()) || !restore(&flashvisor_->range_lock()) ||
+      !restore(storengine_.get())) {
+    return fail(err);
+  }
+  for (const auto& worker : workers_) {
+    if (!restore(worker.get())) {
+      return fail(err);
+    }
+  }
+
+  StateReader r = snap.Open("device", 1);
+  r.Str();  // fingerprint, validated above
+  crashed_ = r.Bool();
+  pcie_->LoadState(r);
+  io_retries_.LoadState(r);
+  io_failures_.LoadState(r);
+  crashes_.LoadState(r);
+  recoveries_.LoadState(r);
+  recovery_lost_groups_.LoadState(r);
+  recovery_torn_groups_.LoadState(r);
+  last_recovery_ns_ = r.U64();
+  if (!r.ok()) {
+    return fail("corrupt device section: " + r.error());
+  }
+  if (!r.AtEnd()) {
+    return fail("device section has trailing bytes");
+  }
+  return true;
+}
+
+bool FlashAbacus::Resume(const std::string& path, std::string* error) {
+  SnapshotFile snap;
+  std::string err;
+  if (!SnapshotFile::Load(path, &snap, &err)) {
+    if (error != nullptr) {
+      *error = err;
+    }
+    return false;
+  }
+  return Resume(snap, error);
+}
+
 void FlashAbacus::CrashAt(Tick when) {
   sim_->ScheduleAt(when, [this]() { Crash(); });
 }

@@ -31,6 +31,7 @@
 #include "src/sim/metrics.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/stats.h"
 
 namespace fabacus {
@@ -125,6 +126,30 @@ class FlashAbacus {
   // re-arms it so the device is usable again. Only valid after a crash.
   Flashvisor::RecoveryReport RecoverFromFlash();
   bool crashed() const { return crashed_; }
+
+  // --- Whole-device checkpoint/restore (docs/SNAPSHOT.md) ------------------
+  // Captures the complete device state — simulator clock, flash contents and
+  // OOB records, FTL (mapping/blocks/locks), wear and fault state, memories,
+  // LWP occupancy, trace and every counter — as a versioned snapshot. Only
+  // valid at a quiescent point: no Run() in flight, Flashvisor's inbound
+  // queue idle, and nothing but inert daemon ticks pending in the event
+  // queue (CHECK-enforced).
+  bool Snapshot(const std::string& path, std::string* error = nullptr) const;
+  // In-memory form, used by FleetSim's per-shard fan-in and by tests.
+  SnapshotBuilder BuildSnapshot() const;
+
+  // Restores a snapshot taken from an identically-configured device into
+  // this one (typically freshly constructed). Returns false with *error set
+  // on kind/config/version mismatches or corrupt payloads; the device state
+  // is unspecified after a failed resume — discard it. Pending events are
+  // dropped first; a run split into snapshot/resume segments reproduces the
+  // unbroken run's RunReport byte for byte (tests/snapshot_test.cc).
+  bool Resume(const SnapshotFile& snap, std::string* error = nullptr);
+  bool Resume(const std::string& path, std::string* error = nullptr);
+
+  // Stable digest of the geometry-relevant configuration. Snapshots embed it
+  // and Resume refuses snapshots taken from a differently-shaped device.
+  std::string ConfigFingerprint() const;
 
   std::uint64_t io_retries() const { return io_retries_.value(); }
   std::uint64_t io_failures() const { return io_failures_.value(); }

@@ -549,6 +549,67 @@ Flashvisor::RecoveryReport Flashvisor::RecoverFromFlash(Tick now) {
   return rep;
 }
 
+void Flashvisor::SaveState(StateWriter& w) const {
+  FAB_CHECK(inbound_.Idle()) << "flashvisor inbound queue not idle at snapshot";
+  // Drain a copy of the write-buffer min-heap into ascending (drain tick,
+  // bytes) pairs: deterministic order, trivially rebuildable.
+  auto pending = write_buffer_;
+  w.U64(pending.size());
+  while (!pending.empty()) {
+    w.U64(pending.top().first);
+    w.U64(pending.top().second);
+    pending.pop();
+  }
+  w.U64(write_buffer_used_);
+  w.U64(active_bg_);
+  w.U32(active_slot_);
+  w.U64(logical_alloc_cursor_);
+  w.U64(write_drain_horizon_);
+  core_.SaveState(w);
+  inbound_.SaveState(w);
+  reads_served_.SaveState(w);
+  writes_served_.SaveState(w);
+  ecc_events_.SaveState(w);
+  uncorrectable_reads_.SaveState(w);
+  program_failure_reallocs_.SaveState(w);
+  retired_block_groups_.SaveState(w);
+  foreground_reclaims_.SaveState(w);
+}
+
+void Flashvisor::LoadState(StateReader& r) {
+  const std::uint64_t n = r.U64();
+  if (!r.ok()) {
+    return;
+  }
+  write_buffer_ = {};
+  std::uint64_t used = 0;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const Tick done = r.U64();
+    const std::uint64_t bytes = r.U64();
+    write_buffer_.emplace(done, bytes);
+    used += bytes;
+  }
+  write_buffer_used_ = r.U64();
+  if (r.ok() && used != write_buffer_used_) {
+    r.Fail("write-buffer byte accounting mismatch");
+    return;
+  }
+  active_bg_ = r.U64();
+  active_slot_ = r.U32();
+  logical_alloc_cursor_ = r.U64();
+  write_drain_horizon_ = r.U64();
+  core_.LoadState(r);
+  inbound_.LoadState(r);
+  reads_served_.LoadState(r);
+  writes_served_.LoadState(r);
+  ecc_events_.LoadState(r);
+  uncorrectable_reads_.LoadState(r);
+  program_failure_reallocs_.LoadState(r);
+  retired_block_groups_.LoadState(r);
+  foreground_reclaims_.LoadState(r);
+  reclaim_depth_ = 0;
+}
+
 void Flashvisor::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {
   reg->RegisterCounter(prefix + "/reads_served", &reads_served_);
   reg->RegisterCounter(prefix + "/writes_served", &writes_served_);

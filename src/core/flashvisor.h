@@ -47,7 +47,7 @@ struct FlashvisorConfig {
   std::uint64_t write_buffer_bytes = 256ULL << 20;
 };
 
-class Flashvisor {
+class Flashvisor : public Snapshottable {
  public:
   struct IoRequest {
     enum class Type { kRead, kWrite };
@@ -162,6 +162,18 @@ class Flashvisor {
   std::uint64_t BlockGroupOf(std::uint32_t phys_group) const;
   std::uint32_t SlotOf(std::uint32_t phys_group) const;
   std::uint32_t GroupOfSlot(std::uint64_t bg, std::uint32_t slot) const;
+
+  // Snapshottable: write-buffer occupancy, allocation cursors and service
+  // counters. The owned mapping table, block manager and range lock are
+  // Snapshottable in their own right and saved as separate sections (via the
+  // mapping()/blocks()/range_lock() accessors); the inbound message queue
+  // must be idle (closures cannot be serialized).
+  std::string StateName() const override { return "flashvisor"; }
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+  // True when no queued/undelivered I/O message is outstanding — a
+  // precondition for snapshotting.
+  bool QuiescedForSnapshot() const { return inbound_.Idle(); }
 
  private:
   void HandleIo(IoRequest req, std::function<void(Tick)> core_done);

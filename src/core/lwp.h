@@ -19,6 +19,7 @@
 #include "src/mem/dram.h"
 #include "src/noc/crossbar.h"
 #include "src/sim/metrics.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -42,7 +43,7 @@ struct LwpConfig {
   Tick psc_sleep_threshold = 100 * kUs;
 };
 
-class Lwp {
+class Lwp : public Snapshottable {
  public:
   struct ScreenTiming {
     Tick start;
@@ -85,6 +86,35 @@ class Lwp {
   // window_end): idle gaps between busy intervals beyond the sleep
   // threshold (each entered once the threshold expires).
   Tick SleepTime(Tick window_start, Tick window_end) const;
+
+  // Snapshottable: occupancy horizon, busy accounting, the interval history
+  // (PSC sleep/energy accounting replays it) and dispatch counters. The
+  // cache model is stateless.
+  std::string StateName() const override { return "lwp/" + std::to_string(id_); }
+  void SaveState(StateWriter& w) const override {
+    w.U64(busy_until_);
+    busy_.SaveState(w);
+    w.U64(intervals_.size());
+    for (const auto& iv : intervals_) {
+      w.U64(iv.first);
+      w.U64(iv.second);
+    }
+    screens_executed_.SaveState(w);
+    kernel_boots_.SaveState(w);
+  }
+  void LoadState(StateReader& r) override {
+    busy_until_ = r.U64();
+    busy_.LoadState(r);
+    const std::uint64_t n = r.U64();
+    intervals_.clear();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const Tick start = r.U64();
+      const Tick end = r.U64();
+      intervals_.emplace_back(start, end);
+    }
+    screens_executed_.LoadState(r);
+    kernel_boots_.LoadState(r);
+  }
 
  private:
   int id_;

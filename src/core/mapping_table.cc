@@ -69,6 +69,41 @@ void MappingTable::Restore(const std::vector<std::uint8_t>& snapshot) {
   }
 }
 
+void MappingTable::SaveState(StateWriter& w) const {
+  w.VecU32(forward_);
+  w.U64(mapped_count_);
+}
+
+void MappingTable::LoadState(StateReader& r) {
+  std::vector<std::uint32_t> forward = r.VecU32();
+  const std::uint64_t mapped = r.U64();
+  if (!r.ok()) {
+    return;
+  }
+  if (forward.size() != forward_.size()) {
+    r.Fail("mapping table has " + std::to_string(forward.size()) + " entries, device expects " +
+           std::to_string(forward_.size()));
+    return;
+  }
+  forward_ = std::move(forward);
+  // Rebuild the reverse map and re-mirror into the scratchpad, exactly as
+  // Restore() does for crash recovery.
+  std::fill(reverse_.begin(), reverse_.end(), kUnmapped);
+  std::uint64_t count = 0;
+  for (std::uint64_t lg = 0; lg < forward_.size(); ++lg) {
+    if (forward_[lg] != kUnmapped) {
+      reverse_[forward_[lg]] = static_cast<std::uint32_t>(lg);
+      ++count;
+    }
+  }
+  if (count != mapped) {
+    r.Fail("mapping table count mismatch");
+    return;
+  }
+  mapped_count_ = count;
+  scratchpad_->Store(scratchpad_offset_, forward_.data(), table_bytes());
+}
+
 void MappingTable::Clear() {
   std::fill(forward_.begin(), forward_.end(), kUnmapped);
   std::fill(reverse_.begin(), reverse_.end(), kUnmapped);

@@ -15,10 +15,11 @@
 #include "src/flash/nand_config.h"
 #include "src/mem/scratchpad.h"
 #include "src/sim/log.h"
+#include "src/sim/snapshot.h"
 
 namespace fabacus {
 
-class MappingTable {
+class MappingTable : public Snapshottable {
  public:
   static constexpr std::uint32_t kUnmapped = 0xFFFFFFFFu;
 
@@ -51,6 +52,13 @@ class MappingTable {
   // Mirror of the table region inside the scratchpad byte store, kept in sync
   // on Update() so snapshots read genuine scratchpad state.
   std::uint64_t scratchpad_offset() const { return scratchpad_offset_; }
+
+  // Snapshottable (docs/SNAPSHOT.md). LoadState re-mirrors the restored
+  // table into the scratchpad, so restore order vs. the scratchpad section
+  // does not matter (both end on the same bytes).
+  std::string StateName() const override { return "ftl/map"; }
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
 
  private:
   void SyncEntryToScratchpad(std::uint64_t logical_group);

@@ -19,15 +19,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 
 #include "src/sim/log.h"
+#include "src/sim/snapshot.h"
 
 namespace fabacus {
 
 enum class LockMode { kRead, kWrite };
 
-class RangeLock {
+class RangeLock : public Snapshottable {
  public:
   using LockId = std::uint64_t;
   // Called when the request is granted, with the lock id to release later.
@@ -67,6 +69,27 @@ class RangeLock {
   // Tree-structure validation for tests: checks red-black and max-end
   // invariants over the whole tree. Returns false on violation.
   bool CheckInvariants() const;
+
+  // Snapshottable. Grant callbacks are closures, so a lock can only be
+  // checkpointed while quiescent (nothing held, nobody waiting) — SaveState
+  // CHECK-enforces that and serializes just the id cursor and counters.
+  std::string StateName() const override { return "ftl/lock"; }
+  void SaveState(StateWriter& w) const override {
+    FAB_CHECK_EQ(held_, 0u) << "cannot snapshot a range lock with held locks";
+    FAB_CHECK(waiters_.empty()) << "cannot snapshot a range lock with waiters";
+    w.U64(next_id_);
+    w.U64(total_grants_);
+    w.U64(total_waits_);
+  }
+  void LoadState(StateReader& r) override {
+    if (held_ != 0 || !waiters_.empty()) {
+      r.Fail("cannot restore into a range lock with live state");
+      return;
+    }
+    next_id_ = r.U64();
+    total_grants_ = r.U64();
+    total_waits_ = r.U64();
+  }
 
  private:
   enum Color : std::uint8_t { kRed, kBlack };

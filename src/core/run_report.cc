@@ -40,7 +40,7 @@ EnergyBreakdown RunReport::EnergySummary() const {
 
 void RunReport::WriteJson(JsonWriter* w) const {
   w->BeginObject();
-  w->Field("schema_version", kSchemaVersion);
+  w->Field("schema_version", kJsonSchemaVersion);
   w->Field("system", system);
   w->Field("makespan_ns", static_cast<double>(makespan));
   w->Field("input_bytes", input_bytes);

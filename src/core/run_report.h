@@ -4,9 +4,6 @@
 // decomposition, the full tagged interval trace, and a MetricsSnapshot of
 // every component counter/gauge/histogram. Serializes to versioned JSON
 // (schema_version pins the layout; see docs/OBSERVABILITY.md).
-//
-// RunReport supersedes the RunResult grab-bag; RunResult remains as a
-// deprecated alias for one release so downstream code keeps compiling.
 #ifndef SRC_CORE_RUN_REPORT_H_
 #define SRC_CORE_RUN_REPORT_H_
 
@@ -32,10 +29,6 @@ struct EnergyBreakdown {
 };
 
 struct RunReport {
-  // Bump when the JSON layout changes shape (adding fields is compatible and
-  // does not require a bump; renaming/removing does).
-  static constexpr int kSchemaVersion = 1;
-
   std::string system;
   Tick makespan = 0;
   double input_bytes = 0.0;   // modelled bytes processed (all instances)
@@ -54,24 +47,7 @@ struct RunReport {
   // The full interval trace is exported separately via trace.ToChromeTrace().
   void WriteJson(JsonWriter* w) const;
   std::string ToJson() const;
-
-  // --- RunResult-era accessors, kept for one release ---
-  [[deprecated("use EnergySummary().data_movement_j")]] double EnergyDataMovement() const {
-    return energy.BucketJoules(EnergyBucket::kDataMovement);
-  }
-  [[deprecated("use EnergySummary().computation_j")]] double EnergyComputation() const {
-    return energy.BucketJoules(EnergyBucket::kComputation);
-  }
-  [[deprecated("use EnergySummary().storage_access_j")]] double EnergyStorage() const {
-    return energy.BucketJoules(EnergyBucket::kStorageAccess);
-  }
-  [[deprecated("use EnergySummary().total_j")]] double EnergyTotal() const {
-    return energy.TotalJoules();
-  }
 };
-
-// Deprecated name of RunReport, kept for one release for downstream callers.
-using RunResult [[deprecated("RunResult has been redesigned as RunReport")]] = RunReport;
 
 }  // namespace fabacus
 

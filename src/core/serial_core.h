@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <string>
 
+#include "src/sim/snapshot.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -35,6 +36,16 @@ class SerialCore {
   Tick BusyTime(Tick now) const { return busy_.BusyTime(now); }
   double Utilization(Tick now) const { return busy_.Utilization(now); }
   const std::string& name() const { return name_; }
+
+  // Checkpoint/restore of the core's occupancy horizon and busy accounting.
+  void SaveState(StateWriter& w) const {
+    w.U64(next_free_);
+    busy_.SaveState(w);
+  }
+  void LoadState(StateReader& r) {
+    next_free_ = r.U64();
+    busy_.LoadState(r);
+  }
 
  private:
   std::string name_;

@@ -41,7 +41,7 @@ struct StorengineConfig {
   std::uint32_t scrub_error_threshold = 4; // correctable errors per block group
 };
 
-class Storengine {
+class Storengine : public Snapshottable {
  public:
   Storengine(Simulator* sim, Flashvisor* flashvisor,
              const StorengineConfig& config = StorengineConfig{});
@@ -97,6 +97,39 @@ class Storengine {
   // Registers GC/journal counters plus core-occupancy gauges under `prefix`
   // (e.g. "storengine").
   void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
+
+  // Snapshottable: journal location, maintenance counters and core occupancy.
+  // The daemon arming state (running_/epoch_) is deliberately not saved: the
+  // device snapshots with Storengine stopped and re-arms it after resume.
+  // No maintenance pass may be mid-flight (its continuation is a closure).
+  std::string StateName() const override { return "storengine"; }
+  void SaveState(StateWriter& w) const override {
+    FAB_CHECK(!maintenance_in_progress_) << "storengine maintenance in flight at snapshot";
+    w.U64(prev_journal_bg_);
+    core_.SaveState(w);
+    gc_passes_.SaveState(w);
+    groups_migrated_.SaveState(w);
+    blocks_reclaimed_.SaveState(w);
+    journal_dumps_.SaveState(w);
+    journal_aborts_.SaveState(w);
+    scrub_passes_.SaveState(w);
+    scrub_migrations_.SaveState(w);
+  }
+  void LoadState(StateReader& r) override {
+    if (maintenance_in_progress_) {
+      r.Fail("storengine busy during restore");
+      return;
+    }
+    prev_journal_bg_ = r.U64();
+    core_.LoadState(r);
+    gc_passes_.LoadState(r);
+    groups_migrated_.LoadState(r);
+    blocks_reclaimed_.LoadState(r);
+    journal_dumps_.LoadState(r);
+    journal_aborts_.LoadState(r);
+    scrub_passes_.LoadState(r);
+    scrub_migrations_.LoadState(r);
+  }
 
  private:
   void ScheduleNextGc();

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -53,7 +54,7 @@ struct TaggedInterval {
   int track;      // component instance within the tag (LWP id, channel, ...)
 };
 
-class RunTrace {
+class RunTrace : public Snapshottable {
  public:
   void Add(TraceTag tag, Tick start, Tick end, double weight = 1.0, int track = 0) {
     if (end > start && (mask_ & TraceTagBit(tag)) != 0) {
@@ -96,6 +97,36 @@ class RunTrace {
   std::string ToChromeTrace() const;
 
   void Clear() { intervals_.clear(); }
+
+  // Snapshottable: the full interval history plus the recording mask. Runs
+  // window the device-lifetime trace, so a resumed segment needs everything
+  // recorded before the snapshot point.
+  std::string StateName() const override { return "trace"; }
+  void SaveState(StateWriter& w) const override {
+    w.U32(mask_);
+    w.U64(intervals_.size());
+    for (const auto& iv : intervals_) {
+      w.U64(iv.start);
+      w.U64(iv.end);
+      w.I32(static_cast<std::int32_t>(iv.tag));
+      w.F64(iv.weight);
+      w.I32(iv.track);
+    }
+  }
+  void LoadState(StateReader& r) override {
+    mask_ = r.U32();
+    const std::uint64_t n = r.U64();
+    intervals_.clear();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      TaggedInterval iv;
+      iv.start = r.U64();
+      iv.end = r.U64();
+      iv.tag = static_cast<TraceTag>(r.I32());
+      iv.weight = r.F64();
+      iv.track = r.I32();
+      intervals_.push_back(iv);
+    }
+  }
 
  private:
   std::vector<TaggedInterval> intervals_;

@@ -25,9 +25,11 @@
 #define SRC_FLASH_FAULT_MODEL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/sim/rng.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -89,7 +91,7 @@ struct ReadFault {
   bool uncorrectable = false;
 };
 
-class FaultModel {
+class FaultModel : public Snapshottable {
  public:
   FaultModel(const FaultConfig& config, int channels, int packages_per_channel,
              std::uint64_t endurance_cycles, int ladder_depth);
@@ -112,6 +114,39 @@ class FaultModel {
   Tick StallTicks();  // 0 when the die does not stall
 
   const FaultConfig& config() const { return config_; }
+
+  // Snapshottable: RNG stream position, dead-die map and plan cursor, so a
+  // resumed run draws the exact fault sequence the unbroken run would have.
+  std::string StateName() const override { return "faults"; }
+  void SaveState(StateWriter& w) const override {
+    w.U64(rng_.state());
+    std::vector<std::uint8_t> dead(dead_.size());
+    for (std::size_t i = 0; i < dead_.size(); ++i) {
+      dead[i] = dead_[i] ? 1 : 0;
+    }
+    w.VecU8(dead);
+    w.U64(static_cast<std::uint64_t>(next_plan_));
+  }
+  void LoadState(StateReader& r) override {
+    rng_.set_state(r.U64());
+    const std::vector<std::uint8_t> dead = r.VecU8();
+    const std::uint64_t next_plan = r.U64();
+    if (!r.ok()) {
+      return;
+    }
+    if (dead.size() != dead_.size() || next_plan > config_.plan.size()) {
+      r.Fail("fault model shape mismatch");
+      return;
+    }
+    dead_dies_ = 0;
+    for (std::size_t i = 0; i < dead.size(); ++i) {
+      dead_[i] = dead[i] != 0;
+      if (dead_[i]) {
+        ++dead_dies_;
+      }
+    }
+    next_plan_ = static_cast<std::size_t>(next_plan);
+  }
 
  private:
   double WearScale(std::uint64_t wear) const;

@@ -34,7 +34,7 @@ inline constexpr std::uint32_t kOobFooter = 0xFFFFFFFCu;     // block-group seal
 inline constexpr std::uint32_t kOobNone = 0xFFFFFFFBu;       // timing-only / untracked program
 inline constexpr std::uint32_t kOobReservedFloor = kOobNone;
 
-class FlashBackbone {
+class FlashBackbone : public Snapshottable {
  public:
   struct OpResult {
     Tick done = 0;
@@ -121,6 +121,15 @@ class FlashBackbone {
   // Registers device-level op counters under `prefix` (e.g. "flash") plus
   // every controller's channel/package metrics ("flash/ch<k>/...").
   void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
+
+  // Snapshottable: page contents, OOB records, program sequence, error/op
+  // accounting and the in-flight program horizon. The fault model and the
+  // channel controllers are snapshotted as their own sections (they are
+  // Snapshottable themselves), so this section carries only backbone-local
+  // state.
+  std::string StateName() const override { return "flash"; }
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
 
  private:
   NandConfig config_;

@@ -150,4 +150,63 @@ void FlashController::RegisterMetrics(MetricsRegistry* reg, const std::string& p
   }
 }
 
+void TagQueue::SaveState(StateWriter& w) const {
+  // Drain a copy of the min-heap: ascending completion times, deterministic.
+  auto inflight = inflight_;
+  std::vector<std::uint64_t> completions;
+  completions.reserve(inflight.size());
+  while (!inflight.empty()) {
+    completions.push_back(inflight.top());
+    inflight.pop();
+  }
+  w.U64(static_cast<std::uint64_t>(depth_));
+  w.VecU64(completions);
+  acquires_.SaveState(w);
+  wait_ns_.SaveState(w);
+}
+
+void TagQueue::LoadState(StateReader& r) {
+  const std::uint64_t depth = r.U64();
+  const std::vector<std::uint64_t> completions = r.VecU64();
+  if (!r.ok()) {
+    return;
+  }
+  if (depth != static_cast<std::uint64_t>(depth_) || completions.size() > static_cast<std::size_t>(depth_)) {
+    r.Fail("tag queue depth mismatch");
+    return;
+  }
+  inflight_ = {};
+  for (const Tick t : completions) {
+    inflight_.push(t);
+  }
+  acquires_.LoadState(r);
+  wait_ns_.LoadState(r);
+}
+
+std::string FlashController::StateName() const {
+  return "flash/ch" + std::to_string(channel_);
+}
+
+void FlashController::SaveState(StateWriter& w) const {
+  bus_.SaveState(w);
+  tags_.SaveState(w);
+  w.U64(packages_.size());
+  for (const auto& pkg : packages_) {
+    pkg->SaveState(w);
+  }
+}
+
+void FlashController::LoadState(StateReader& r) {
+  bus_.LoadState(r);
+  tags_.LoadState(r);
+  const std::uint64_t n = r.U64();
+  if (r.ok() && n != packages_.size()) {
+    r.Fail("package count mismatch");
+    return;
+  }
+  for (auto& pkg : packages_) {
+    pkg->LoadState(r);
+  }
+}
+
 }  // namespace fabacus

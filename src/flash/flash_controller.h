@@ -38,6 +38,11 @@ class TagQueue {
   const Counter& acquires_counter() const { return acquires_; }
   const Counter& wait_ns_counter() const { return wait_ns_; }
 
+  // Checkpoint/restore: the in-flight completion horizon is plain data (no
+  // callbacks), so a tag pool mid-drain round-trips exactly.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
+
  private:
   int depth_;
   // Completion times of in-flight ops, earliest first.
@@ -46,7 +51,7 @@ class TagQueue {
   Counter wait_ns_;
 };
 
-class FlashController {
+class FlashController : public Snapshottable {
  public:
   // Per-channel outcome of one page-group slice; the backbone aggregates the
   // worst case across channels into an OpResult / IoStatus.
@@ -96,6 +101,11 @@ class FlashController {
   // Registers this channel's bus/tag metrics plus every package's counters
   // under `prefix` (e.g. "flash/ch0" -> "flash/ch0/pkg1/reads").
   void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
+
+  // Snapshottable: bus horizon + tag pool + every package on this channel.
+  std::string StateName() const override;
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
 
  private:
   Tick ReserveBus(Tick now, double bytes);

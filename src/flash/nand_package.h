@@ -11,12 +11,13 @@
 
 #include "src/flash/nand_config.h"
 #include "src/sim/metrics.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
 
-class NandPackage {
+class NandPackage : public Snapshottable {
  public:
   NandPackage(const NandConfig& config, int channel, int index);
 
@@ -46,6 +47,13 @@ class NandPackage {
   // Registers read/program/erase counters and a busy-time gauge under
   // `prefix` (e.g. "flash/ch0/pkg1").
   void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
+
+  // Snapshottable: per-block wear/bad/write-point state plus the timing
+  // horizon — the on-die truth that makes long-horizon aging studies
+  // resumable.
+  std::string StateName() const override;
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
 
  private:
   Tick Occupy(Tick now, Tick duration);

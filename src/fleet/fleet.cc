@@ -338,7 +338,8 @@ struct FleetSim::ServeLoop {
   }
 };
 
-FleetSim::FleetSim(const FleetConfig& config) : config_(config) {
+FleetSim::FleetSim(const FleetConfig& config)
+    : config_(config), router_(config.policy, std::max(config.num_devices, 1)) {
   const std::string problem = config_.Validate();
   FAB_CHECK(problem.empty()) << "bad FleetConfig: " << problem;
   traffic_ = std::make_unique<TrafficGenerator>(config_.traffic);
@@ -362,6 +363,161 @@ void FleetSim::BuildShards() {
   }
 }
 
+SnapshotBuilder FleetSim::BuildSnapshot() const {
+  SnapshotBuilder b("fleet");
+  b.SetMeta("policy", PlacementPolicyName(config_.policy));
+  b.SetMeta("traffic_model", TrafficModelName(config_.traffic.model));
+  b.SetMeta("scheduler", SchedulerKindName(config_.scheduler));
+  b.SetMeta("num_devices", static_cast<double>(config_.num_devices));
+  {
+    StateWriter& w = b.AddSection("fleet", 1);
+    w.U32(static_cast<std::uint32_t>(config_.num_devices));
+    w.U64(traffic_->mix().size());
+    router_.SaveState(w);
+    traffic_->SaveState(w);
+  }
+  for (const auto& shard : shards_) {
+    FAB_CHECK(!shard->busy && shard->queue.empty())
+        << "fleet shard " << shard->index << " still serving at snapshot";
+    const std::string prefix = "shard/" + std::to_string(shard->index);
+    b.AddBlobSection(prefix + "/device", 1, shard->dev->BuildSnapshot().Serialize());
+    // Install-cache directory: which datasets are flash-resident on this
+    // shard, their preparation seeds and the extents they map. Enough to
+    // rebuild the cached AppInstances without re-installing anything.
+    StateWriter& w = b.AddSection(prefix + "/cache", 1);
+    w.U64(shard->cache.size());
+    for (const auto& slots : shard->cache) {
+      w.U64(slots.size());
+      for (const Shard::CachedInstance& slot : slots) {
+        FAB_CHECK(!slot.in_use) << "cached instance in use at snapshot";
+        w.U64(slot.seed);
+        w.U64(slot.inst->sections().size());
+        for (const DataSection& s : slot.inst->sections()) {
+          w.U64(s.flash_addr);
+          w.U64(s.model_bytes);
+        }
+      }
+    }
+  }
+  return b;
+}
+
+bool FleetSim::Snapshot(const std::string& path, std::string* error) const {
+  return BuildSnapshot().WriteFile(path, error);
+}
+
+bool FleetSim::Resume(const SnapshotFile& snap, std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+  FAB_CHECK(!ran_) << "resume into a fresh FleetSim";
+  if (snap.kind() != "fleet") {
+    return fail("snapshot kind '" + snap.kind() + "' is not a fleet snapshot");
+  }
+  {
+    StateReader r = snap.Open("fleet", 1);
+    if (!r.ok()) {
+      return fail(r.error());
+    }
+    const std::uint32_t devices = r.U32();
+    const std::uint64_t mix = r.U64();
+    if (!r.ok()) {
+      return fail("corrupt fleet section: " + r.error());
+    }
+    if (devices != static_cast<std::uint32_t>(config_.num_devices)) {
+      return fail("snapshot has " + std::to_string(devices) + " devices, this fleet has " +
+                  std::to_string(config_.num_devices));
+    }
+    if (mix != traffic_->mix().size()) {
+      return fail("snapshot workload mix size mismatch");
+    }
+    router_.LoadState(r);
+    traffic_->LoadState(r);
+    if (!r.ok()) {
+      return fail("corrupt fleet section: " + r.error());
+    }
+    if (!r.AtEnd()) {
+      return fail("fleet section has trailing bytes");
+    }
+  }
+  resume_base_ = 0;
+  for (auto& shard : shards_) {
+    const std::string prefix = "shard/" + std::to_string(shard->index);
+    const SnapshotFile::Section* dev = snap.Find(prefix + "/device");
+    if (dev == nullptr) {
+      return fail("missing section " + prefix + "/device");
+    }
+    SnapshotFile nested;
+    std::string err;
+    if (!SnapshotFile::Parse(dev->payload, &nested, &err)) {
+      return fail(prefix + "/device: " + err);
+    }
+    if (!shard->dev->Resume(nested, &err)) {
+      return fail(prefix + "/device: " + err);
+    }
+    resume_base_ = std::max(resume_base_, shard->sim->Now());
+
+    StateReader c = snap.Open(prefix + "/cache", 1);
+    if (!c.ok()) {
+      return fail(c.error());
+    }
+    const std::uint64_t workloads = c.U64();
+    if (!c.ok() || workloads != shard->cache.size()) {
+      return fail(prefix + "/cache: workload count mismatch");
+    }
+    for (std::size_t wl_idx = 0; wl_idx < shard->cache.size() && c.ok(); ++wl_idx) {
+      auto& slots = shard->cache[wl_idx];
+      slots.clear();
+      const Workload* wl = traffic_->mix()[wl_idx];
+      const std::uint64_t n_slots = c.U64();
+      for (std::uint64_t slot_i = 0; slot_i < n_slots && c.ok(); ++slot_i) {
+        const std::uint64_t seed = c.U64();
+        auto inst = std::make_unique<AppInstance>(static_cast<int>(wl_idx),
+                                                  static_cast<int>(slot_i), &wl->spec(),
+                                                  config_.device.model_scale);
+        Rng rng(seed);
+        wl->Prepare(*inst, rng);
+        const std::uint64_t n_secs = c.U64();
+        if (n_secs != wl->spec().sections.size()) {
+          c.Fail("cached instance section count mismatch");
+          break;
+        }
+        inst->sections().clear();
+        for (std::uint64_t si = 0; si < n_secs; ++si) {
+          DataSection s;
+          s.spec = &wl->spec().sections[si];
+          s.flash_addr = c.U64();
+          s.model_bytes = c.U64();
+          inst->sections().push_back(s);
+        }
+        slots.push_back({std::move(inst), seed, false});
+      }
+    }
+    if (!c.ok()) {
+      return fail(prefix + "/cache: " + c.error());
+    }
+    if (!c.AtEnd()) {
+      return fail(prefix + "/cache has trailing bytes");
+    }
+  }
+  return true;
+}
+
+bool FleetSim::Resume(const std::string& path, std::string* error) {
+  SnapshotFile snap;
+  std::string err;
+  if (!SnapshotFile::Load(path, &snap, &err)) {
+    if (error != nullptr) {
+      *error = err;
+    }
+    return false;
+  }
+  return Resume(snap, error);
+}
+
 FleetReport FleetSim::Run() {
   FAB_CHECK(!ran_) << "FleetSim is one-shot; build a new one per run";
   ran_ = true;
@@ -370,6 +526,9 @@ FleetReport FleetSim::Run() {
 
   std::deque<FleetRequest> pool;
   for (FleetRequest& r : traffic_->InitialArrivals()) {
+    // A resumed fleet's shard clocks sit at the snapshot point; arrivals
+    // shift past it so the new serving window starts where the devices are.
+    r.arrival += resume_base_;
     pool.push_back(r);
   }
   const std::size_t initial = pool.size();
@@ -383,12 +542,11 @@ FleetReport FleetSim::Run() {
     // shard's slice independently on the sweep pool. Per-request outcomes
     // merge in submission order, so the report is identical to lockstep
     // execution at any thread count.
-    ShardRouter router(config_.policy, config_.num_devices);
     const std::vector<int> zeros(static_cast<std::size_t>(config_.num_devices), 0);
     std::vector<std::vector<FleetRequest*>> slices(
         static_cast<std::size_t>(config_.num_devices));
     for (FleetRequest& r : pool) {
-      r.device = router.Route(r, zeros, 0);
+      r.device = router_.Route(r, zeros, 0);
       slices[static_cast<std::size_t>(r.device)].push_back(&r);
     }
     SweepRunner runner(config_.sweep_threads);
@@ -407,8 +565,7 @@ FleetReport FleetSim::Run() {
     for (auto& s : shards_) {
       loop.shards.push_back(s.get());
     }
-    ShardRouter router(config_.policy, config_.num_devices);
-    loop.router = &router;
+    loop.router = &router_;
     loop.gen = traffic_.get();
     loop.pool = &pool;
     for (std::size_t i = 0; i < initial; ++i) {
@@ -462,6 +619,10 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
     const KernelSpec& spec = traffic_->mix()[static_cast<std::size_t>(r->workload_idx)]->spec();
     served_bytes += spec.model_input_mb * 1024.0 * 1024.0 * config_.device.model_scale;
   }
+  // A resumed fleet reports its serving window only: the clock floor
+  // inherited from the snapshot is not time this run spent serving.
+  rep.makespan = rep.makespan > resume_base_ ? rep.makespan - resume_base_ : 0;
+
   const double seconds = TicksToSeconds(rep.makespan);
   rep.throughput_rps = seconds > 0.0 ? static_cast<double>(rep.served) / seconds : 0.0;
   rep.served_mb_s = seconds > 0.0 ? served_bytes / (1024.0 * 1024.0) / seconds : 0.0;
@@ -518,7 +679,7 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
 
 void FleetReport::WriteJson(JsonWriter* w) const {
   w->BeginObject();
-  w->Field("schema_version", kSchemaVersion);
+  w->Field("schema_version", kJsonSchemaVersion);
   w->Field("policy", policy);
   w->Field("traffic_model", traffic_model);
   w->Field("scheduler", scheduler);

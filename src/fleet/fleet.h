@@ -86,8 +86,6 @@ struct FleetDeviceStats {
 };
 
 struct FleetReport {
-  static constexpr int kSchemaVersion = 1;
-
   std::string policy;
   std::string traffic_model;
   std::string scheduler;
@@ -121,10 +119,29 @@ class FleetSim {
   FleetSim& operator=(const FleetSim&) = delete;
 
   // Serves the configured traffic to completion and returns the merged
-  // report. One-shot: a FleetSim instance runs once.
+  // report. One-shot: a FleetSim instance runs once (Resume() re-arms a
+  // fresh instance for a warm-started run).
   FleetReport Run();
 
   const FleetConfig& config() const { return config_; }
+
+  // --- Fleet checkpoint/restore (docs/SNAPSHOT.md) -------------------------
+  // Fans every shard's device snapshot into one "fleet" container, together
+  // with the traffic-generator stream position, the router cursor and each
+  // shard's install cache (which datasets are flash-resident, and where).
+  // Valid between runs only: every shard idle, every admission queue empty.
+  bool Snapshot(const std::string& path, std::string* error = nullptr) const;
+  SnapshotBuilder BuildSnapshot() const;
+
+  // Restores a fleet snapshot into this (freshly constructed, identically
+  // configured) fleet: shard devices resume exactly, install caches come
+  // back warm, and the traffic/router streams continue where they stopped.
+  // The next Run() serves a fresh traffic window — arrivals are offset to
+  // the resumed clock and the report's makespan/throughput cover only the
+  // new window (serving stats do not accumulate across segments). Returns
+  // false with *error set on any mismatch; discard the fleet on failure.
+  bool Resume(const SnapshotFile& snap, std::string* error = nullptr);
+  bool Resume(const std::string& path, std::string* error = nullptr);
 
  private:
   struct Shard;
@@ -135,7 +152,11 @@ class FleetSim {
 
   FleetConfig config_;
   std::unique_ptr<TrafficGenerator> traffic_;
+  ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Clock floor of a resumed fleet: arrivals shift past it and report
+  // windows subtract it, so a warm-started run reads like a fresh one.
+  Tick resume_base_ = 0;
   bool ran_ = false;
 };
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/fleet/traffic.h"
+#include "src/sim/snapshot.h"
 
 namespace fabacus {
 
@@ -42,6 +43,10 @@ class ShardRouter {
   // (consulted only by state-aware policies; pass zeros for oblivious ones).
   // `attempt` 0 is the primary choice, 1.. the fallbacks after rejections.
   int Route(const FleetRequest& r, const std::vector<int>& outstanding, int attempt = 0);
+
+  // Checkpoint/restore of the rotation cursor (round-robin's only state).
+  void SaveState(StateWriter& w) const { w.U64(rr_next_); }
+  void LoadState(StateReader& r) { rr_next_ = r.U64(); }
 
  private:
   PlacementPolicy policy_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/sim/rng.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 #include "src/workloads/workload.h"
 
@@ -96,6 +97,30 @@ class TrafficGenerator {
 
   // Requests this generator will emit over its lifetime.
   int total_requests() const;
+
+  // Checkpoint/restore of the generator's stream position: a restored
+  // generator continues the same deterministic schedule (ids, workload
+  // draws, inter-arrival gaps) exactly where the saved one stopped.
+  void SaveState(StateWriter& w) const {
+    w.U64(rng_.state());
+    w.I32(next_id_);
+    w.U64(emitted_per_client_.size());
+    for (const int e : emitted_per_client_) {
+      w.I32(e);
+    }
+  }
+  void LoadState(StateReader& r) {
+    rng_.set_state(r.U64());
+    next_id_ = r.I32();
+    const std::uint64_t n = r.U64();
+    if (r.ok() && n != emitted_per_client_.size()) {
+      r.Fail("traffic generator client count mismatch");
+      return;
+    }
+    for (int& e : emitted_per_client_) {
+      e = r.I32();
+    }
+  }
 
  private:
   FleetRequest MakeRequest(int client, Tick arrival);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/sim/snapshot.h"
+
 namespace fabacus {
 
 void ByteStore::Write(std::uint64_t offset, const void* data, std::uint64_t len) {
@@ -55,6 +57,42 @@ void ByteStore::Erase(std::uint64_t offset, std::uint64_t len) {
     }
     offset += n;
     len -= n;
+  }
+}
+
+void ByteStore::SaveState(StateWriter& w) const {
+  w.U64(chunk_size_);
+  std::vector<std::uint64_t> indices;
+  indices.reserve(chunks_.size());
+  for (const auto& [idx, chunk] : chunks_) {
+    indices.push_back(idx);
+  }
+  std::sort(indices.begin(), indices.end());
+  w.U64(indices.size());
+  for (const std::uint64_t idx : indices) {
+    w.U64(idx);
+    w.VecU8(chunks_.at(idx));
+  }
+}
+
+void ByteStore::LoadState(StateReader& r) {
+  const std::uint64_t chunk_size = r.U64();
+  if (r.ok() && chunk_size != chunk_size_) {
+    r.Fail("ByteStore chunk size mismatch");
+    return;
+  }
+  chunks_.clear();
+  const std::uint64_t n = r.U64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint64_t idx = r.U64();
+    std::vector<std::uint8_t> chunk = r.VecU8();
+    if (r.ok() && chunk.size() != chunk_size_) {
+      r.Fail("ByteStore chunk " + std::to_string(idx) + " has wrong size");
+      return;
+    }
+    if (r.ok()) {
+      chunks_[idx] = std::move(chunk);
+    }
   }
 }
 

@@ -13,6 +13,9 @@
 
 namespace fabacus {
 
+class StateReader;
+class StateWriter;
+
 class ByteStore {
  public:
   explicit ByteStore(std::uint64_t chunk_size = 64 * 1024) : chunk_size_(chunk_size) {
@@ -28,6 +31,11 @@ class ByteStore {
   // Number of chunks with real data (for memory-footprint assertions).
   std::size_t allocated_chunks() const { return chunks_.size(); }
   std::uint64_t chunk_size() const { return chunk_size_; }
+
+  // Checkpoint/restore: chunks are emitted in ascending index order so the
+  // stream is deterministic regardless of hash-map iteration order.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   std::uint64_t chunk_size_;

@@ -10,6 +10,7 @@
 
 #include "src/sim/metrics.h"
 #include "src/sim/resource.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -23,7 +24,7 @@ struct DramConfig {
   Tick access_latency = 60;  // ns, CAS + controller
 };
 
-class Dram {
+class Dram : public Snapshottable {
  public:
   explicit Dram(const DramConfig& config);
 
@@ -43,6 +44,29 @@ class Dram {
   // Registers access counter plus bytes/busy/utilization gauges under
   // `prefix` (e.g. "dram").
   void RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const;
+
+  // Snapshottable: per-bank timing horizons + the access counter. DRAM
+  // contents are scratch kernel working sets, not persistent state — only
+  // the timing model is restored.
+  std::string StateName() const override { return "dram"; }
+  void SaveState(StateWriter& w) const override {
+    w.U64(banks_.size());
+    for (const auto& bank : banks_) {
+      bank->SaveState(w);
+    }
+    accesses_.SaveState(w);
+  }
+  void LoadState(StateReader& r) override {
+    const std::uint64_t n = r.U64();
+    if (r.ok() && n != banks_.size()) {
+      r.Fail("dram bank count mismatch");
+      return;
+    }
+    for (auto& bank : banks_) {
+      bank->LoadState(r);
+    }
+    accesses_.LoadState(r);
+  }
 
  private:
   DramConfig config_;

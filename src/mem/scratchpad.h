@@ -10,6 +10,7 @@
 
 #include "src/sim/metrics.h"
 #include "src/sim/resource.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -21,7 +22,7 @@ struct ScratchpadConfig {
   Tick access_latency = 4;  // ns (2 cycles @ 500 MHz)
 };
 
-class Scratchpad {
+class Scratchpad : public Snapshottable {
  public:
   explicit Scratchpad(const ScratchpadConfig& config);
 
@@ -44,6 +45,24 @@ class Scratchpad {
     reg->RegisterGauge(prefix + "/bytes_moved", [this](Tick) { return bytes_moved(); });
     reg->RegisterGauge(prefix + "/busy_ns",
                        [this](Tick now) { return static_cast<double>(BusyTime(now)); });
+  }
+
+  // Snapshottable: the port's timing state plus the full byte contents.
+  std::string StateName() const override { return "scratchpad"; }
+  void SaveState(StateWriter& w) const override {
+    port_.SaveState(w);
+    w.VecU8(bytes_);
+  }
+  void LoadState(StateReader& r) override {
+    port_.LoadState(r);
+    std::vector<std::uint8_t> bytes = r.VecU8();
+    if (r.ok() && bytes.size() != bytes_.size()) {
+      r.Fail("scratchpad capacity mismatch");
+      return;
+    }
+    if (r.ok()) {
+      bytes_ = std::move(bytes);
+    }
   }
 
  private:

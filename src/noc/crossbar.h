@@ -12,6 +12,7 @@
 
 #include "src/sim/metrics.h"
 #include "src/sim/resource.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
@@ -24,7 +25,7 @@ struct CrossbarConfig {
   Tick hop_latency = 10;           // ns per traversal
 };
 
-class Crossbar {
+class Crossbar : public Snapshottable {
  public:
   explicit Crossbar(const CrossbarConfig& config);
 
@@ -45,6 +46,27 @@ class Crossbar {
                        [this](Tick now) { return static_cast<double>(BusyTime(now)); });
     reg->RegisterGauge(prefix + "/utilization",
                        [this](Tick now) { return Utilization(now); });
+  }
+
+  // Snapshottable: fabric + per-port timing horizons.
+  std::string StateName() const override { return "noc/" + config_.name; }
+  void SaveState(StateWriter& w) const override {
+    fabric_.SaveState(w);
+    w.U64(ports_.size());
+    for (const auto& port : ports_) {
+      port->SaveState(w);
+    }
+  }
+  void LoadState(StateReader& r) override {
+    fabric_.LoadState(r);
+    const std::uint64_t n = r.U64();
+    if (r.ok() && n != ports_.size()) {
+      r.Fail("crossbar port count mismatch");
+      return;
+    }
+    for (auto& port : ports_) {
+      port->LoadState(r);
+    }
   }
 
  private:

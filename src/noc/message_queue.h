@@ -62,10 +62,29 @@ class MessageQueue {
   }
 
   std::size_t depth() const { return pending_.size(); }
+  // True when no message is queued or being delivered. Snapshots require the
+  // queue to be idle: messages carry closures, which cannot be serialized.
+  bool Idle() const { return pending_.empty() && !busy_; }
   std::uint64_t sent() const { return sent_; }
   std::uint64_t rejected() const { return rejected_; }
   std::uint64_t delivered() const { return delivered_; }
   const std::string& name() const { return name_; }
+
+  // Checkpoint/restore of the queue's counters. The queue itself must be
+  // idle (see Idle()) — enforced by the caller before snapshotting.
+  void SaveState(StateWriter& w) const {
+    FAB_CHECK(Idle()) << "message queue " << name_ << " not idle at snapshot";
+    w.U64(sent_);
+    w.U64(rejected_);
+    w.U64(delivered_);
+  }
+  void LoadState(StateReader& r) {
+    pending_.clear();
+    busy_ = false;
+    sent_ = r.U64();
+    rejected_ = r.U64();
+    delivered_ = r.U64();
+  }
 
  private:
   void MaybeDeliver() {

@@ -33,6 +33,10 @@ class SrioLink {
   Tick BusyTime(Tick now) const { return link_.BusyTime(now); }
   double Utilization(Tick now) const { return link_.Utilization(now); }
 
+  // Checkpoint/restore of the link's timing state.
+  void SaveState(StateWriter& w) const { link_.SaveState(w); }
+  void LoadState(StateReader& r) { link_.LoadState(r); }
+
  private:
   SrioConfig config_;
   BandwidthResource link_;

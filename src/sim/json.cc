@@ -1,5 +1,6 @@
 #include "src/sim/json.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -398,6 +399,117 @@ class Parser {
 bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
   *out = JsonValue{};
   return Parser(text, error).Parse(out);
+}
+
+namespace {
+
+std::string RenderLeaf(const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return v.bool_v ? "true" : "false";
+    case JsonValue::Type::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.num_v);
+      return buf;
+    }
+    case JsonValue::Type::kString:
+      return "\"" + v.str_v + "\"";
+    case JsonValue::Type::kArray:
+      return "<array of " + std::to_string(v.array_v.size()) + ">";
+    case JsonValue::Type::kObject:
+      return "<object of " + std::to_string(v.object_v.size()) + ">";
+  }
+  return "?";
+}
+
+void AddDiffLine(std::vector<std::string>* lines, int max_lines, const std::string& line) {
+  if (static_cast<int>(lines->size()) < max_lines) {
+    lines->push_back(line);
+  }
+}
+
+}  // namespace
+
+int JsonFieldDiff(const JsonValue& before, const JsonValue& after, const std::string& path,
+                  std::vector<std::string>* lines, int max_lines) {
+  if (before.type != after.type) {
+    AddDiffLine(lines, max_lines, path + ": " + RenderLeaf(before) + " -> " + RenderLeaf(after));
+    return 1;
+  }
+  switch (before.type) {
+    case JsonValue::Type::kObject: {
+      int diffs = 0;
+      for (const auto& [key, bv] : before.object_v) {
+        const JsonValue* av = after.Find(key);
+        if (av == nullptr) {
+          AddDiffLine(lines, max_lines, path + "/" + key + ": removed (was " + RenderLeaf(bv) + ")");
+          ++diffs;
+          continue;
+        }
+        diffs += JsonFieldDiff(bv, *av, path + "/" + key, lines, max_lines);
+      }
+      for (const auto& [key, av] : after.object_v) {
+        if (before.Find(key) == nullptr) {
+          AddDiffLine(lines, max_lines, path + "/" + key + ": added (" + RenderLeaf(av) + ")");
+          ++diffs;
+        }
+      }
+      return diffs;
+    }
+    case JsonValue::Type::kArray: {
+      int diffs = 0;
+      if (before.array_v.size() != after.array_v.size()) {
+        AddDiffLine(lines, max_lines,
+                    path + ": array length " + std::to_string(before.array_v.size()) + " -> " +
+                        std::to_string(after.array_v.size()));
+        ++diffs;
+      }
+      const std::size_t n = std::min(before.array_v.size(), after.array_v.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        diffs += JsonFieldDiff(before.array_v[i], after.array_v[i],
+                               path + "[" + std::to_string(i) + "]", lines, max_lines);
+      }
+      return diffs;
+    }
+    case JsonValue::Type::kNumber:
+      if (before.num_v != after.num_v) {
+        AddDiffLine(lines, max_lines, path + ": " + RenderLeaf(before) + " -> " + RenderLeaf(after));
+        return 1;
+      }
+      return 0;
+    case JsonValue::Type::kString:
+      if (before.str_v != after.str_v) {
+        AddDiffLine(lines, max_lines, path + ": " + RenderLeaf(before) + " -> " + RenderLeaf(after));
+        return 1;
+      }
+      return 0;
+    case JsonValue::Type::kBool:
+      if (before.bool_v != after.bool_v) {
+        AddDiffLine(lines, max_lines, path + ": " + RenderLeaf(before) + " -> " + RenderLeaf(after));
+        return 1;
+      }
+      return 0;
+    case JsonValue::Type::kNull:
+      return 0;
+  }
+  return 0;
+}
+
+int JsonFieldDiffText(const std::string& before, const std::string& after,
+                      std::vector<std::string>* lines, int max_lines) {
+  JsonValue bv, av;
+  std::string berr, aerr;
+  if (!ParseJson(before, &bv, &berr)) {
+    AddDiffLine(lines, max_lines, "before document is not JSON: " + berr);
+    return 1;
+  }
+  if (!ParseJson(after, &av, &aerr)) {
+    AddDiffLine(lines, max_lines, "after document is not JSON: " + aerr);
+    return 1;
+  }
+  return JsonFieldDiff(bv, av, "", lines, max_lines);
 }
 
 }  // namespace fabacus

@@ -91,6 +91,30 @@ struct JsonValue {
 // permitted; trailing garbage is not.
 bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
 
+// --- Versioned documents ---------------------------------------------------
+//
+// Every JSON document the simulator emits — RunReport, FleetReport, BenchJson
+// rows, the snapshot manifest — opens with the same "schema_version" field
+// carrying this one number. Bump it when any of those layouts changes shape
+// (adding fields is compatible and does not require a bump; renaming or
+// removing does). Consumers (goldens, snapshot_ctl, external tooling) check
+// this single version instead of per-document ad-hoc ones.
+inline constexpr int kJsonSchemaVersion = 1;
+
+// Recursively walks `before` vs. `after`, appending one
+// "path: before -> after" line per leaf difference (object members compared
+// by key, arrays element-wise plus a length line). At most `max_lines` lines
+// are appended; the returned total difference count is not capped. This is
+// the one diff used by the golden-report gate, fleet report comparisons and
+// `snapshot_ctl diff`.
+int JsonFieldDiff(const JsonValue& before, const JsonValue& after, const std::string& path,
+                  std::vector<std::string>* lines, int max_lines = 40);
+
+// Parses two documents and diffs them. Unparseable input counts as one
+// difference with a diagnostic line.
+int JsonFieldDiffText(const std::string& before, const std::string& after,
+                      std::vector<std::string>* lines, int max_lines = 40);
+
 }  // namespace fabacus
 
 #endif  // SRC_SIM_JSON_H_

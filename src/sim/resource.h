@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/sim/log.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -51,6 +52,21 @@ class BandwidthResource {
   const Counter& transfers_counter() const { return transfers_; }
   Tick BusyTime(Tick now) const { return busy_.BusyTime(now); }
   double Utilization(Tick now) const { return busy_.Utilization(now); }
+
+  // Checkpoint/restore of the dynamic state (the name/bandwidth/latency
+  // identity comes from the config that rebuilt this resource).
+  void SaveState(StateWriter& w) const {
+    w.U64(next_free_);
+    busy_.SaveState(w);
+    w.F64(bytes_moved_);
+    transfers_.SaveState(w);
+  }
+  void LoadState(StateReader& r) {
+    next_free_ = r.U64();
+    busy_.LoadState(r);
+    bytes_moved_ = r.F64();
+    transfers_.LoadState(r);
+  }
 
  private:
   std::string name_;

@@ -49,6 +49,11 @@ class Rng {
     return lo + (hi - lo) * static_cast<float>(NextDouble());
   }
 
+  // Raw stream position, for checkpoint/restore: a restored Rng continues
+  // the exact draw sequence of the saved one (docs/SNAPSHOT.md).
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

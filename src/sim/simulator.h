@@ -6,13 +6,15 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <string>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace fabacus {
 
-class Simulator {
+class Simulator : public Snapshottable {
  public:
   // The queue backend is selectable so a whole run can be replayed on the
   // legacy heap engine and byte-compared against the calendar engine (see
@@ -59,6 +61,25 @@ class Simulator {
   // Safety valve: aborts the run loop after this many events (guards against
   // accidental event storms in tests). Default effectively unlimited.
   void set_max_events(std::uint64_t n) { max_events_ = n; }
+
+  // True when only daemon events remain — the quiescence condition for
+  // checkpointing. Event callbacks are closures and are never serialized;
+  // snapshots happen at points where every pending event is an inert
+  // housekeeping tick that re-arms from component state (docs/SNAPSHOT.md).
+  bool OnlyDaemonsPending() const { return queue_.OnlyDaemonsLeft(); }
+
+  // Snapshottable: the kernel's plain state (clock + event counter). The
+  // queue itself is rebuilt empty on restore; both backends re-derive
+  // identical ordering from the (when, seq) contract as events are re-pushed.
+  std::string StateName() const override { return "sim"; }
+  void SaveState(StateWriter& w) const override {
+    w.U64(now_);
+    w.U64(events_executed_);
+  }
+  void LoadState(StateReader& r) override {
+    now_ = r.U64();
+    events_executed_ = r.U64();
+  }
 
  private:
   EventQueue queue_;

@@ -3,7 +3,52 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/sim/snapshot.h"
+
 namespace fabacus {
+
+void Counter::SaveState(StateWriter& w) const { w.U64(value_); }
+
+void Counter::LoadState(StateReader& r) { value_ = r.U64(); }
+
+void BusyTracker::SaveState(StateWriter& w) const {
+  w.U64(accumulated_);
+  w.U64(open_since_);
+  w.I32(depth_);
+}
+
+void BusyTracker::LoadState(StateReader& r) {
+  accumulated_ = r.U64();
+  open_since_ = r.U64();
+  depth_ = r.I32();
+  if (depth_ < 0) {
+    r.Fail("BusyTracker depth is negative");
+    depth_ = 0;
+  }
+}
+
+void Histogram::SaveState(StateWriter& w) const { w.VecF64(samples_); }
+
+void Histogram::LoadState(StateReader& r) { samples_ = r.VecF64(); }
+
+void TimeSeries::SaveState(StateWriter& w) const {
+  w.U64(samples_.size());
+  for (const Sample& s : samples_) {
+    w.U64(s.time);
+    w.F64(s.value);
+  }
+}
+
+void TimeSeries::LoadState(StateReader& r) {
+  const std::uint64_t n = r.U64();
+  samples_.clear();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    Sample s;
+    s.time = r.U64();
+    s.value = r.F64();
+    samples_.push_back(s);
+  }
+}
 
 void BusyTracker::Enter(Tick now) {
   if (depth_ == 0) {

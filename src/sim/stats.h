@@ -16,11 +16,18 @@
 
 namespace fabacus {
 
+class StateReader;
+class StateWriter;
+
 class Counter {
  public:
   void Add(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
   void Reset() { value_ = 0; }
+
+  // Checkpoint/restore (docs/SNAPSHOT.md).
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   std::uint64_t value_ = 0;
@@ -53,6 +60,11 @@ class BusyTracker {
 
   int depth() const { return depth_; }
 
+  // Checkpoint/restore — exact state (accumulated + open interval + depth),
+  // since BusyTime feeds utilization and energy figures.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
+
  private:
   mutable Tick accumulated_ = 0;
   mutable Tick open_since_ = 0;
@@ -70,6 +82,11 @@ class Histogram {
   double Percentile(double p) const;
   const std::vector<double>& samples() const { return samples_; }
   void Reset() { samples_.clear(); }
+
+  // Checkpoint/restore of the raw sample vector (order matters for
+  // byte-identical percentile interpolation).
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   std::vector<double> samples_;
@@ -89,6 +106,10 @@ class TimeSeries {
   // Averages samples into fixed-width buckets over [0, horizon); buckets with
   // no samples inherit the previous bucket's value (zero-order hold).
   std::vector<double> Rebucket(Tick horizon, std::size_t buckets) const;
+
+  // Checkpoint/restore.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   std::vector<Sample> samples_;

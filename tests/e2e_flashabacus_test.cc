@@ -164,7 +164,7 @@ TEST(E2eFlashAbacus, ReportJsonParsesWithSchemaVersion) {
   JsonValue v;
   std::string err;
   ASSERT_TRUE(ParseJson(out.result.ToJson(), &v, &err)) << err;
-  EXPECT_DOUBLE_EQ(v["schema_version"].num_v, RunReport::kSchemaVersion);
+  EXPECT_DOUBLE_EQ(v["schema_version"].num_v, kJsonSchemaVersion);
   EXPECT_EQ(v["system"].str_v, "IntraO3");
   EXPECT_GT(v["makespan_ns"].num_v, 0.0);
   EXPECT_GT(v["metrics"]["flashvisor/reads_served"].num_v, 0.0);

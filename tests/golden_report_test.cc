@@ -63,103 +63,6 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
-// Recursively walks golden vs. actual, appending one "path: golden -> actual"
-// line per leaf difference. Returns the total number of differences found
-// (diff lines are capped, the count is not).
-int DiffValues(const JsonValue& golden, const JsonValue& actual, const std::string& path,
-               std::vector<std::string>* lines);
-
-std::string Render(const JsonValue& v) {
-  switch (v.type) {
-    case JsonValue::Type::kNull:
-      return "null";
-    case JsonValue::Type::kBool:
-      return v.bool_v ? "true" : "false";
-    case JsonValue::Type::kNumber: {
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.17g", v.num_v);
-      return buf;
-    }
-    case JsonValue::Type::kString:
-      return "\"" + v.str_v + "\"";
-    case JsonValue::Type::kArray:
-      return "<array of " + std::to_string(v.array_v.size()) + ">";
-    case JsonValue::Type::kObject:
-      return "<object of " + std::to_string(v.object_v.size()) + ">";
-  }
-  return "?";
-}
-
-void AddLine(std::vector<std::string>* lines, const std::string& line) {
-  if (static_cast<int>(lines->size()) < kMaxDiffLines) {
-    lines->push_back(line);
-  }
-}
-
-int DiffValues(const JsonValue& golden, const JsonValue& actual, const std::string& path,
-               std::vector<std::string>* lines) {
-  if (golden.type != actual.type) {
-    AddLine(lines, path + ": " + Render(golden) + " -> " + Render(actual));
-    return 1;
-  }
-  switch (golden.type) {
-    case JsonValue::Type::kObject: {
-      int diffs = 0;
-      for (const auto& [key, gv] : golden.object_v) {
-        const JsonValue* av = actual.Find(key);
-        if (av == nullptr) {
-          AddLine(lines, path + "/" + key + ": removed (was " + Render(gv) + ")");
-          ++diffs;
-          continue;
-        }
-        diffs += DiffValues(gv, *av, path + "/" + key, lines);
-      }
-      for (const auto& [key, av] : actual.object_v) {
-        if (golden.Find(key) == nullptr) {
-          AddLine(lines, path + "/" + key + ": added (" + Render(av) + ")");
-          ++diffs;
-        }
-      }
-      return diffs;
-    }
-    case JsonValue::Type::kArray: {
-      int diffs = 0;
-      if (golden.array_v.size() != actual.array_v.size()) {
-        AddLine(lines, path + ": array length " + std::to_string(golden.array_v.size()) +
-                           " -> " + std::to_string(actual.array_v.size()));
-        ++diffs;
-      }
-      const std::size_t n = std::min(golden.array_v.size(), actual.array_v.size());
-      for (std::size_t i = 0; i < n; ++i) {
-        diffs += DiffValues(golden.array_v[i], actual.array_v[i],
-                            path + "[" + std::to_string(i) + "]", lines);
-      }
-      return diffs;
-    }
-    case JsonValue::Type::kNumber:
-      if (golden.num_v != actual.num_v) {
-        AddLine(lines, path + ": " + Render(golden) + " -> " + Render(actual));
-        return 1;
-      }
-      return 0;
-    case JsonValue::Type::kString:
-      if (golden.str_v != actual.str_v) {
-        AddLine(lines, path + ": " + Render(golden) + " -> " + Render(actual));
-        return 1;
-      }
-      return 0;
-    case JsonValue::Type::kBool:
-      if (golden.bool_v != actual.bool_v) {
-        AddLine(lines, path + ": " + Render(golden) + " -> " + Render(actual));
-        return 1;
-      }
-      return 0;
-    case JsonValue::Type::kNull:
-      return 0;
-  }
-  return 0;
-}
-
 bool UpdateMode() {
   const char* v = std::getenv("FABACUS_UPDATE_GOLDENS");
   return v != nullptr && v[0] != '\0' && std::string(v) != "0";
@@ -193,13 +96,14 @@ TEST_P(GoldenReport, MatchesCheckedInReport) {
     return;
   }
 
-  // Byte mismatch: produce a readable field-level diff before failing.
+  // Byte mismatch: produce a readable field-level diff before failing,
+  // via the shared versioned-document diff (src/sim/json.h).
   JsonValue gv, av;
   std::string gerr, aerr;
   ASSERT_TRUE(ParseJson(golden, &gv, &gerr)) << "golden " << path << " is not JSON: " << gerr;
   ASSERT_TRUE(ParseJson(actual, &av, &aerr)) << "report is not JSON: " << aerr;
   std::vector<std::string> lines;
-  const int diffs = DiffValues(gv, av, "", &lines);
+  const int diffs = JsonFieldDiff(gv, av, "", &lines, kMaxDiffLines);
   std::string msg = system + " report drifted from " + path + " (" + std::to_string(diffs) +
                     " field(s) changed):\n";
   for (const std::string& line : lines) {

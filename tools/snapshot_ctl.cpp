@@ -1,0 +1,281 @@
+// snapshot_ctl: operator tooling for whole-simulator snapshots
+// (docs/SNAPSHOT.md).
+//
+// Usage:
+//   snapshot_ctl inspect FILE
+//       Print kind, manifest JSON and the section table (name, schema
+//       version, payload bytes) of a snapshot container.
+//   snapshot_ctl diff A B
+//       Field-by-field manifest diff (shared JsonFieldDiff surface) plus a
+//       per-section comparison: version skew, size skew, payload byte
+//       equality. Exit 0 when identical, 1 when different.
+//   snapshot_ctl run-demo [--out=DIR] [--seed=N]
+//       The resume-and-run determinism gate on the Small() preset: runs a
+//       scripted install/journal/run session unbroken, replays it split
+//       across a snapshot/resume boundary, and byte-compares the final run
+//       reports. Leaves the snapshot at DIR/demo_device.snap for inspect /
+//       diff / resume-run. Exit 0 iff the reports are identical.
+//   snapshot_ctl resume-run FILE [--seed=N]
+//       Resume a Small()-preset device snapshot and serve a fresh ATAX
+//       instance on the warm device (geometry-mismatched snapshots are
+//       rejected cleanly).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/storengine.h"
+#include "src/core/flashabacus.h"
+#include "src/sim/json.h"
+#include "src/sim/snapshot.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: snapshot_ctl inspect FILE\n"
+               "       snapshot_ctl diff A B\n"
+               "       snapshot_ctl run-demo [--out=DIR] [--seed=N]\n"
+               "       snapshot_ctl resume-run FILE [--seed=N]\n");
+  return 2;
+}
+
+bool LoadOrComplain(const std::string& path, SnapshotFile* out) {
+  std::string err;
+  if (!SnapshotFile::Load(path, out, &err)) {
+    std::fprintf(stderr, "snapshot_ctl: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Inspect(const std::string& path) {
+  SnapshotFile snap;
+  if (!LoadOrComplain(path, &snap)) {
+    return 1;
+  }
+  std::printf("file:     %s\n", path.c_str());
+  std::printf("kind:     %s\n", snap.kind().c_str());
+  std::printf("sections: %zu\n", snap.sections().size());
+  for (const SnapshotFile::Section& s : snap.sections()) {
+    std::printf("  %-24s v%-3d %10zu bytes\n", s.name.c_str(), s.version,
+                s.payload.size());
+  }
+  std::printf("manifest: %s\n", snap.manifest_json().c_str());
+  return 0;
+}
+
+int Diff(const std::string& path_a, const std::string& path_b) {
+  SnapshotFile a, b;
+  if (!LoadOrComplain(path_a, &a) || !LoadOrComplain(path_b, &b)) {
+    return 1;
+  }
+  int diffs = 0;
+  std::vector<std::string> lines;
+  diffs += JsonFieldDiffText(a.manifest_json(), b.manifest_json(), &lines);
+  for (const std::string& l : lines) {
+    std::printf("manifest %s\n", l.c_str());
+  }
+  // Section-level comparison: union of names, then version/size/bytes.
+  auto compare = [&](const SnapshotFile::Section& sa) {
+    const SnapshotFile::Section* sb = b.Find(sa.name);
+    if (sb == nullptr) {
+      std::printf("section %s: only in %s\n", sa.name.c_str(), path_a.c_str());
+      ++diffs;
+      return;
+    }
+    if (sa.version != sb->version) {
+      std::printf("section %s: version %d -> %d\n", sa.name.c_str(), sa.version,
+                  sb->version);
+      ++diffs;
+    }
+    if (sa.payload != sb->payload) {
+      std::printf("section %s: payload differs (%zu -> %zu bytes)\n", sa.name.c_str(),
+                  sa.payload.size(), sb->payload.size());
+      ++diffs;
+    }
+  };
+  for (const SnapshotFile::Section& sa : a.sections()) {
+    compare(sa);
+  }
+  for (const SnapshotFile::Section& sb : b.sections()) {
+    if (a.Find(sb.name) == nullptr) {
+      std::printf("section %s: only in %s\n", sb.name.c_str(), path_b.c_str());
+      ++diffs;
+    }
+  }
+  std::printf("%d difference%s\n", diffs, diffs == 1 ? "" : "s");
+  return diffs == 0 ? 0 : 1;
+}
+
+// One scripted session step shared by run-demo's unbroken and segmented
+// variants: install `n` ATAX instances, dump the FTL journal, run them all.
+struct DemoSession {
+  FlashAbacusConfig cfg;
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<FlashAbacus> dev;
+  std::vector<std::unique_ptr<AppInstance>> insts;
+
+  void Fresh() {
+    dev.reset();
+    sim = std::make_unique<Simulator>();
+    dev = std::make_unique<FlashAbacus>(sim.get(), cfg);
+  }
+
+  void Prepare(const Workload& wl, int n, std::uint64_t seed) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      insts.push_back(std::make_unique<AppInstance>(0, i, &wl.spec(), cfg.model_scale));
+      wl.Prepare(*insts.back(), rng);
+    }
+  }
+
+  void InstallAllAndDump() {
+    for (auto& inst : insts) {
+      dev->InstallData(inst.get(), [](Tick) {});
+    }
+    sim->Run();
+    dev->storengine().RunJournalDump([](Tick) {});
+    sim->Run();
+  }
+
+  std::string RunAll() {
+    std::vector<AppInstance*> raw;
+    for (auto& inst : insts) {
+      raw.push_back(inst.get());
+    }
+    std::string json;
+    dev->Run(raw, SchedulerKind::kIntraOutOfOrder,
+             [&](RunReport r) { json = r.ToJson(); });
+    sim->Run();
+    return json;
+  }
+};
+
+int RunDemo(const std::string& out_dir, std::uint64_t seed) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  if (wl == nullptr) {
+    std::fprintf(stderr, "snapshot_ctl: workload registry has no ATAX\n");
+    return 1;
+  }
+  const FlashAbacusConfig cfg = FlashAbacusConfig::Small();
+  const std::string snap_path = out_dir + "/demo_device.snap";
+
+  DemoSession unbroken;
+  unbroken.cfg = cfg;
+  unbroken.Fresh();
+  unbroken.Prepare(*wl, 2, seed);
+  unbroken.InstallAllAndDump();
+  const std::string report_unbroken = unbroken.RunAll();
+
+  DemoSession seg;
+  seg.cfg = cfg;
+  seg.Fresh();
+  seg.Prepare(*wl, 2, seed);
+  seg.InstallAllAndDump();
+  std::string err;
+  if (!seg.dev->Snapshot(snap_path, &err)) {
+    std::fprintf(stderr, "snapshot_ctl: snapshot failed: %s\n", err.c_str());
+    return 1;
+  }
+  seg.Fresh();  // brand-new simulator + device, then resume from disk
+  if (!seg.dev->Resume(snap_path, &err)) {
+    std::fprintf(stderr, "snapshot_ctl: resume failed: %s\n", err.c_str());
+    return 1;
+  }
+  const std::string report_resumed = seg.RunAll();
+
+  const bool identical = report_unbroken == report_resumed;
+  std::printf("snapshot:  %s\n", snap_path.c_str());
+  std::printf("unbroken vs resumed RunReport: %s\n",
+              identical ? "byte-identical" : "DIFFER");
+  if (!identical) {
+    std::vector<std::string> lines;
+    JsonFieldDiffText(report_unbroken, report_resumed, &lines);
+    for (const std::string& l : lines) {
+      std::printf("  %s\n", l.c_str());
+    }
+  }
+  return identical ? 0 : 1;
+}
+
+int ResumeRun(const std::string& path, std::uint64_t seed) {
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  if (wl == nullptr) {
+    std::fprintf(stderr, "snapshot_ctl: workload registry has no ATAX\n");
+    return 1;
+  }
+  const FlashAbacusConfig cfg = FlashAbacusConfig::Small();
+  Simulator sim;
+  FlashAbacus dev(&sim, cfg);
+  std::string err;
+  if (!dev.Resume(path, &err)) {
+    std::fprintf(stderr, "snapshot_ctl: resume failed: %s\n", err.c_str());
+    return 1;
+  }
+  // Serve a fresh instance on the warm device.
+  auto inst = std::make_unique<AppInstance>(0, 1000, &wl->spec(), cfg.model_scale);
+  Rng rng(seed);
+  wl->Prepare(*inst, rng);
+  dev.InstallData(inst.get(), [](Tick) {});
+  sim.Run();
+  bool done = false;
+  RunReport report;
+  dev.Run({inst.get()}, SchedulerKind::kIntraOutOfOrder, [&](RunReport r) {
+    report = std::move(r);
+    done = true;
+  });
+  sim.Run();
+  if (!done) {
+    std::fprintf(stderr, "snapshot_ctl: resumed run did not complete\n");
+    return 1;
+  }
+  std::printf("resumed %s and served 1 ATAX instance\n", path.c_str());
+  std::printf("makespan: %.3f ms  throughput: %.1f MB/s  energy: %.3f J\n",
+              TicksToMs(report.makespan), report.throughput_mb_s,
+              report.EnergySummary().total_j);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main(int argc, char** argv) {
+  using namespace fabacus;
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> pos;
+  std::string out_dir = ".";
+  std::uint64_t seed = 42;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_dir = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (cmd == "inspect" && pos.size() == 1) {
+    return Inspect(pos[0]);
+  }
+  if (cmd == "diff" && pos.size() == 2) {
+    return Diff(pos[0], pos[1]);
+  }
+  if (cmd == "run-demo" && pos.empty()) {
+    return RunDemo(out_dir, seed);
+  }
+  if (cmd == "resume-run" && pos.size() == 1) {
+    return ResumeRun(pos[0], seed);
+  }
+  return Usage();
+}
