@@ -1,0 +1,169 @@
+// Fleet fault tolerance: goodput, availability and tail latency under
+// injected failures, per placement policy (docs/FLEET.md "Fleet fault
+// tolerance").
+//
+// Five scenarios on a 4-device fleet — no faults, a brownout stall, a
+// die-kill degrade, a crash that recovers and rejoins, and a permanent
+// death — each served under round-robin, least-outstanding and health-aware
+// routing with a small retry budget and hedged latency-class requests. The
+// table shows what the failover machinery buys: health-aware routing routes
+// around the dead capacity (shed% stays near the no-fault row) while the
+// oblivious baselines keep offering requests to shards that cannot take
+// them. Deterministic per seed: running the bench twice produces
+// byte-identical JSON (CI diffs it).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fleet/fleet.h"
+
+namespace fabacus {
+namespace {
+
+constexpr int kDevices = 4;
+constexpr int kRequests = 96;
+constexpr double kArrivalRate = 600.0;
+
+struct Scenario {
+  const char* name;
+  std::vector<FleetFaultEvent> plan;
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"none", {}});
+  {
+    FleetFaultEvent stall;
+    stall.kind = FleetFaultEvent::Kind::kStall;
+    stall.shard = 0;
+    stall.at = 20 * kMs;
+    stall.duration = 80 * kMs;
+    stall.stall_factor = 6.0;
+    scenarios.push_back({"brownout", {stall}});
+  }
+  {
+    FleetFaultEvent degrade;
+    degrade.kind = FleetFaultEvent::Kind::kDegrade;
+    degrade.shard = 0;
+    degrade.at = 20 * kMs;
+    degrade.kill_whole_channel = true;
+    degrade.kill_channel = 1;
+    scenarios.push_back({"degrade", {degrade}});
+  }
+  {
+    FleetFaultEvent crash;
+    crash.kind = FleetFaultEvent::Kind::kCrash;
+    crash.shard = 1;
+    crash.at = 40 * kMs;
+    crash.duration = 60 * kMs;
+    scenarios.push_back({"crash-rejoin", {crash}});
+  }
+  {
+    FleetFaultEvent death;
+    death.kind = FleetFaultEvent::Kind::kDeath;
+    death.shard = 1;
+    death.at = 40 * kMs;
+    scenarios.push_back({"death", {death}});
+  }
+  return scenarios;
+}
+
+FleetConfig MakeConfig(const Scenario& scenario, PlacementPolicy policy) {
+  FleetConfig cfg;
+  cfg.num_devices = kDevices;
+  cfg.policy = policy;
+  cfg.traffic.model = TrafficConfig::Model::kOpenLoop;
+  cfg.traffic.seed = 42;
+  cfg.traffic.num_clients = 8;
+  cfg.traffic.arrival_rate_per_s = kArrivalRate;
+  cfg.traffic.total_requests = kRequests;
+  cfg.traffic.latency_share = 0.25;
+  cfg.queue_depth = 64;
+  cfg.max_route_attempts = 1;
+  cfg.max_request_retries = 2;
+  cfg.hedge_requests = true;
+  cfg.faults.plan = scenario.plan;
+  return cfg;
+}
+
+const char* ShortPolicyName(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kRoundRobin:
+      return "rr";
+    case PlacementPolicy::kLeastOutstanding:
+      return "least-out";
+    case PlacementPolicy::kDataAffinity:
+      return "affinity";
+    case PlacementPolicy::kHealthAware:
+      return "health";
+  }
+  return "?";
+}
+
+void Run(BenchJson* json) {
+  const std::vector<PlacementPolicy> policies = {PlacementPolicy::kRoundRobin,
+                                                 PlacementPolicy::kLeastOutstanding,
+                                                 PlacementPolicy::kHealthAware};
+
+  PrintHeader("Fleet fault tolerance: goodput under injected failures (" +
+              std::to_string(kDevices) + " devices, " + std::to_string(kRequests) +
+              " requests @ " + Fmt(kArrivalRate, 0) + "/s, 2 retries, hedging on)");
+  PrintRow({"scenario", "policy", "avail", "served", "shed", "failed", "retries", "hedges",
+            "req/s", "p50 ms", "p99 ms", "torn", "down ms", "verified"});
+
+  for (const Scenario& scenario : Scenarios()) {
+    for (PlacementPolicy policy : policies) {
+      const FleetReport rep = RunFleet(MakeConfig(scenario, policy));
+
+      Tick down_ns = 0;
+      for (const FleetDeviceStats& d : rep.devices) {
+        down_ns += d.down_ns;
+      }
+      const double p50 = rep.latency_ms.count() > 0 ? rep.latency_ms.Percentile(50) : 0.0;
+      const double p99 = rep.latency_ms.count() > 0 ? rep.latency_ms.Percentile(99) : 0.0;
+
+      PrintRow({scenario.name, ShortPolicyName(policy), Fmt(rep.availability, 3),
+                std::to_string(rep.served), std::to_string(rep.shed),
+                std::to_string(rep.failed), std::to_string(rep.request_retries),
+                std::to_string(rep.hedges_issued), Fmt(rep.throughput_rps, 1), Fmt(p50, 2),
+                Fmt(p99, 2), std::to_string(rep.torn_in_flight), Fmt(TicksToMs(down_ns), 1),
+                rep.verified ? "yes" : "NO"});
+
+      json->AddScalarRow(scenario.name, ShortPolicyName(policy),
+                         {{"offered", static_cast<double>(rep.offered)},
+                          {"served", static_cast<double>(rep.served)},
+                          {"shed", static_cast<double>(rep.shed)},
+                          {"failed", static_cast<double>(rep.failed)},
+                          {"availability", rep.availability},
+                          {"throughput_rps", rep.throughput_rps},
+                          {"latency_p50_ms", p50},
+                          {"latency_p99_ms", p99},
+                          {"request_retries", static_cast<double>(rep.request_retries)},
+                          {"timeouts", static_cast<double>(rep.timeouts)},
+                          {"hedges_issued", static_cast<double>(rep.hedges_issued)},
+                          {"hedges_won", static_cast<double>(rep.hedges_won)},
+                          {"crashes", static_cast<double>(rep.crashes)},
+                          {"recoveries", static_cast<double>(rep.recoveries)},
+                          {"torn_in_flight", static_cast<double>(rep.torn_in_flight)},
+                          {"failover_reroutes", static_cast<double>(rep.failover_reroutes)},
+                          {"down_ms", TicksToMs(down_ns)},
+                          {"makespan_ms", TicksToMs(rep.makespan)},
+                          {"verified", rep.verified ? 1.0 : 0.0}});
+    }
+  }
+
+  std::printf(
+      "\nHealth-aware vs round-robin availability under the crash-rejoin scenario is the\n"
+      "headline number: the breaker + failover routing keeps goodput near the no-fault\n"
+      "row while the oblivious baseline sheds every request it offers to the dead shard.\n");
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  fabacus::BenchJson json("bench_fleet_faults");
+  fabacus::Run(&json);
+  return 0;
+}

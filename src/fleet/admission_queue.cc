@@ -21,6 +21,38 @@ bool AdmissionQueue::TryEnqueue(FleetRequest* r, Tick now) {
   return true;
 }
 
+bool AdmissionQueue::Remove(FleetRequest* r, Tick now) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == r) {
+      queue_.erase(it);
+      depth_series_.Record(now, static_cast<double>(queue_.size()));
+      return true;
+    }
+  }
+  return false;
+}
+
+FleetRequest* AdmissionQueue::EvictWorseThan(RequestPriority p, Tick now) {
+  // Youngest of the worst class present: the least sunk queueing investment.
+  auto victim = queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (static_cast<int>((*it)->priority) <= static_cast<int>(p)) {
+      continue;
+    }
+    if (victim == queue_.end() ||
+        static_cast<int>((*it)->priority) >= static_cast<int>((*victim)->priority)) {
+      victim = it;
+    }
+  }
+  if (victim == queue_.end()) {
+    return nullptr;
+  }
+  FleetRequest* r = *victim;
+  queue_.erase(victim);
+  depth_series_.Record(now, static_cast<double>(queue_.size()));
+  return r;
+}
+
 FleetRequest* AdmissionQueue::Dequeue(Tick now) {
   FAB_CHECK(!queue_.empty()) << "dequeue from empty admission queue";
   FleetRequest* r = queue_.front();

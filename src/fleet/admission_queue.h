@@ -24,6 +24,13 @@ class AdmissionQueue {
   bool TryEnqueue(FleetRequest* r, Tick now);
   // FIFO; CHECK-fails on an empty queue.
   FleetRequest* Dequeue(Tick now);
+  // Removes a specific queued request (hedge first-wins cancellation). False
+  // when `r` is not in the queue.
+  bool Remove(FleetRequest* r, Tick now);
+  // SLO-aware shedding: evicts and returns the youngest queued request whose
+  // priority class is strictly worse than `p` (so a latency-class arrival can
+  // displace batch work on a full queue), or nullptr when none qualifies.
+  FleetRequest* EvictWorseThan(RequestPriority p, Tick now);
 
   std::size_t depth() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }

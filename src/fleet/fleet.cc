@@ -73,21 +73,46 @@ std::string FleetConfig::Validate() const {
   if (slo_ms <= 0.0) {
     return "slo_ms must be positive, got " + std::to_string(slo_ms);
   }
+  const std::string h = health.Validate();
+  if (!h.empty()) {
+    return "health config: " + h;
+  }
+  const std::string f = faults.Validate(num_devices);
+  if (!f.empty()) {
+    return "fault config: " + f;
+  }
+  if (max_request_retries < 0) {
+    return "max_request_retries must be >= 0, got " + std::to_string(max_request_retries);
+  }
+  if (max_request_retries > 0 && retry_backoff < 1) {
+    return "retry_backoff must be a positive tick count when retries are enabled";
+  }
+  if (hedge_requests && hedge_delay < 1) {
+    return "hedge_delay must be a positive tick count";
+  }
+  if (hedge_requests && num_devices < 2) {
+    return "hedged requests need at least two devices to duplicate onto";
+  }
+  if (request_timeout_ms < 0.0) {
+    return "request_timeout_ms must be >= 0, got " + std::to_string(request_timeout_ms);
+  }
   if (execution == Execution::kPartitioned && !CanPartition()) {
     return "partitioned execution needs open-loop traffic, an oblivious placement "
-           "policy and max_route_attempts == 1";
+           "policy, max_route_attempts == 1 and no fault/retry/hedge machinery";
   }
   return "";
 }
 
 bool FleetConfig::CanPartition() const {
   return traffic.model == TrafficConfig::Model::kOpenLoop && PolicyIsOblivious(policy) &&
-         max_route_attempts == 1;
+         max_route_attempts == 1 && !faults.Any() && !hedge_requests &&
+         max_request_retries == 0;
 }
 
 // One independently-simulated device plus its fleet-side serving state.
 struct FleetSim::Shard {
-  explicit Shard(std::size_t queue_slots) : queue(queue_slots) {}
+  Shard(std::size_t queue_slots, const HealthConfig& health_cfg)
+      : queue(queue_slots), health(health_cfg), breaker(health_cfg) {}
 
   int index = 0;
   std::unique_ptr<Simulator> sim;
@@ -107,25 +132,52 @@ struct FleetSim::Shard {
 
   FleetDeviceStats stats;
   bool verified = true;
+
+  // --- Fault-tolerance state (docs/FLEET.md "Fleet fault tolerance") -------
+  HealthTracker health;
+  CircuitBreaker breaker;
+  bool down = false;   // crashed, recovery pending
+  bool dead = false;   // permanently failed
+  Tick down_since = 0;
+  Tick stall_until = 0;        // brownout window end
+  double stall_factor = 1.0;   // service-time multiplier inside the window
+  // Bumped on every crash so the torn batch's pending batch-done event is
+  // recognized as stale and ignored.
+  std::uint64_t batch_gen = 0;
+  bool last_batch_failed = false;  // io_failures climbed during the batch
+  double last_batch_ms = 0.0;
+  // Partition-safe per-shard tallies (no shared fleet counter to race on).
+  std::uint64_t timeouts = 0;
+  std::uint64_t evictions = 0;
+  // Snapshot-mode recovery: the device's last periodic checkpoint plus the
+  // install-cache directory that goes with it.
+  int batches_since_checkpoint = 0;
+  std::vector<std::uint8_t> checkpoint;
+  std::vector<std::uint8_t> checkpoint_cache;
 };
 
-// Advances a set of shards through their arrival/batch-completion events in
-// deterministic (time, sequence) order. The lockstep path runs one loop over
-// every shard; the partitioned path runs one loop per shard (pre-routed
-// arrivals, no router, no closed-loop generator) on the sweep pool.
+// Advances a set of shards through their arrival / batch-completion / fault
+// events in deterministic (time, sequence) order. The lockstep path runs one
+// loop over every shard; the partitioned path runs one loop per shard
+// (pre-routed arrivals, no router, no closed-loop generator, no faults) on
+// the sweep pool.
 struct FleetSim::ServeLoop {
   FleetSim* fleet;
   std::vector<Shard*> shards;             // lockstep: indexed by device id
   ShardRouter* router = nullptr;          // null = arrivals are pre-routed
   TrafficGenerator* gen = nullptr;        // closed-loop source (lockstep only)
   std::deque<FleetRequest>* pool = nullptr;  // owner of generated requests
+  std::vector<FleetFaultEvent> fault_events;  // materialized plan (lockstep)
 
   struct Ev {
-    Tick t;
-    std::uint64_t seq;
-    bool arrival;
-    FleetRequest* req;    // arrival payload
-    Shard* shard;         // batch-done payload
+    enum class Kind { kArrival, kBatchDone, kFault, kRecover, kHedge };
+    Tick t = 0;
+    std::uint64_t seq = 0;
+    Kind kind = Kind::kArrival;
+    FleetRequest* req = nullptr;  // kArrival / kHedge payload
+    Shard* shard = nullptr;       // kBatchDone / kRecover payload
+    std::uint64_t token = 0;      // kBatchDone staleness token (batch_gen)
+    int fault = 0;                // kFault: index into fault_events
   };
   struct EvAfter {
     bool operator()(const Ev& a, const Ev& b) const {
@@ -135,17 +187,69 @@ struct FleetSim::ServeLoop {
   std::priority_queue<Ev, std::vector<Ev>, EvAfter> heap;
   std::uint64_t seq = 0;
 
-  void PushArrival(FleetRequest* r) { heap.push({r->arrival, seq++, true, r, nullptr}); }
-  void PushBatchDone(Shard* s, Tick t) { heap.push({t, seq++, false, nullptr, s}); }
+  void PushArrival(FleetRequest* r) { PushArrivalAt(r, r->arrival); }
+  void PushArrivalAt(FleetRequest* r, Tick t) {
+    Ev e;
+    e.t = t;
+    e.seq = seq++;
+    e.kind = Ev::Kind::kArrival;
+    e.req = r;
+    heap.push(e);
+  }
+  void PushBatchDone(Shard* s, Tick t) {
+    Ev e;
+    e.t = t;
+    e.seq = seq++;
+    e.kind = Ev::Kind::kBatchDone;
+    e.shard = s;
+    e.token = s->batch_gen;
+    heap.push(e);
+  }
+  void PushFault(int idx, Tick t) {
+    Ev e;
+    e.t = t;
+    e.seq = seq++;
+    e.kind = Ev::Kind::kFault;
+    e.fault = idx;
+    heap.push(e);
+  }
+  void PushRecover(Shard* s, Tick t) {
+    Ev e;
+    e.t = t;
+    e.seq = seq++;
+    e.kind = Ev::Kind::kRecover;
+    e.shard = s;
+    heap.push(e);
+  }
+  void PushHedge(FleetRequest* r, Tick t) {
+    Ev e;
+    e.t = t;
+    e.seq = seq++;
+    e.kind = Ev::Kind::kHedge;
+    e.req = r;
+    heap.push(e);
+  }
 
   void Run() {
     while (!heap.empty()) {
       const Ev e = heap.top();
       heap.pop();
-      if (e.arrival) {
-        OnArrival(e.req, e.t);
-      } else {
-        OnBatchDone(e.shard, e.t);
+      switch (e.kind) {
+        case Ev::Kind::kArrival:
+          OnArrival(e.req, e.t);
+          break;
+        case Ev::Kind::kBatchDone:
+          OnBatchDone(e.shard, e.t, e.token);
+          break;
+        case Ev::Kind::kFault:
+          OnFault(fault_events[static_cast<std::size_t>(e.fault)], e.t);
+          break;
+        case Ev::Kind::kRecover:
+          OnRecover(e.shard, e.t);
+          break;
+        case Ev::Kind::kHedge:
+          OnHedge(e.req, e.t);
+          break;
       }
     }
   }
@@ -169,54 +273,482 @@ struct FleetSim::ServeLoop {
     return out;
   }
 
+  // Is any of the fault-tolerance machinery live? Every condition here forces
+  // lockstep execution, so partition-legal configs take the legacy serving
+  // path byte for byte.
+  bool FaultsActive() const {
+    const FleetConfig& c = fleet->config_;
+    return c.faults.Any() || c.policy == PlacementPolicy::kHealthAware ||
+           c.max_request_retries > 0 || c.hedge_requests;
+  }
+
+  bool HealthAware() const {
+    return fleet->config_.policy == PlacementPolicy::kHealthAware;
+  }
+
+  std::vector<ShardHealthView> HealthViews(Tick now) {
+    std::vector<ShardHealthView> views(static_cast<std::size_t>(fleet->config_.num_devices));
+    for (Shard* s : shards) {
+      s->breaker.Advance(now);
+      ShardHealthView& v = views[static_cast<std::size_t>(s->index)];
+      v.score = s->health.Score();
+      if (s->down || s->dead) {
+        v.routable = false;
+        continue;
+      }
+      switch (s->breaker.state()) {
+        case BreakerState::kClosed:
+          break;
+        case BreakerState::kOpen:
+          v.routable = false;
+          break;
+        case BreakerState::kHalfOpen:
+          v.probing = true;
+          v.routable = s->breaker.AllowRequest();
+          break;
+      }
+    }
+    return views;
+  }
+
+  // May this shard take a new admission right now? Down/dead shards refuse
+  // every policy; breaker gating applies only under health-aware routing so
+  // the oblivious baselines keep their legacy behavior (and shed more under
+  // failure — the contrast the chaos tests measure).
+  bool CanAdmit(const Shard* s, const ShardHealthView& v) const {
+    if (s->down || s->dead) {
+      return false;
+    }
+    if (HealthAware() && !v.routable) {
+      return false;
+    }
+    return true;
+  }
+
+  static bool CopyAlive(const FleetRequest* c) {
+    return c != nullptr && !c->cancelled && c->outcome == FleetRequest::Outcome::kPending &&
+           (c->queued_on >= 0 || c->in_flight);
+  }
+
+  // Enqueue `r` on `s`, displacing a strictly-lower-priority victim when the
+  // SLO-aware shedder is on and the queue is full. Marks probes.
+  bool AdmitTo(Shard* s, FleetRequest* r, bool probing, Tick now) {
+    bool ok = s->queue.TryEnqueue(r, now);
+    if (!ok && fleet->config_.priority_shedding) {
+      FleetRequest* victim = s->queue.EvictWorseThan(r->priority, now);
+      if (victim != nullptr) {
+        ++s->evictions;
+        victim->queued_on = -1;
+        ShedRequest(victim, s, now);
+        ok = s->queue.TryEnqueue(r, now);
+        FAB_CHECK(ok) << "eviction freed no slot";
+      }
+    }
+    if (!ok) {
+      return false;
+    }
+    r->queued_on = s->index;
+    r->device = s->index;
+    if (probing) {
+      r->is_probe = true;
+      s->breaker.OnProbeDispatched();
+      s->stats.probes += 1;
+    }
+    return true;
+  }
+
+  // A request leaves the fleet unserved at admission time: rejected by every
+  // routing attempt, or displaced by the priority shedder.
+  void ShedRequest(FleetRequest* r, Shard* charged, Tick now) {
+    if (r->is_hedge) {
+      // A displaced duplicate dies quietly; the primary still carries the
+      // logical request.
+      r->cancelled = true;
+      ++fleet->tally_.hedges_cancelled;
+      return;
+    }
+    if (CopyAlive(r->hedge_peer)) {
+      r->cancelled = true;  // the duplicate still carries it
+      return;
+    }
+    r->outcome = FleetRequest::Outcome::kShed;
+    r->device = -1;
+    r->queued_on = -1;
+    charged->stats.shed += 1;
+    ClientDone(r, now);  // a shed response still frees the client to retry
+  }
+
   void OnArrival(FleetRequest* r, Tick now) {
+    if (r->cancelled || r->outcome != FleetRequest::Outcome::kPending) {
+      return;  // resolved while the event was in flight (hedge race)
+    }
     Shard* admitted = nullptr;
     int primary = -1;
     if (router == nullptr) {
       primary = r->device;  // pre-routed
       Shard* s = ShardByIndex(primary);
-      if (s->queue.TryEnqueue(r, now)) {
+      if (AdmitTo(s, r, false, now)) {
         admitted = s;
       }
     } else {
       const std::vector<int> outstanding = Outstanding();
+      const std::vector<ShardHealthView> views = HealthViews(now);
+      RouteState state;
+      state.outstanding = &outstanding;
+      state.health = &views;
       for (int attempt = 0; attempt < fleet->config_.max_route_attempts; ++attempt) {
-        const int d = router->Route(*r, outstanding, attempt);
+        const int d = router->Route(*r, state, attempt);
         if (attempt == 0) {
           primary = d;
         } else {
           ++r->route_retries;
         }
         Shard* s = ShardByIndex(d);
-        if (s->queue.TryEnqueue(r, now)) {
+        if (!CanAdmit(s, views[static_cast<std::size_t>(d)])) {
+          continue;  // the refusal still consumed a routing attempt
+        }
+        const bool probe = HealthAware() && views[static_cast<std::size_t>(d)].probing;
+        if (AdmitTo(s, r, probe, now)) {
           admitted = s;
           break;
         }
       }
     }
     if (admitted == nullptr) {
-      r->outcome = FleetRequest::Outcome::kShed;
-      r->device = -1;
-      ShardByIndex(primary)->stats.shed += 1;
-      ClientDone(r, now);  // a shed response still frees the client to retry
+      ShedRequest(r, ShardByIndex(primary), now);
       return;
     }
-    r->device = admitted->index;
+    if (router != nullptr && fleet->config_.hedge_requests && !r->is_hedge && !r->hedged &&
+        r->priority == RequestPriority::kLatency) {
+      PushHedge(r, now + fleet->config_.hedge_delay);
+    }
     if (!admitted->busy) {
       StartBatch(admitted, now);
     }
   }
 
-  void OnBatchDone(Shard* s, Tick now) {
+  void OnBatchDone(Shard* s, Tick now, std::uint64_t token) {
+    if (token != s->batch_gen) {
+      return;  // the batch was torn by a crash; its requests are handled
+    }
     const std::vector<FleetRequest*> batch = std::move(s->current_batch);
     s->current_batch.clear();
     s->busy = false;
-    for (FleetRequest* r : batch) {
-      ClientDone(r, r->complete);
+    const bool failed = s->last_batch_failed;
+    if (failed) {
+      s->health.OnFailure();
+    } else {
+      s->health.OnSuccess(s->last_batch_ms);
     }
-    if (!s->queue.empty()) {
+    if (FaultsActive()) {
+      s->breaker.OnOutcome(!failed, now, s->health.error_ewma());
+    }
+    for (FleetRequest* r : batch) {
+      r->in_flight = false;
+      if (r->is_probe) {
+        r->is_probe = false;
+        s->breaker.OnProbeOutcome(!failed, now);
+      }
+      if (r->cancelled) {
+        continue;  // lost the hedge race while in flight
+      }
+      if (failed) {
+        OnCopyFailed(s, r, now);
+      } else {
+        OnCopyServed(s, r, now);
+      }
+    }
+    if (!s->queue.empty() && !s->down && !s->dead) {
       StartBatch(s, now);
     }
+  }
+
+  // One physical copy (primary or hedge duplicate) finished cleanly.
+  void OnCopyServed(Shard* s, FleetRequest* copy, Tick now) {
+    FleetRequest* logical = copy->is_hedge ? copy->hedge_peer : copy;
+    const double timeout_ms = fleet->config_.request_timeout_ms;
+    if (timeout_ms > 0.0 && TicksToMs(copy->complete - logical->arrival) > timeout_ms) {
+      ++s->timeouts;
+      OnCopyFailed(s, copy, now);
+      return;
+    }
+    if (copy->is_hedge) {
+      Cancel(logical, now);  // first wins: the primary copy loses the race
+      copy->outcome = FleetRequest::Outcome::kServed;
+      logical->outcome = FleetRequest::Outcome::kServed;
+      logical->complete = copy->complete;
+      logical->device = s->index;
+      ++fleet->tally_.hedges_won;
+    } else {
+      Cancel(copy->hedge_peer, now);
+      copy->outcome = FleetRequest::Outcome::kServed;
+    }
+    s->stats.served += 1;
+    ClientDone(logical, copy->complete);
+  }
+
+  // One physical copy was lost: torn by a crash, an uncorrectable I/O error
+  // in its batch, or a timeout. The logical request survives while its other
+  // copy is still live; otherwise it burns a retry or fails for good.
+  void OnCopyFailed(Shard* s, FleetRequest* copy, Tick now) {
+    FleetRequest* logical = copy->is_hedge ? copy->hedge_peer : copy;
+    FleetRequest* other = copy->hedge_peer;
+    copy->cancelled = true;  // this physical copy is spent
+    if (copy->is_hedge) {
+      copy->outcome = FleetRequest::Outcome::kFailed;
+    }
+    if (CopyAlive(other)) {
+      return;
+    }
+    FailLogical(logical, s, now);
+  }
+
+  void FailLogical(FleetRequest* r, Shard* charged, Tick now) {
+    FAB_CHECK(!r->is_hedge);
+    if (r->retries < fleet->config_.max_request_retries) {
+      ++r->retries;
+      ++fleet->tally_.request_retries;
+      r->cancelled = false;
+      r->hedged = false;
+      r->hedge_peer = nullptr;
+      r->is_probe = false;
+      r->in_flight = false;
+      r->queued_on = -1;
+      r->device = -1;
+      PushArrivalAt(r, now + fleet->config_.retry_backoff);
+      return;
+    }
+    r->outcome = FleetRequest::Outcome::kFailed;
+    r->in_flight = false;
+    r->queued_on = -1;
+    r->complete = now;  // a failure is the response the client observes
+    r->device = charged->index;  // the shard the failure is charged to
+    charged->stats.failures += 1;
+    ClientDone(r, now);
+  }
+
+  // First-wins cancellation of the losing copy: removed from its admission
+  // queue when still waiting, flagged when already in a device batch (its
+  // completion is then ignored).
+  void Cancel(FleetRequest* c, Tick now) {
+    if (c == nullptr || c->cancelled || c->outcome != FleetRequest::Outcome::kPending) {
+      return;
+    }
+    c->cancelled = true;
+    ++fleet->tally_.hedges_cancelled;
+    if (c->queued_on >= 0) {
+      ShardByIndex(c->queued_on)->queue.Remove(c, now);
+      c->queued_on = -1;
+    }
+  }
+
+  // Hedge timer fired: if the request is still waiting in an admission queue,
+  // issue a duplicate on a different shard.
+  void OnHedge(FleetRequest* r, Tick now) {
+    if (r->cancelled || r->outcome != FleetRequest::Outcome::kPending || r->hedged ||
+        r->queued_on < 0) {
+      return;
+    }
+    const std::vector<int> outstanding = Outstanding();
+    const std::vector<ShardHealthView> views = HealthViews(now);
+    RouteState state;
+    state.outstanding = &outstanding;
+    state.health = &views;
+    FleetRequest h;
+    h.id = r->id;
+    h.client_id = r->client_id;
+    h.workload_idx = r->workload_idx;
+    h.priority = r->priority;
+    h.arrival = r->arrival;
+    h.is_hedge = true;
+    pool->push_back(h);
+    FleetRequest* dup = &pool->back();
+    Shard* admitted = nullptr;
+    for (int attempt = 0; attempt < fleet->config_.num_devices && admitted == nullptr;
+         ++attempt) {
+      const int d = router->Route(*dup, state, attempt);
+      if (d == r->queued_on) {
+        continue;  // duplicating onto the same queue hedges nothing
+      }
+      Shard* s = ShardByIndex(d);
+      if (!CanAdmit(s, views[static_cast<std::size_t>(d)])) {
+        continue;
+      }
+      const bool probe = HealthAware() && views[static_cast<std::size_t>(d)].probing;
+      if (AdmitTo(s, dup, probe, now)) {
+        admitted = s;
+      }
+    }
+    if (admitted == nullptr) {
+      dup->cancelled = true;  // nowhere to duplicate; the primary rides alone
+      return;
+    }
+    r->hedged = true;
+    r->hedge_peer = dup;
+    dup->hedge_peer = r;
+    ++fleet->tally_.hedges_issued;
+    if (!admitted->busy) {
+      StartBatch(admitted, now);
+    }
+  }
+
+  void OnFault(const FleetFaultEvent& e, Tick now) {
+    Shard* s = ShardByIndex(e.shard);
+    if (s->dead) {
+      return;  // nothing left to break
+    }
+    switch (e.kind) {
+      case FleetFaultEvent::Kind::kStall:
+        if (s->down) {
+          return;
+        }
+        ++fleet->tally_.events_applied;
+        s->stall_until = std::max(s->stall_until, now + e.duration);
+        s->stall_factor = e.stall_factor;
+        break;
+      case FleetFaultEvent::Kind::kDegrade: {
+        if (s->down) {
+          return;
+        }
+        ++fleet->tally_.events_applied;
+        const NandConfig& nand = fleet->config_.device.nand;
+        const int ch = ((e.kill_channel % nand.channels) + nand.channels) % nand.channels;
+        if (e.kill_whole_channel) {
+          s->dev->backbone().faults().KillChannel(ch);
+        } else {
+          const int pkg = ((e.kill_package % nand.packages_per_channel) +
+                           nand.packages_per_channel) %
+                          nand.packages_per_channel;
+          s->dev->backbone().faults().KillDie(ch, pkg);
+        }
+        break;
+      }
+      case FleetFaultEvent::Kind::kCrash:
+        ++fleet->tally_.events_applied;
+        CrashShard(s, now, /*permanent=*/false, e.duration);
+        break;
+      case FleetFaultEvent::Kind::kDeath:
+        ++fleet->tally_.events_applied;
+        CrashShard(s, now, /*permanent=*/true, 0);
+        break;
+    }
+  }
+
+  void CrashShard(Shard* s, Tick now, bool permanent, Tick downtime) {
+    if (s->down) {
+      if (permanent && !s->dead) {
+        s->dead = true;  // the pending recovery event will find it dead
+        ++fleet->tally_.deaths;
+      }
+      return;
+    }
+    ++fleet->tally_.crashes;
+    s->stats.crashes += 1;
+    if (permanent) {
+      ++fleet->tally_.deaths;
+    }
+    s->down = true;
+    s->dead = permanent;
+    s->down_since = now;
+    s->breaker.ForceOpen(now);
+    // The batch in flight tears: its pending batch-done event goes stale and
+    // its requests are lost at this tick (the device's flash may hold their
+    // completed writes, but no response ever leaves the shard).
+    ++s->batch_gen;
+    const std::vector<FleetRequest*> torn = std::move(s->current_batch);
+    s->current_batch.clear();
+    s->busy = false;
+    if (!s->dev->crashed()) {
+      s->dev->CrashAt(std::max(s->sim->Now(), now));
+      s->sim->Run();
+    }
+    for (FleetRequest* r : torn) {
+      r->in_flight = false;
+      r->is_probe = false;  // the force-open breaker takes no probe votes
+      s->stats.torn += 1;
+      ++fleet->tally_.torn_in_flight;
+      if (r->cancelled) {
+        continue;
+      }
+      OnCopyFailed(s, r, now);
+    }
+    // Queued requests fail over: drained and re-routed across the survivors.
+    std::vector<FleetRequest*> drained;
+    while (!s->queue.empty()) {
+      drained.push_back(s->queue.Dequeue(now));
+    }
+    for (FleetRequest* r : drained) {
+      r->queued_on = -1;
+      r->is_probe = false;  // its probe slot died with the breaker
+      if (r->cancelled) {
+        continue;
+      }
+      ++fleet->tally_.failover_reroutes;
+      PushArrivalAt(r, now);
+    }
+    if (!permanent) {
+      PushRecover(s, now + std::max<Tick>(downtime, 1));
+    }
+  }
+
+  void OnRecover(Shard* s, Tick now) {
+    if (s->dead || !s->down) {
+      return;  // superseded by a permanent death
+    }
+    s->down = false;
+    s->stats.down_ns += now - s->down_since;
+    s->stats.recoveries += 1;
+    ++fleet->tally_.recoveries;
+    if (fleet->config_.faults.recovery == FleetFaultConfig::Recovery::kSnapshot &&
+        !s->checkpoint.empty()) {
+      RestoreShardCheckpoint(s);
+    } else {
+      const Flashvisor::RecoveryReport rr = s->dev->RecoverFromFlash();
+      s->stats.recovered_lost_groups += rr.lost_groups;
+      s->stats.recovered_torn_groups += rr.torn_groups;
+      if (rr.done > s->sim->Now()) {
+        // The recovery scan occupies the device; batches queue behind it.
+        s->sim->ScheduleAt(rr.done, []() {});
+        s->sim->Run();
+      }
+      // The rebuilt FTL may have dropped torn or lost groups; re-install
+      // datasets on demand instead of trusting the old extents.
+      for (auto& slots : s->cache) {
+        slots.clear();
+      }
+    }
+    // Rejoin through probe traffic, not a full load slice.
+    s->breaker.ForceHalfOpen(now);
+  }
+
+  // Snapshot-mode recovery: rebuild the shard from its last periodic device
+  // checkpoint, install cache included.
+  void RestoreShardCheckpoint(Shard* s) {
+    SnapshotFile snap;
+    std::string err;
+    FAB_CHECK(SnapshotFile::Parse(s->checkpoint, &snap, &err)) << "shard checkpoint: " << err;
+    s->sim = std::make_unique<Simulator>(fleet->config_.backend);
+    s->dev = std::make_unique<FlashAbacus>(s->sim.get(), fleet->ShardDeviceConfig(s->index));
+    FAB_CHECK(s->dev->Resume(snap, &err)) << "shard checkpoint: " << err;
+    StateReader r(s->checkpoint_cache);
+    fleet->ReadInstallCache(s, r);
+    FAB_CHECK(r.ok() && r.AtEnd()) << "shard checkpoint cache: " << r.error();
+  }
+
+  void MaybeCheckpoint(Shard* s) {
+    const FleetFaultConfig& fc = fleet->config_.faults;
+    if (router == nullptr || !fc.Any() ||
+        fc.recovery != FleetFaultConfig::Recovery::kSnapshot) {
+      return;
+    }
+    if (++s->batches_since_checkpoint < fc.checkpoint_every_batches) {
+      return;
+    }
+    s->batches_since_checkpoint = 0;
+    s->checkpoint = s->dev->BuildSnapshot().Serialize();
+    StateWriter w;
+    FleetSim::WriteInstallCache(*s, w);
+    s->checkpoint_cache = w.TakeBuffer();
   }
 
   void ClientDone(FleetRequest* r, Tick now) {
@@ -233,11 +765,14 @@ struct FleetSim::ServeLoop {
   void StartBatch(Shard* s, Tick now) {
     FAB_CHECK(!s->busy);
     FAB_CHECK(!s->queue.empty());
+    FAB_CHECK(!s->down && !s->dead) << "batch started on a crashed shard";
     s->busy = true;
     while (!s->queue.empty() &&
            s->current_batch.size() < static_cast<std::size_t>(fleet->config_.max_batch)) {
       FleetRequest* r = s->queue.Dequeue(now);
       r->dispatch = now;
+      r->queued_on = -1;
+      r->in_flight = true;
       s->current_batch.push_back(r);
     }
     PushBatchDone(s, RunBatch(s, now));
@@ -246,7 +781,9 @@ struct FleetSim::ServeLoop {
   // Executes the shard's current batch on its device, eagerly running the
   // device simulator to completion, and returns the batch-done tick. Eager
   // execution is sound because shards only interact through routing, which
-  // reads fleet-level bookkeeping processed in global event order.
+  // reads fleet-level bookkeeping processed in global event order. Outcomes
+  // are assigned at the batch-done event, not here, so a crash landing inside
+  // the service window can still tear the batch.
   Tick RunBatch(Shard* s, Tick now) {
     if (s->sim->Now() < now) {
       // Align the shard clock with fleet time (the previous batch's write
@@ -263,6 +800,7 @@ struct FleetSim::ServeLoop {
     if (fresh_install) {
       s->sim->Run();  // drain the dataset installs before the offload
     }
+    const std::uint64_t io_failures_before = s->dev->io_failures();
     bool completed = false;
     Tick end = 0;
     RunReport rep;
@@ -273,22 +811,37 @@ struct FleetSim::ServeLoop {
     });
     s->sim->Run();
     FAB_CHECK(completed) << "fleet batch did not complete on shard " << s->index;
+    const bool failed = FaultsActive() && s->dev->io_failures() > io_failures_before;
+    // Brownout: a batch dispatched inside a stall window runs slower by the
+    // stall factor; the device clock advances to the inflated end so later
+    // batches queue behind it.
+    const bool stalled = s->stall_until > now;
+    if (stalled) {
+      const Tick inflated =
+          now + static_cast<Tick>(static_cast<double>(end - now) * s->stall_factor);
+      if (inflated > s->sim->Now()) {
+        s->sim->ScheduleAt(inflated, []() {});
+        s->sim->Run();
+      }
+      end = inflated;
+    }
     for (std::size_t i = 0; i < insts.size(); ++i) {
       FleetRequest* r = s->current_batch[i];
-      r->complete = insts[i]->complete_time;
-      r->outcome = FleetRequest::Outcome::kServed;
-      if (fleet->config_.verify_outputs) {
+      r->complete = stalled ? end : insts[i]->complete_time;
+      if (!failed && fleet->config_.verify_outputs) {
         s->verified = s->verified &&
                       fleet->traffic_->mix()[static_cast<std::size_t>(r->workload_idx)]->Verify(
                           *insts[i]);
       }
       Release(s, r, insts[i]);
     }
+    s->last_batch_failed = failed;
+    s->last_batch_ms = TicksToMs(end - now);
     s->stats.batches += 1;
-    s->stats.served += insts.size();
     s->stats.busy_ns += end - now;
     s->stats.batch_ms.Record(TicksToMs(end - now));
     s->stats.energy_j += rep.EnergySummary().total_j;
+    MaybeCheckpoint(s);
     return end;
   }
 
@@ -348,18 +901,77 @@ FleetSim::FleetSim(const FleetConfig& config)
 
 FleetSim::~FleetSim() = default;
 
+FlashAbacusConfig FleetSim::ShardDeviceConfig(int shard) const {
+  FlashAbacusConfig dev_cfg = config_.device;
+  // Decorrelate the shards' random fault schedules; a common seed would
+  // make "independent" devices fail in lockstep.
+  dev_cfg.nand.fault.seed ^= Mix64(static_cast<std::uint64_t>(shard) + 0x51aDULL);
+  return dev_cfg;
+}
+
 void FleetSim::BuildShards() {
   for (int d = 0; d < config_.num_devices; ++d) {
-    auto shard = std::make_unique<Shard>(config_.queue_depth);
+    auto shard = std::make_unique<Shard>(config_.queue_depth, config_.health);
     shard->index = d;
     shard->sim = std::make_unique<Simulator>(config_.backend);
-    FlashAbacusConfig dev_cfg = config_.device;
-    // Decorrelate the shards' random fault schedules; a common seed would
-    // make "independent" devices fail in lockstep.
-    dev_cfg.nand.fault.seed ^= Mix64(static_cast<std::uint64_t>(d) + 0x51aDULL);
-    shard->dev = std::make_unique<FlashAbacus>(shard->sim.get(), dev_cfg);
+    shard->dev = std::make_unique<FlashAbacus>(shard->sim.get(), ShardDeviceConfig(d));
     shard->cache.resize(traffic_->mix().size());
     shards_.push_back(std::move(shard));
+  }
+}
+
+void FleetSim::WriteInstallCache(const Shard& shard, StateWriter& w) {
+  // Install-cache directory: which datasets are flash-resident on this
+  // shard, their preparation seeds and the extents they map. Enough to
+  // rebuild the cached AppInstances without re-installing anything.
+  w.U64(shard.cache.size());
+  for (const auto& slots : shard.cache) {
+    w.U64(slots.size());
+    for (const Shard::CachedInstance& slot : slots) {
+      FAB_CHECK(!slot.in_use) << "cached instance in use at snapshot";
+      w.U64(slot.seed);
+      w.U64(slot.inst->sections().size());
+      for (const DataSection& s : slot.inst->sections()) {
+        w.U64(s.flash_addr);
+        w.U64(s.model_bytes);
+      }
+    }
+  }
+}
+
+void FleetSim::ReadInstallCache(Shard* shard, StateReader& c) const {
+  const std::uint64_t workloads = c.U64();
+  if (c.ok() && workloads != shard->cache.size()) {
+    c.Fail("install cache workload count mismatch");
+    return;
+  }
+  for (std::size_t wl_idx = 0; wl_idx < shard->cache.size() && c.ok(); ++wl_idx) {
+    auto& slots = shard->cache[wl_idx];
+    slots.clear();
+    const Workload* wl = traffic_->mix()[wl_idx];
+    const std::uint64_t n_slots = c.U64();
+    for (std::uint64_t slot_i = 0; slot_i < n_slots && c.ok(); ++slot_i) {
+      const std::uint64_t seed = c.U64();
+      auto inst = std::make_unique<AppInstance>(static_cast<int>(wl_idx),
+                                                static_cast<int>(slot_i), &wl->spec(),
+                                                config_.device.model_scale);
+      Rng rng(seed);
+      wl->Prepare(*inst, rng);
+      const std::uint64_t n_secs = c.U64();
+      if (n_secs != wl->spec().sections.size()) {
+        c.Fail("cached instance section count mismatch");
+        break;
+      }
+      inst->sections().clear();
+      for (std::uint64_t si = 0; si < n_secs; ++si) {
+        DataSection s;
+        s.spec = &wl->spec().sections[si];
+        s.flash_addr = c.U64();
+        s.model_bytes = c.U64();
+        inst->sections().push_back(s);
+      }
+      slots.push_back({std::move(inst), seed, false});
+    }
   }
 }
 
@@ -370,7 +982,7 @@ SnapshotBuilder FleetSim::BuildSnapshot() const {
   b.SetMeta("scheduler", SchedulerKindName(config_.scheduler));
   b.SetMeta("num_devices", static_cast<double>(config_.num_devices));
   {
-    StateWriter& w = b.AddSection("fleet", 1);
+    StateWriter& w = b.AddSection("fleet", 2);
     w.U32(static_cast<std::uint32_t>(config_.num_devices));
     w.U64(traffic_->mix().size());
     router_.SaveState(w);
@@ -379,25 +991,15 @@ SnapshotBuilder FleetSim::BuildSnapshot() const {
   for (const auto& shard : shards_) {
     FAB_CHECK(!shard->busy && shard->queue.empty())
         << "fleet shard " << shard->index << " still serving at snapshot";
+    FAB_CHECK(!shard->dev->crashed())
+        << "fleet shard " << shard->index << " is crashed; recover before snapshotting";
     const std::string prefix = "shard/" + std::to_string(shard->index);
     b.AddBlobSection(prefix + "/device", 1, shard->dev->BuildSnapshot().Serialize());
-    // Install-cache directory: which datasets are flash-resident on this
-    // shard, their preparation seeds and the extents they map. Enough to
-    // rebuild the cached AppInstances without re-installing anything.
     StateWriter& w = b.AddSection(prefix + "/cache", 1);
-    w.U64(shard->cache.size());
-    for (const auto& slots : shard->cache) {
-      w.U64(slots.size());
-      for (const Shard::CachedInstance& slot : slots) {
-        FAB_CHECK(!slot.in_use) << "cached instance in use at snapshot";
-        w.U64(slot.seed);
-        w.U64(slot.inst->sections().size());
-        for (const DataSection& s : slot.inst->sections()) {
-          w.U64(s.flash_addr);
-          w.U64(s.model_bytes);
-        }
-      }
-    }
+    WriteInstallCache(*shard, w);
+    StateWriter& h = b.AddSection(prefix + "/health", 1);
+    shard->health.SaveState(h);
+    shard->breaker.SaveState(h);
   }
   return b;
 }
@@ -418,7 +1020,7 @@ bool FleetSim::Resume(const SnapshotFile& snap, std::string* error) {
     return fail("snapshot kind '" + snap.kind() + "' is not a fleet snapshot");
   }
   {
-    StateReader r = snap.Open("fleet", 1);
+    StateReader r = snap.Open("fleet", 2);
     if (!r.ok()) {
       return fail(r.error());
     }
@@ -464,43 +1066,25 @@ bool FleetSim::Resume(const SnapshotFile& snap, std::string* error) {
     if (!c.ok()) {
       return fail(c.error());
     }
-    const std::uint64_t workloads = c.U64();
-    if (!c.ok() || workloads != shard->cache.size()) {
-      return fail(prefix + "/cache: workload count mismatch");
-    }
-    for (std::size_t wl_idx = 0; wl_idx < shard->cache.size() && c.ok(); ++wl_idx) {
-      auto& slots = shard->cache[wl_idx];
-      slots.clear();
-      const Workload* wl = traffic_->mix()[wl_idx];
-      const std::uint64_t n_slots = c.U64();
-      for (std::uint64_t slot_i = 0; slot_i < n_slots && c.ok(); ++slot_i) {
-        const std::uint64_t seed = c.U64();
-        auto inst = std::make_unique<AppInstance>(static_cast<int>(wl_idx),
-                                                  static_cast<int>(slot_i), &wl->spec(),
-                                                  config_.device.model_scale);
-        Rng rng(seed);
-        wl->Prepare(*inst, rng);
-        const std::uint64_t n_secs = c.U64();
-        if (n_secs != wl->spec().sections.size()) {
-          c.Fail("cached instance section count mismatch");
-          break;
-        }
-        inst->sections().clear();
-        for (std::uint64_t si = 0; si < n_secs; ++si) {
-          DataSection s;
-          s.spec = &wl->spec().sections[si];
-          s.flash_addr = c.U64();
-          s.model_bytes = c.U64();
-          inst->sections().push_back(s);
-        }
-        slots.push_back({std::move(inst), seed, false});
-      }
-    }
+    ReadInstallCache(shard.get(), c);
     if (!c.ok()) {
       return fail(prefix + "/cache: " + c.error());
     }
     if (!c.AtEnd()) {
       return fail(prefix + "/cache has trailing bytes");
+    }
+
+    StateReader h = snap.Open(prefix + "/health", 1);
+    if (!h.ok()) {
+      return fail(h.error());
+    }
+    shard->health.LoadState(h);
+    shard->breaker.LoadState(h);
+    if (!h.ok()) {
+      return fail(prefix + "/health: " + h.error());
+    }
+    if (!h.AtEnd()) {
+      return fail(prefix + "/health has trailing bytes");
     }
   }
   return true;
@@ -568,6 +1152,12 @@ FleetReport FleetSim::Run() {
     loop.router = &router_;
     loop.gen = traffic_.get();
     loop.pool = &pool;
+    // Fault events go in first so a fault and an arrival at the same tick
+    // resolve fault-first: the arrival routes around the freshly-down shard.
+    loop.fault_events = config_.faults.Materialize(config_.num_devices);
+    for (std::size_t i = 0; i < loop.fault_events.size(); ++i) {
+      loop.PushFault(static_cast<int>(i), loop.fault_events[i].at);
+    }
     for (std::size_t i = 0; i < initial; ++i) {
       loop.PushArrival(&pool[i]);
     }
@@ -597,16 +1187,29 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
 
   double served_bytes = 0.0;
   for (FleetRequest* r : requests) {
+    if (r->is_hedge) {
+      continue;  // duplicates are an implementation detail, not client load
+    }
     ++rep.offered;
+    const std::size_t pri = static_cast<std::size_t>(r->priority);
+    ++rep.offered_by_priority[pri];
     rep.route_retries += static_cast<std::uint64_t>(r->route_retries);
     if (r->outcome == FleetRequest::Outcome::kShed) {
       ++rep.shed;
+      ++rep.shed_by_priority[pri];
       rep.makespan = std::max(rep.makespan, r->arrival);
       continue;
     }
+    if (r->outcome == FleetRequest::Outcome::kFailed) {
+      ++rep.failed;
+      ++rep.failed_by_priority[pri];
+      rep.makespan = std::max(rep.makespan, std::max(r->arrival, r->complete));
+      continue;
+    }
     FAB_CHECK(r->outcome == FleetRequest::Outcome::kServed)
-        << "request " << r->id << " neither served nor shed";
+        << "request " << r->id << " neither served, failed nor shed";
     ++rep.served;
+    ++rep.served_by_priority[pri];
     rep.makespan = std::max(rep.makespan, r->complete);
     const double lat_ms = TicksToMs(r->complete - r->arrival);
     r->slo_violated = lat_ms > config_.slo_ms;
@@ -621,11 +1224,26 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
   }
   // A resumed fleet reports its serving window only: the clock floor
   // inherited from the snapshot is not time this run spent serving.
+  const Tick horizon = rep.makespan;  // absolute last-activity tick
   rep.makespan = rep.makespan > resume_base_ ? rep.makespan - resume_base_ : 0;
+  rep.availability = rep.offered > 0
+                         ? static_cast<double>(rep.served) / static_cast<double>(rep.offered)
+                         : 1.0;
 
   const double seconds = TicksToSeconds(rep.makespan);
   rep.throughput_rps = seconds > 0.0 ? static_cast<double>(rep.served) / seconds : 0.0;
   rep.served_mb_s = seconds > 0.0 ? served_bytes / (1024.0 * 1024.0) / seconds : 0.0;
+
+  rep.fault_events_applied = tally_.events_applied;
+  rep.crashes = tally_.crashes;
+  rep.deaths = tally_.deaths;
+  rep.recoveries = tally_.recoveries;
+  rep.torn_in_flight = tally_.torn_in_flight;
+  rep.failover_reroutes = tally_.failover_reroutes;
+  rep.request_retries = tally_.request_retries;
+  rep.hedges_issued = tally_.hedges_issued;
+  rep.hedges_won = tally_.hedges_won;
+  rep.hedges_cancelled = tally_.hedges_cancelled;
 
   for (auto& shard : shards_) {
     shard->stats.utilization =
@@ -636,6 +1254,18 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
     shard->stats.peak_queue_depth = shard->queue.peak_depth();
     shard->stats.queue_depth = shard->queue.depth_series();
     shard->stats.events_executed = shard->sim->events_executed();
+    shard->stats.dead = shard->dead;
+    if ((shard->down || shard->dead) && horizon > shard->down_since) {
+      // Still out at the end of the window: the outage runs to the horizon.
+      shard->stats.down_ns += horizon - shard->down_since;
+    }
+    shard->stats.breaker_opens = shard->breaker.opens();
+    shard->stats.breaker_closes = shard->breaker.closes();
+    shard->stats.breaker_state = BreakerStateName(shard->breaker.state());
+    shard->stats.health_latency_ewma_ms = shard->health.latency_ewma_ms();
+    shard->stats.health_error_ewma = shard->health.error_ewma();
+    rep.timeouts += shard->timeouts;
+    rep.evictions += shard->evictions;
     rep.verified = rep.verified && shard->verified;
     rep.devices.push_back(shard->stats);
   }
@@ -652,9 +1282,32 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
   counter("fleet/offered", rep.offered);
   counter("fleet/served", rep.served);
   counter("fleet/shed", rep.shed);
+  counter("fleet/failed", rep.failed);
   counter("fleet/route_retries", rep.route_retries);
   counter("fleet/slo_violations", rep.slo_violations);
+  counter("fleet/fault/events_applied", rep.fault_events_applied);
+  counter("fleet/fault/crashes", rep.crashes);
+  counter("fleet/fault/deaths", rep.deaths);
+  counter("fleet/fault/recoveries", rep.recoveries);
+  counter("fleet/fault/torn_in_flight", rep.torn_in_flight);
+  counter("fleet/fault/failover_reroutes", rep.failover_reroutes);
+  counter("fleet/retry/requests", rep.request_retries);
+  counter("fleet/retry/timeouts", rep.timeouts);
+  counter("fleet/priority/evictions", rep.evictions);
+  counter("fleet/hedge/issued", rep.hedges_issued);
+  counter("fleet/hedge/won", rep.hedges_won);
+  counter("fleet/hedge/cancelled", rep.hedges_cancelled);
+  for (int p = 0; p < kNumPriorities; ++p) {
+    const std::string prefix =
+        std::string("fleet/priority/") + RequestPriorityName(static_cast<RequestPriority>(p)) +
+        "/";
+    counter(prefix + "offered", rep.offered_by_priority[p]);
+    counter(prefix + "served", rep.served_by_priority[p]);
+    counter(prefix + "shed", rep.shed_by_priority[p]);
+    counter(prefix + "failed", rep.failed_by_priority[p]);
+  }
   reg.RegisterGauge("fleet/throughput_rps", [&rep](Tick) { return rep.throughput_rps; });
+  reg.RegisterGauge("fleet/availability", [&rep](Tick) { return rep.availability; });
   reg.RegisterHistogram("fleet/latency_ms", &rep.latency_ms);
   for (std::size_t d = 0; d < rep.devices.size(); ++d) {
     const std::string p = "fleet/device/" + std::to_string(d) + "/";
@@ -665,7 +1318,18 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
     counter(p + "installs", st.installs);
     counter(p + "install_hits", st.install_hits);
     counter(p + "peak_queue_depth", st.peak_queue_depth);
+    counter(p + "failures", st.failures);
+    counter(p + "torn", st.torn);
+    counter(p + "crashes", st.crashes);
+    counter(p + "recoveries", st.recoveries);
+    counter(p + "probes", st.probes);
+    counter(p + "breaker_opens", st.breaker_opens);
+    counter(p + "breaker_closes", st.breaker_closes);
     reg.RegisterGauge(p + "utilization", [&rep, d](Tick) { return rep.devices[d].utilization; });
+    reg.RegisterGauge(p + "health/latency_ewma_ms",
+                      [&rep, d](Tick) { return rep.devices[d].health_latency_ewma_ms; });
+    reg.RegisterGauge(p + "health/error_ewma",
+                      [&rep, d](Tick) { return rep.devices[d].health_error_ewma; });
     reg.RegisterHistogram(p + "latency_ms", &rep.devices[d].latency_ms);
     reg.RegisterHistogram(p + "batch_ms", &rep.devices[d].batch_ms);
   }
@@ -689,11 +1353,40 @@ void FleetReport::WriteJson(JsonWriter* w) const {
   w->Field("offered", static_cast<double>(offered));
   w->Field("served", static_cast<double>(served));
   w->Field("shed", static_cast<double>(shed));
+  w->Field("failed", static_cast<double>(failed));
   w->Field("route_retries", static_cast<double>(route_retries));
   w->Field("slo_violations", static_cast<double>(slo_violations));
   w->Field("throughput_rps", throughput_rps);
   w->Field("served_mb_s", served_mb_s);
+  w->Field("availability", availability);
   w->Field("verified", verified);
+
+  w->Key("faults").BeginObject();
+  w->Field("events_applied", static_cast<double>(fault_events_applied))
+      .Field("crashes", static_cast<double>(crashes))
+      .Field("deaths", static_cast<double>(deaths))
+      .Field("recoveries", static_cast<double>(recoveries))
+      .Field("torn_in_flight", static_cast<double>(torn_in_flight))
+      .Field("failover_reroutes", static_cast<double>(failover_reroutes))
+      .Field("request_retries", static_cast<double>(request_retries))
+      .Field("timeouts", static_cast<double>(timeouts))
+      .Field("evictions", static_cast<double>(evictions))
+      .Field("hedges_issued", static_cast<double>(hedges_issued))
+      .Field("hedges_won", static_cast<double>(hedges_won))
+      .Field("hedges_cancelled", static_cast<double>(hedges_cancelled));
+  w->EndObject();
+
+  w->Key("priorities").BeginArray();
+  for (int p = 0; p < kNumPriorities; ++p) {
+    w->BeginObject()
+        .Field("class", RequestPriorityName(static_cast<RequestPriority>(p)))
+        .Field("offered", static_cast<double>(offered_by_priority[p]))
+        .Field("served", static_cast<double>(served_by_priority[p]))
+        .Field("shed", static_cast<double>(shed_by_priority[p]))
+        .Field("failed", static_cast<double>(failed_by_priority[p]));
+    w->EndObject();
+  }
+  w->EndArray();
 
   w->Key("latency_ms");
   WriteHistogramSummary(w, latency_ms);
@@ -713,6 +1406,7 @@ void FleetReport::WriteJson(JsonWriter* w) const {
         .Field("device", static_cast<double>(d))
         .Field("served", static_cast<double>(st.served))
         .Field("shed", static_cast<double>(st.shed))
+        .Field("failures", static_cast<double>(st.failures))
         .Field("batches", static_cast<double>(st.batches))
         .Field("installs", static_cast<double>(st.installs))
         .Field("install_hits", static_cast<double>(st.install_hits))
@@ -720,7 +1414,20 @@ void FleetReport::WriteJson(JsonWriter* w) const {
         .Field("utilization", st.utilization)
         .Field("energy_j", st.energy_j)
         .Field("events_executed", static_cast<double>(st.events_executed))
-        .Field("peak_queue_depth", static_cast<double>(st.peak_queue_depth));
+        .Field("peak_queue_depth", static_cast<double>(st.peak_queue_depth))
+        .Field("torn", static_cast<double>(st.torn))
+        .Field("crashes", static_cast<double>(st.crashes))
+        .Field("recoveries", static_cast<double>(st.recoveries))
+        .Field("dead", st.dead)
+        .Field("down_ms", TicksToMs(st.down_ns))
+        .Field("recovered_lost_groups", static_cast<double>(st.recovered_lost_groups))
+        .Field("recovered_torn_groups", static_cast<double>(st.recovered_torn_groups))
+        .Field("breaker_opens", static_cast<double>(st.breaker_opens))
+        .Field("breaker_closes", static_cast<double>(st.breaker_closes))
+        .Field("probes", static_cast<double>(st.probes))
+        .Field("breaker_state", st.breaker_state)
+        .Field("health_latency_ewma_ms", st.health_latency_ewma_ms)
+        .Field("health_error_ewma", st.health_error_ewma);
     w->Key("latency_ms");
     WriteHistogramSummary(w, st.latency_ms);
     w->Key("batch_ms");

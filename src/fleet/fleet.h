@@ -32,6 +32,8 @@
 
 #include "src/core/flashabacus.h"
 #include "src/fleet/admission_queue.h"
+#include "src/fleet/fleet_faults.h"
+#include "src/fleet/health.h"
 #include "src/sim/event_queue.h"
 #include "src/fleet/shard_router.h"
 #include "src/fleet/traffic.h"
@@ -55,6 +57,27 @@ struct FleetConfig {
   int max_batch = 4;             // requests coalesced per device dispatch
   double slo_ms = 250.0;         // client-latency objective per request
   bool verify_outputs = true;    // functional check of every served request
+
+  // --- Fleet fault tolerance (docs/FLEET.md "Fleet fault tolerance") -------
+  FleetFaultConfig faults;  // scripted/seeded per-shard fault events
+  HealthConfig health;      // EWMA + circuit-breaker knobs (kHealthAware)
+  // Bounded retry budget per request: a failed request (torn by a crash,
+  // uncorrectable I/O, timeout) is resubmitted up to this many times, each
+  // retry_backoff after the failure, before it counts as failed.
+  int max_request_retries = 0;
+  Tick retry_backoff = 2 * kMs;
+  // Hedged duplicates for latency-class requests: a request still queued
+  // hedge_delay after admission gets a duplicate on another shard; the first
+  // completion wins and the loser is cancelled (first-wins accounting).
+  bool hedge_requests = false;
+  Tick hedge_delay = 50 * kMs;
+  // A served completion slower than this counts as a timeout failure
+  // (retried on the request's budget). 0 disables the timeout.
+  double request_timeout_ms = 0.0;
+  // SLO-aware shedding: a full admission queue evicts its youngest
+  // strictly-lower-priority entry to admit a higher-priority arrival, so
+  // overload degrades batch work before latency-class traffic.
+  bool priority_shedding = false;
 
   // kAuto picks kPartitioned when legal (open loop + oblivious policy +
   // max_route_attempts == 1), else kLockstep.
@@ -83,6 +106,22 @@ struct FleetDeviceStats {
   Histogram latency_ms;   // client-perceived latency of requests it served
   Histogram batch_ms;     // service window per batch
   TimeSeries queue_depth; // admission-queue depth over time
+
+  // --- Fault-tolerance slice (fleet/fault/* + fleet/health/* metrics) ------
+  std::uint64_t failures = 0;       // request failures charged to this shard
+  std::uint64_t torn = 0;           // in-flight requests torn by a crash
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  bool dead = false;                // permanently failed, never rejoined
+  Tick down_ns = 0;                 // total crash downtime
+  std::uint64_t recovered_lost_groups = 0;  // FTL mappings lost in recovery
+  std::uint64_t recovered_torn_groups = 0;  // half-programmed groups found
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t probes = 0;                 // requests admitted half-open
+  std::string breaker_state = "closed";     // state at end of run
+  double health_latency_ewma_ms = 0.0;
+  double health_error_ewma = 0.0;
 };
 
 struct FleetReport {
@@ -96,11 +135,32 @@ struct FleetReport {
   std::uint64_t offered = 0;
   std::uint64_t served = 0;
   std::uint64_t shed = 0;
+  std::uint64_t failed = 0;  // accepted but lost after every retry (torn/IO/timeout)
   std::uint64_t route_retries = 0;
   std::uint64_t slo_violations = 0;
   double throughput_rps = 0.0;  // served requests per simulated second
   double served_mb_s = 0.0;     // modelled bytes of served requests per second
+  double availability = 1.0;    // served / offered — the goodput ratio
   bool verified = true;
+
+  // --- Fault-tolerance rollup ----------------------------------------------
+  std::uint64_t fault_events_applied = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t torn_in_flight = 0;    // requests torn by crashes
+  std::uint64_t failover_reroutes = 0; // queued requests drained to other shards
+  std::uint64_t request_retries = 0;   // failure-path resubmissions
+  std::uint64_t timeouts = 0;
+  std::uint64_t evictions = 0;         // priority-shed queue evictions
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;        // duplicate finished first
+  std::uint64_t hedges_cancelled = 0;  // losers removed or ignored
+  // Per-priority-class accounting, indexed by RequestPriority.
+  std::uint64_t offered_by_priority[kNumPriorities] = {0, 0, 0};
+  std::uint64_t served_by_priority[kNumPriorities] = {0, 0, 0};
+  std::uint64_t shed_by_priority[kNumPriorities] = {0, 0, 0};
+  std::uint64_t failed_by_priority[kNumPriorities] = {0, 0, 0};
 
   Histogram latency_ms;                    // all served requests
   std::vector<FleetDeviceStats> devices;   // indexed by shard
@@ -148,12 +208,35 @@ class FleetSim {
   struct ServeLoop;
 
   void BuildShards();
+  // The per-shard device config (decorrelated fault seed); also what a
+  // snapshot-mode recovery rebuilds a replacement device from.
+  FlashAbacusConfig ShardDeviceConfig(int shard) const;
+  // Install-cache directory encode/decode, shared by the fleet snapshot and
+  // the per-shard crash-recovery checkpoints.
+  static void WriteInstallCache(const Shard& shard, StateWriter& w);
+  void ReadInstallCache(Shard* shard, StateReader& r) const;
   FleetReport Finalize(std::vector<FleetRequest*> requests, const std::string& execution);
 
   FleetConfig config_;
   std::unique_ptr<TrafficGenerator> traffic_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Fault-tolerance tallies, written by the (single-threaded) lockstep loop
+  // and folded into the report by Finalize.
+  struct FaultTally {
+    std::uint64_t events_applied = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t deaths = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t torn_in_flight = 0;
+    std::uint64_t failover_reroutes = 0;
+    std::uint64_t request_retries = 0;
+    std::uint64_t hedges_issued = 0;
+    std::uint64_t hedges_won = 0;
+    std::uint64_t hedges_cancelled = 0;
+  };
+  FaultTally tally_;
   // Clock floor of a resumed fleet: arrivals shift past it and report
   // windows subtract it, so a warm-started run reads like a fresh one.
   Tick resume_base_ = 0;

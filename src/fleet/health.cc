@@ -1,0 +1,199 @@
+#include "src/fleet/health.h"
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+std::string HealthConfig::Validate() const {
+  if (latency_alpha <= 0.0 || latency_alpha > 1.0) {
+    return "latency_alpha must be in (0, 1], got " + std::to_string(latency_alpha);
+  }
+  if (error_alpha <= 0.0 || error_alpha > 1.0) {
+    return "error_alpha must be in (0, 1], got " + std::to_string(error_alpha);
+  }
+  if (strikes_to_open < 1) {
+    return "strikes_to_open must be >= 1, got " + std::to_string(strikes_to_open);
+  }
+  if (error_open_threshold <= 0.0 || error_open_threshold > 1.0) {
+    return "error_open_threshold must be in (0, 1], got " +
+           std::to_string(error_open_threshold);
+  }
+  if (open_cooldown < 1) {
+    return "open_cooldown must be >= 1 tick";
+  }
+  if (half_open_probes < 1) {
+    return "half_open_probes must be >= 1, got " + std::to_string(half_open_probes);
+  }
+  if (probe_successes_to_close < 1) {
+    return "probe_successes_to_close must be >= 1, got " +
+           std::to_string(probe_successes_to_close);
+  }
+  return "";
+}
+
+void HealthTracker::OnSuccess(double service_ms) {
+  latency_ewma_ms_ = successes_ + failures_ == 0
+                         ? service_ms
+                         : latency_ewma_ms_ +
+                               config_.latency_alpha * (service_ms - latency_ewma_ms_);
+  error_ewma_ += config_.error_alpha * (0.0 - error_ewma_);
+  consecutive_failures_ = 0;
+  ++successes_;
+}
+
+void HealthTracker::OnFailure() {
+  error_ewma_ = successes_ + failures_ == 0
+                    ? 1.0
+                    : error_ewma_ + config_.error_alpha * (1.0 - error_ewma_);
+  ++consecutive_failures_;
+  ++failures_;
+}
+
+void HealthTracker::SaveState(StateWriter& w) const {
+  w.F64(latency_ewma_ms_);
+  w.F64(error_ewma_);
+  w.I32(consecutive_failures_);
+  w.U64(successes_);
+  w.U64(failures_);
+}
+
+void HealthTracker::LoadState(StateReader& r) {
+  latency_ewma_ms_ = r.F64();
+  error_ewma_ = r.F64();
+  consecutive_failures_ = r.I32();
+  successes_ = r.U64();
+  failures_ = r.U64();
+}
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::Advance(Tick now) {
+  if (state_ == BreakerState::kOpen && now >= reopen_at_) {
+    state_ = BreakerState::kHalfOpen;
+    probes_inflight_ = 0;
+    probe_successes_ = 0;
+  }
+}
+
+bool CircuitBreaker::AllowRequest() const {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      return probes_inflight_ < config_.half_open_probes;
+  }
+  return false;
+}
+
+void CircuitBreaker::OnProbeDispatched() {
+  FAB_CHECK(state_ == BreakerState::kHalfOpen) << "probes only exist half-open";
+  ++probes_inflight_;
+  probes_.Add();
+}
+
+void CircuitBreaker::OnProbeOutcome(bool success, Tick now) {
+  if (state_ != BreakerState::kHalfOpen) {
+    // A force-open (crash) can race an in-flight probe; its late outcome no
+    // longer has a vote.
+    return;
+  }
+  if (probes_inflight_ > 0) {
+    --probes_inflight_;
+  }
+  if (!success) {
+    Open(now);
+    return;
+  }
+  if (++probe_successes_ >= config_.probe_successes_to_close) {
+    Close();
+  }
+}
+
+void CircuitBreaker::OnOutcome(bool success, Tick now, double error_ewma) {
+  if (state_ != BreakerState::kClosed) {
+    // Stragglers dispatched before the breaker left closed carry no weight;
+    // half-open health is decided by probes alone.
+    return;
+  }
+  if (success) {
+    strikes_ = 0;
+    return;
+  }
+  if (++strikes_ >= config_.strikes_to_open || error_ewma >= config_.error_open_threshold) {
+    Open(now);
+  }
+}
+
+void CircuitBreaker::ForceOpen(Tick now) { Open(now); }
+
+void CircuitBreaker::ForceHalfOpen(Tick now) {
+  if (state_ == BreakerState::kClosed) {
+    // Count the pass through open so the open/close tallies stay paired.
+    opens_.Add();
+  }
+  state_ = BreakerState::kHalfOpen;
+  reopen_at_ = now;
+  strikes_ = 0;
+  probes_inflight_ = 0;
+  probe_successes_ = 0;
+}
+
+void CircuitBreaker::Open(Tick now) {
+  if (state_ != BreakerState::kOpen) {
+    opens_.Add();
+  }
+  state_ = BreakerState::kOpen;
+  reopen_at_ = now + config_.open_cooldown;
+  strikes_ = 0;
+  probes_inflight_ = 0;
+  probe_successes_ = 0;
+}
+
+void CircuitBreaker::Close() {
+  state_ = BreakerState::kClosed;
+  strikes_ = 0;
+  probes_inflight_ = 0;
+  probe_successes_ = 0;
+  closes_.Add();
+}
+
+void CircuitBreaker::SaveState(StateWriter& w) const {
+  w.U8(static_cast<std::uint8_t>(state_));
+  w.I32(strikes_);
+  w.I64(reopen_at_);
+  w.I32(probes_inflight_);
+  w.I32(probe_successes_);
+  opens_.SaveState(w);
+  closes_.SaveState(w);
+  probes_.SaveState(w);
+}
+
+void CircuitBreaker::LoadState(StateReader& r) {
+  const std::uint8_t s = r.U8();
+  if (s > static_cast<std::uint8_t>(BreakerState::kHalfOpen)) {
+    r.Fail("invalid circuit breaker state byte");
+    return;
+  }
+  state_ = static_cast<BreakerState>(s);
+  strikes_ = r.I32();
+  reopen_at_ = r.I64();
+  probes_inflight_ = r.I32();
+  probe_successes_ = r.I32();
+  opens_.LoadState(r);
+  closes_.LoadState(r);
+  probes_.LoadState(r);
+}
+
+}  // namespace fabacus

@@ -15,18 +15,29 @@ const char* PlacementPolicyName(PlacementPolicy p) {
       return "least-outstanding";
     case PlacementPolicy::kDataAffinity:
       return "data-affinity";
+    case PlacementPolicy::kHealthAware:
+      return "health-aware";
   }
   return "?";
 }
 
-bool PolicyIsOblivious(PlacementPolicy p) { return p != PlacementPolicy::kLeastOutstanding; }
+bool PolicyIsOblivious(PlacementPolicy p) {
+  return p != PlacementPolicy::kLeastOutstanding && p != PlacementPolicy::kHealthAware;
+}
 
 ShardRouter::ShardRouter(PlacementPolicy policy, int num_devices)
     : policy_(policy), num_devices_(num_devices) {
   FAB_CHECK_GE(num_devices, 1);
 }
 
-int ShardRouter::Route(const FleetRequest& r, const std::vector<int>& outstanding, int attempt) {
+int ShardRouter::Route(const FleetRequest& r, const std::vector<int>& outstanding,
+                       int attempt) {
+  RouteState state;
+  state.outstanding = &outstanding;
+  return Route(r, state, attempt);
+}
+
+int ShardRouter::Route(const FleetRequest& r, const RouteState& state, int attempt) {
   const std::uint64_t n = static_cast<std::uint64_t>(num_devices_);
   const std::uint64_t a = static_cast<std::uint64_t>(attempt);
   switch (policy_) {
@@ -38,6 +49,8 @@ int ShardRouter::Route(const FleetRequest& r, const std::vector<int>& outstandin
       return static_cast<int>((rr_next_ + a) % n);
     }
     case PlacementPolicy::kLeastOutstanding: {
+      FAB_CHECK(state.outstanding != nullptr) << "least-outstanding needs live queue depths";
+      const std::vector<int>& outstanding = *state.outstanding;
       FAB_CHECK_EQ(outstanding.size(), n) << "outstanding vector size mismatch";
       // attempt-th smallest (outstanding, index); deterministic under ties.
       std::vector<int> order(num_devices_);
@@ -57,8 +70,94 @@ int ShardRouter::Route(const FleetRequest& r, const std::vector<int>& outstandin
       z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
       return static_cast<int>(((z ^ (z >> 31)) + a) % n);
     }
+    case PlacementPolicy::kHealthAware: {
+      FAB_CHECK(state.outstanding != nullptr) << "health-aware needs live queue depths";
+      const std::vector<int>& outstanding = *state.outstanding;
+      FAB_CHECK_EQ(outstanding.size(), n) << "outstanding vector size mismatch";
+      if (state.health != nullptr) {
+        FAB_CHECK_EQ(state.health->size(), n) << "health view size mismatch";
+      }
+      // Rank routable shards (closed, or half-open with probe-quota room)
+      // ahead of unroutable ones, then by load, then EWMA score, ties to the
+      // lowest index — the attempt-th entry of that ranking. A half-open
+      // shard competes like a closed one on purpose: the breaker's probe
+      // quota flips it to unroutable once enough probes are in flight, so it
+      // receives a bounded trickle instead of starving (a shard that never
+      // sees traffic can never prove itself and rejoin). Unroutable shards
+      // still appear at the tail so retries enumerate the whole fleet
+      // ("fail static").
+      auto category = [&](int d) {
+        if (state.health == nullptr) {
+          return 0;
+        }
+        return (*state.health)[static_cast<std::size_t>(d)].routable ? 0 : 1;
+      };
+      auto score = [&](int d) {
+        return state.health == nullptr ? 0.0
+                                       : (*state.health)[static_cast<std::size_t>(d)].score;
+      };
+      std::vector<int> order(num_devices_);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int x, int y) {
+        const int cx = category(x);
+        const int cy = category(y);
+        if (cx != cy) {
+          return cx < cy;
+        }
+        const std::size_t sx = static_cast<std::size_t>(x);
+        const std::size_t sy = static_cast<std::size_t>(y);
+        if (outstanding[sx] != outstanding[sy]) {
+          return outstanding[sx] < outstanding[sy];
+        }
+        const double hx = score(x);
+        const double hy = score(y);
+        if (hx != hy) {
+          return hx < hy;
+        }
+        return x < y;
+      });
+      return order[static_cast<std::size_t>(a % n)];
+    }
   }
   return 0;
+}
+
+void ShardRouter::SaveState(StateWriter& w) const {
+  w.U8(kStateFormatVersion);
+  w.U8(static_cast<std::uint8_t>(policy_));
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin:
+      w.U64(rr_next_);
+      break;
+    case PlacementPolicy::kLeastOutstanding:
+    case PlacementPolicy::kDataAffinity:
+    case PlacementPolicy::kHealthAware:
+      break;  // stateless: their choices derive from live fleet state
+  }
+}
+
+void ShardRouter::LoadState(StateReader& r) {
+  const std::uint8_t version = r.U8();
+  if (r.ok() && version != kStateFormatVersion) {
+    r.Fail("router state format version " + std::to_string(version) + " != " +
+           std::to_string(kStateFormatVersion));
+    return;
+  }
+  const std::uint8_t policy = r.U8();
+  if (r.ok() && policy != static_cast<std::uint8_t>(policy_)) {
+    r.Fail("router state saved under policy " + std::to_string(policy) +
+           " but this router runs " + PlacementPolicyName(policy_));
+    return;
+  }
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin:
+      rr_next_ = r.U64();
+      break;
+    case PlacementPolicy::kLeastOutstanding:
+    case PlacementPolicy::kDataAffinity:
+    case PlacementPolicy::kHealthAware:
+      break;
+  }
 }
 
 }  // namespace fabacus

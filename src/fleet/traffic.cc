@@ -14,6 +14,18 @@ std::vector<TrafficMixEntry> DefaultMix() {
 
 }  // namespace
 
+const char* RequestPriorityName(RequestPriority p) {
+  switch (p) {
+    case RequestPriority::kLatency:
+      return "latency";
+    case RequestPriority::kThroughput:
+      return "throughput";
+    case RequestPriority::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
 const char* TrafficModelName(TrafficConfig::Model m) {
   switch (m) {
     case TrafficConfig::Model::kOpenLoop:
@@ -47,6 +59,10 @@ std::string TrafficConfig::Validate() const {
     if (WorkloadRegistry::Get().Find(e.workload) == nullptr) {
       return "unknown workload in mix: " + e.workload;
     }
+  }
+  if (latency_share < 0.0 || batch_share < 0.0 || latency_share + batch_share > 1.0) {
+    return "priority shares must be non-negative and sum to <= 1 (latency_share=" +
+           std::to_string(latency_share) + ", batch_share=" + std::to_string(batch_share) + ")";
   }
   return "";
 }
@@ -102,7 +118,29 @@ FleetRequest TrafficGenerator::MakeRequest(int client, Tick arrival) {
   r.client_id = client;
   r.workload_idx = DrawWorkload();
   r.arrival = arrival;
+  r.priority = PriorityFor(r.id);
   return r;
+}
+
+RequestPriority TrafficGenerator::PriorityFor(int id) const {
+  if (config_.latency_share <= 0.0 && config_.batch_share <= 0.0) {
+    return RequestPriority::kThroughput;
+  }
+  // Side SplitMix64 hash of (seed, id): deterministic per config without
+  // consuming the main stream, so priority shares never move arrival times.
+  std::uint64_t z = config_.seed ^ (static_cast<std::uint64_t>(id) * 0x9e3779b97f4a7c15ULL +
+                                    0x632be59bd9b4e019ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+  if (u < config_.latency_share) {
+    return RequestPriority::kLatency;
+  }
+  if (u < config_.latency_share + config_.batch_share) {
+    return RequestPriority::kBatch;
+  }
+  return RequestPriority::kThroughput;
 }
 
 std::vector<FleetRequest> TrafficGenerator::InitialArrivals() {

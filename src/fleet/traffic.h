@@ -25,15 +25,29 @@
 
 namespace fabacus {
 
+// Service class of a request: what the fleet protects under overload and
+// failure (docs/FLEET.md "Fleet fault tolerance"). Ordered best-first so the
+// SLO-aware shedder can compare classes numerically.
+enum class RequestPriority { kLatency = 0, kThroughput = 1, kBatch = 2 };
+constexpr int kNumPriorities = 3;
+
+const char* RequestPriorityName(RequestPriority p);
+
 // One client request: execute one instance of a registry workload somewhere
 // in the fleet. The routing/serving fields are filled in as the request moves
 // through admission, dispatch and completion.
 struct FleetRequest {
-  enum class Outcome { kPending, kServed, kShed };
+  enum class Outcome {
+    kPending,
+    kServed,
+    kShed,    // rejected at admission (no queue slot / priority eviction)
+    kFailed,  // accepted but lost: torn by a crash, uncorrectable I/O, timeout
+  };
 
   int id = 0;            // global submission order (generator-assigned)
   int client_id = 0;
   int workload_idx = 0;  // index into TrafficGenerator::mix()
+  RequestPriority priority = RequestPriority::kThroughput;
   Tick arrival = 0;
 
   Outcome outcome = Outcome::kPending;
@@ -42,6 +56,17 @@ struct FleetRequest {
   Tick dispatch = 0;     // dequeued from admission into a device batch
   Tick complete = 0;     // device-reported completion (writeback accepted)
   bool slo_violated = false;
+
+  // --- Fault-tolerance lifecycle (managed by FleetSim's serve loop) --------
+  int retries = 0;          // fleet-level resubmissions after failures
+  bool is_probe = false;    // admitted through a half-open circuit breaker
+  bool is_hedge = false;    // this object is a hedged duplicate, not a client
+                            // request (excluded from offered/served accounting)
+  bool hedged = false;      // a hedge duplicate was issued for this request
+  bool cancelled = false;   // lost the first-wins race; completion is ignored
+  FleetRequest* hedge_peer = nullptr;  // primary <-> duplicate link
+  int queued_on = -1;       // shard whose admission queue holds it (-1: none)
+  bool in_flight = false;   // member of a dispatched device batch
 };
 
 struct TrafficMixEntry {
@@ -71,6 +96,13 @@ struct TrafficConfig {
   // Kernel mix; empty selects a light data-intensive default
   // (ATAX/BICG/MVT/GESUM, equal weights).
   std::vector<TrafficMixEntry> mix;
+
+  // Priority-class shares: each request is latency-class with probability
+  // `latency_share`, batch-class with `batch_share`, throughput otherwise.
+  // Drawn from a side hash of (seed, request id) — NOT the main stream — so
+  // enabling priorities never perturbs the arrival schedule.
+  double latency_share = 0.0;
+  double batch_share = 0.0;
 
   // Empty when well-formed, else a description of the first problem.
   std::string Validate() const;
@@ -124,6 +156,7 @@ class TrafficGenerator {
 
  private:
   FleetRequest MakeRequest(int client, Tick arrival);
+  RequestPriority PriorityFor(int id) const;
   int DrawWorkload();
   Tick DrawExponential(double mean_ns);
 
