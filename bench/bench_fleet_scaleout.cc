@@ -7,7 +7,14 @@
 // shedding and placement skew eat into that. The table reports per-policy
 // aggregate throughput, client-latency percentiles, shed rate and re-route
 // retries, plus the 1->4 device scaling factor (target: >= 3x).
+//
+// The mega phase pushes the scenario axis instead of the fidelity axis:
+// 64 synthetic-service devices under 1M and then 10M streamed requests,
+// gating that peak RSS stays flat between the two cells — the streaming-
+// sketch aggregation contract (constant memory in the request count).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -167,6 +174,102 @@ void WarmStart(BenchJson* json) {
   emit("warm", warm_rep);
 }
 
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+// Mega scale-out: 64 synthetic-service devices, open-loop round-robin, run
+// once at 1M requests and once at 10M. Both cells stream arrivals and retire
+// requests into bounded sketches, so the only per-request state alive at any
+// instant is the in-flight window — peak RSS of the 10M cell must stay
+// within FABACUS_SCALEOUT_RSS_LIMIT_PCT (default 110%) of the 1M cell.
+// Returns non-zero when the memory gate fails.
+int MegaScaleOut(BenchJson* json) {
+  constexpr int kMegaDevices = 64;
+  constexpr double kMegaPerDeviceRate = 5000.0;  // ~63% of synthetic capacity
+  const std::uint64_t base_requests = EnvU64("FABACUS_SCALEOUT_BASE_REQUESTS", 1000000);
+  const std::uint64_t mega_requests = EnvU64("FABACUS_SCALEOUT_MEGA_REQUESTS", 10000000);
+  const std::uint64_t limit_pct = EnvU64("FABACUS_SCALEOUT_RSS_LIMIT_PCT", 110);
+
+  PrintHeader("Mega scale-out: " + std::to_string(kMegaDevices) +
+              " synthetic devices, streamed arrivals, bounded-sketch aggregation");
+  PrintRow({"requests", "served", "shed%", "req/s", "p50 ms", "p99 ms", "sim s",
+            "wall s", "peak rss MB"});
+
+  const auto run_cell = [&](std::uint64_t requests) {
+    FleetConfig cfg;
+    cfg.num_devices = kMegaDevices;
+    cfg.policy = PlacementPolicy::kRoundRobin;
+    cfg.synthetic_service = true;
+    // Force the lockstep loop: it streams arrivals and recycles retired
+    // requests, where the partitioned path materializes the whole schedule.
+    cfg.execution = FleetConfig::Execution::kLockstep;
+    cfg.traffic.model = TrafficConfig::Model::kOpenLoop;
+    cfg.traffic.seed = 42;
+    cfg.traffic.num_clients = 64;
+    cfg.traffic.arrival_rate_per_s = kMegaPerDeviceRate * kMegaDevices;
+    cfg.traffic.total_requests = static_cast<int>(requests);
+    cfg.max_route_attempts = 2;
+    const auto start = std::chrono::steady_clock::now();
+    FleetReport rep = RunFleet(cfg);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const std::uint64_t rss = PeakRssBytes();
+
+    const double shed_pct = rep.offered > 0 ? 100.0 * static_cast<double>(rep.shed) /
+                                                  static_cast<double>(rep.offered)
+                                            : 0.0;
+    const double p50 = rep.latency_ms.Percentile(50);
+    const double p99 = rep.latency_ms.Percentile(99);
+    PrintRow({std::to_string(requests), std::to_string(rep.served), Fmt(shed_pct, 2),
+              Fmt(rep.throughput_rps, 0), Fmt(p50, 2), Fmt(p99, 2),
+              Fmt(TicksToMs(rep.makespan) / 1000.0, 1), Fmt(wall_s, 1),
+              Fmt(static_cast<double>(rss) / (1024.0 * 1024.0), 1)});
+    json->AddScalarRow("mega", std::to_string(requests),
+                       {{"devices", static_cast<double>(kMegaDevices)},
+                        {"requests", static_cast<double>(requests)},
+                        {"offered", static_cast<double>(rep.offered)},
+                        {"served", static_cast<double>(rep.served)},
+                        {"shed", static_cast<double>(rep.shed)},
+                        {"throughput_rps", rep.throughput_rps},
+                        {"latency_p50_ms", p50},
+                        {"latency_p99_ms", p99},
+                        {"makespan_ms", TicksToMs(rep.makespan)},
+                        {"wall_seconds", wall_s},
+                        {"requests_per_wall_sec",
+                         wall_s > 0.0 ? static_cast<double>(requests) / wall_s : 0.0}});
+    return rss;
+  };
+
+  // ru_maxrss is a monotone high-water mark, so running the small cell first
+  // gives the gate its baseline: if the big cell allocates O(requests), the
+  // mark jumps ~10x; if aggregation is bounded, it barely moves.
+  const std::uint64_t rss_base = run_cell(base_requests);
+  const std::uint64_t rss_mega = run_cell(mega_requests);
+  const std::uint64_t ceiling = rss_base / 100 * limit_pct;
+  std::printf("\nMemory gate: peak RSS %.1f MB after %lluM-request cell vs %.1f MB baseline "
+              "(ceiling %.1f MB = %llu%%)\n",
+              static_cast<double>(rss_mega) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(mega_requests / 1000000),
+              static_cast<double>(rss_base) / (1024.0 * 1024.0),
+              static_cast<double>(ceiling) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(limit_pct));
+  if (rss_base > 0 && rss_mega > ceiling) {
+    std::fprintf(stderr,
+                 "bench_fleet_scaleout: FAIL: fleet aggregation memory is not flat in the "
+                 "request count (peak RSS grew past %llu%% of the baseline cell)\n",
+                 static_cast<unsigned long long>(limit_pct));
+    return 1;
+  }
+  std::printf("Memory gate: OK (flat aggregation memory at %lluM requests)\n",
+              static_cast<unsigned long long>(mega_requests / 1000000));
+  return 0;
+}
+
 }  // namespace
 }  // namespace fabacus
 
@@ -174,5 +277,5 @@ int main() {
   fabacus::BenchJson json("bench_fleet_scaleout");
   fabacus::Run(&json);
   fabacus::WarmStart(&json);
-  return 0;
+  return fabacus::MegaScaleOut(&json);
 }

@@ -14,15 +14,18 @@ constexpr TraceTag kSummaryTags[] = {
 };
 
 void WriteHistogramSummary(JsonWriter* w, const Histogram& h) {
+  // Summarize() sorts once for all six statistics; values are identical to
+  // per-statistic queries, so goldens only see the schema_version change.
+  const HistogramSummary s = h.Summarize();
   w->BeginObject();
-  w->Field("count", static_cast<double>(h.count()));
-  if (h.count() > 0) {
-    w->Field("min", h.Min())
-        .Field("mean", h.Mean())
-        .Field("p50", h.Percentile(50))
-        .Field("p95", h.Percentile(95))
-        .Field("p99", h.Percentile(99))
-        .Field("max", h.Max());
+  w->Field("count", static_cast<double>(s.count));
+  if (s.count > 0) {
+    w->Field("min", s.min)
+        .Field("mean", s.mean)
+        .Field("p50", s.p50)
+        .Field("p95", s.p95)
+        .Field("p99", s.p99)
+        .Field("max", s.max);
   }
   w->EndObject();
 }

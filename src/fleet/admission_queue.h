@@ -39,8 +39,10 @@ class AdmissionQueue {
   std::uint64_t enqueued() const { return enqueued_.value(); }
   std::uint64_t rejected() const { return rejected_.value(); }
   std::size_t peak_depth() const { return peak_depth_; }
-  // (time, depth) after every enqueue/dequeue.
-  const TimeSeries& depth_series() const { return depth_series_; }
+  // Depth after every enqueue/dequeue/evict, coarsened into a bounded bin
+  // set (constant memory however many requests flow through; the report only
+  // ever reads the Rebucketed view).
+  const BoundedTimeSeries& depth_series() const { return depth_series_; }
 
  private:
   std::size_t max_depth_;
@@ -48,7 +50,7 @@ class AdmissionQueue {
   Counter enqueued_;
   Counter rejected_;
   std::size_t peak_depth_ = 0;
-  TimeSeries depth_series_;
+  BoundedTimeSeries depth_series_;
 };
 
 }  // namespace fabacus

@@ -30,21 +30,26 @@ std::uint64_t InstanceSeed(std::uint64_t base, int shard, int workload, std::siz
   return z;
 }
 
-void WriteHistogramSummary(JsonWriter* w, const Histogram& h) {
+void WriteHistogramSummary(JsonWriter* w, const HistogramSummary& s) {
   w->BeginObject();
-  w->Field("count", static_cast<double>(h.count()));
-  if (h.count() > 0) {
-    w->Field("min", h.Min())
-        .Field("mean", h.Mean())
-        .Field("p50", h.Percentile(50))
-        .Field("p95", h.Percentile(95))
-        .Field("p99", h.Percentile(99))
-        .Field("max", h.Max());
+  w->Field("count", static_cast<double>(s.count));
+  if (s.count > 0) {
+    w->Field("min", s.min)
+        .Field("mean", s.mean)
+        .Field("p50", s.p50)
+        .Field("p95", s.p95)
+        .Field("p99", s.p99)
+        .Field("max", s.max);
   }
   w->EndObject();
 }
 
 constexpr std::size_t kQueueDepthBuckets = 32;
+
+// Synthetic service model: nanoseconds of device time per modelled megabyte
+// of request input. Sized so the default kernel mix serves in the same
+// order of magnitude as a small real device (~0.1 ms per request).
+constexpr double kSyntheticNsPerMb = 50000.0;
 
 }  // namespace
 
@@ -96,6 +101,10 @@ std::string FleetConfig::Validate() const {
   if (request_timeout_ms < 0.0) {
     return "request_timeout_ms must be >= 0, got " + std::to_string(request_timeout_ms);
   }
+  if (synthetic_service && faults.Any()) {
+    return "synthetic service models no device internals to inject faults into; "
+           "disable faults or use real devices";
+  }
   if (execution == Execution::kPartitioned && !CanPartition()) {
     return "partitioned execution needs open-loop traffic, an oblivious placement "
            "policy, max_route_attempts == 1 and no fault/retry/hedge machinery";
@@ -129,6 +138,9 @@ struct FleetSim::Shard {
     bool in_use = false;
   };
   std::vector<std::vector<CachedInstance>> cache;  // [workload_idx]
+  // Synthetic service mode: which workloads' datasets this shard has
+  // "installed" (first request per workload pays the install, later ones hit).
+  std::vector<char> synthetic_installed;  // [workload_idx]
 
   FleetDeviceStats stats;
   bool verified = true;
@@ -168,6 +180,23 @@ struct FleetSim::ServeLoop {
   TrafficGenerator* gen = nullptr;        // closed-loop source (lockstep only)
   std::deque<FleetRequest>* pool = nullptr;  // owner of generated requests
   std::vector<FleetFaultEvent> fault_events;  // materialized plan (lockstep)
+
+  // Streaming open-loop source (lockstep only): exactly one future generator
+  // arrival lives in the heap at a time, so the loop never materializes the
+  // whole schedule. Generator arrivals carry pre-assigned sequence numbers
+  // stream_seq_lo + id — the numbers an eager push of the full schedule
+  // would have produced — so event order is bit-identical to the eager path.
+  TrafficGenerator* stream = nullptr;
+  std::uint64_t stream_seq_lo = 0;  // seq of the window's first arrival
+  std::uint64_t stream_seq_hi = 0;  // one past the last generator arrival seq
+  int stream_base_id = -1;          // id of the window's first arrival
+  // Retirement hooks (lockstep): fold each terminal request into the fleet's
+  // streaming aggregates the moment it resolves, and — when recycling is safe
+  // (no hedge timers holding stale pointers) — return its pool slot to a free
+  // list so an unbounded request stream runs in O(in-flight) memory.
+  bool retire_inline = false;
+  bool recycle = false;
+  std::vector<FleetRequest*> free_list;
 
   struct Ev {
     enum class Kind { kArrival, kBatchDone, kFault, kRecover, kHedge };
@@ -230,12 +259,46 @@ struct FleetSim::ServeLoop {
     heap.push(e);
   }
 
+  // Pulls the next generator arrival into the heap (streaming path). Called
+  // once to prime the loop and again as each generator arrival is popped, so
+  // the heap holds at most one future arrival. Inter-arrival gaps are
+  // non-negative, so the refill can never sort before the arrival that
+  // triggered it.
+  void PushNextStreamArrival() {
+    FleetRequest next;
+    if (stream == nullptr || !stream->NextArrival(&next)) {
+      return;
+    }
+    next.arrival += fleet->resume_base_;
+    FleetRequest* slot;
+    if (!free_list.empty()) {
+      slot = free_list.back();
+      free_list.pop_back();
+      *slot = next;
+    } else {
+      pool->push_back(next);
+      slot = &pool->back();
+    }
+    if (stream_base_id < 0) {
+      stream_base_id = slot->id;  // a resumed window's ids continue past 0
+    }
+    Ev e;
+    e.t = slot->arrival;
+    e.seq = stream_seq_lo + static_cast<std::uint64_t>(slot->id - stream_base_id);
+    e.kind = Ev::Kind::kArrival;
+    e.req = slot;
+    heap.push(e);
+  }
+
   void Run() {
     while (!heap.empty()) {
       const Ev e = heap.top();
       heap.pop();
       switch (e.kind) {
         case Ev::Kind::kArrival:
+          if (stream != nullptr && e.seq >= stream_seq_lo && e.seq < stream_seq_hi) {
+            PushNextStreamArrival();  // a generator arrival: refill the window
+          }
           OnArrival(e.req, e.t);
           break;
         case Ev::Kind::kBatchDone:
@@ -255,6 +318,11 @@ struct FleetSim::ServeLoop {
   }
 
   Shard* ShardByIndex(int index) const {
+    // Lockstep loops hold every shard in device order — index directly.
+    const std::size_t i = static_cast<std::size_t>(index);
+    if (i < shards.size() && shards[i]->index == index) {
+      return shards[i];
+    }
     for (Shard* s : shards) {
       if (s->index == index) {
         return s;
@@ -262,6 +330,18 @@ struct FleetSim::ServeLoop {
     }
     FAB_CHECK(false) << "no shard " << index << " in this serve loop";
     return nullptr;
+  }
+
+  // A request reached a terminal outcome on the lockstep path: stream it into
+  // the fleet aggregates now instead of retaining it for a post-run walk.
+  void Retire(FleetRequest* r) {
+    if (!retire_inline) {
+      return;
+    }
+    fleet->RetireRequest(*r);
+    if (recycle) {
+      free_list.push_back(r);
+    }
   }
 
   std::vector<int> Outstanding() const {
@@ -376,6 +456,7 @@ struct FleetSim::ServeLoop {
     r->queued_on = -1;
     charged->stats.shed += 1;
     ClientDone(r, now);  // a shed response still frees the client to retry
+    Retire(r);
   }
 
   void OnArrival(FleetRequest* r, Tick now) {
@@ -389,6 +470,25 @@ struct FleetSim::ServeLoop {
       Shard* s = ShardByIndex(primary);
       if (AdmitTo(s, r, false, now)) {
         admitted = s;
+      }
+    } else if (!FaultsActive() && PolicyIsOblivious(fleet->config_.policy)) {
+      // Fast path for the common healthy-oblivious case: no shard can be
+      // down, dead or breaker-gated, and round-robin/affinity routing reads
+      // neither outstanding counts nor health views — skip building both
+      // (two O(num_devices) allocations per arrival at fleet scale).
+      RouteState state;
+      for (int attempt = 0; attempt < fleet->config_.max_route_attempts; ++attempt) {
+        const int d = router->Route(*r, state, attempt);
+        if (attempt == 0) {
+          primary = d;
+        } else {
+          ++r->route_retries;
+        }
+        Shard* s = ShardByIndex(d);
+        if (AdmitTo(s, r, false, now)) {
+          admitted = s;
+          break;
+        }
       }
     } else {
       const std::vector<int> outstanding = Outstanding();
@@ -485,6 +585,7 @@ struct FleetSim::ServeLoop {
     }
     s->stats.served += 1;
     ClientDone(logical, copy->complete);
+    Retire(logical);
   }
 
   // One physical copy was lost: torn by a crash, an uncorrectable I/O error
@@ -525,6 +626,7 @@ struct FleetSim::ServeLoop {
     r->device = charged->index;  // the shard the failure is charged to
     charged->stats.failures += 1;
     ClientDone(r, now);
+    Retire(r);
   }
 
   // First-wins cancellation of the losing copy: removed from its admission
@@ -785,6 +887,9 @@ struct FleetSim::ServeLoop {
   // are assigned at the batch-done event, not here, so a crash landing inside
   // the service window can still tear the batch.
   Tick RunBatch(Shard* s, Tick now) {
+    if (fleet->config_.synthetic_service) {
+      return RunBatchSynthetic(s, now);
+    }
     if (s->sim->Now() < now) {
       // Align the shard clock with fleet time (the previous batch's write
       // drain may have advanced it, an idle gap may lag it).
@@ -842,6 +947,44 @@ struct FleetSim::ServeLoop {
     s->stats.batch_ms.Record(TicksToMs(end - now));
     s->stats.energy_j += rep.EnergySummary().total_j;
     MaybeCheckpoint(s);
+    return end;
+  }
+
+  // Analytic service model (FleetConfig::synthetic_service): each request
+  // costs its workload's modelled input bytes at kSyntheticNsPerMb, scaled by
+  // a deterministic per-request jitter in [0.9, 1.1) drawn from a hash of
+  // (seed, id, shard); the batch serves the requests back to back. No device
+  // simulation runs, so a batch costs O(requests) arithmetic and the fleet
+  // sustains ~10^6 requests per wall-second — the scale-out bench regime.
+  Tick RunBatchSynthetic(Shard* s, Tick now) {
+    Tick span = 0;
+    for (FleetRequest* r : s->current_batch) {
+      const std::size_t w = static_cast<std::size_t>(r->workload_idx);
+      if (s->synthetic_installed[w] == 0) {
+        s->synthetic_installed[w] = 1;
+        s->stats.installs += 1;
+      } else {
+        s->stats.install_hits += 1;
+      }
+      const KernelSpec& spec = fleet->traffic_->mix()[w]->spec();
+      const double mb = spec.model_input_mb * fleet->config_.device.model_scale;
+      const std::uint64_t h =
+          Mix64(fleet->config_.traffic.seed ^
+                Mix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(r->id)) * 2654435761ULL +
+                      static_cast<std::uint64_t>(s->index) + 1));
+      const double jitter =
+          0.9 + 0.2 * static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      span += static_cast<Tick>(mb * kSyntheticNsPerMb * jitter) + 1;
+    }
+    const Tick end = now + span;
+    for (FleetRequest* r : s->current_batch) {
+      r->complete = end;
+    }
+    s->last_batch_failed = false;
+    s->last_batch_ms = TicksToMs(span);
+    s->stats.batches += 1;
+    s->stats.busy_ns += span;
+    s->stats.batch_ms.Record(TicksToMs(span));
     return end;
   }
 
@@ -913,9 +1056,14 @@ void FleetSim::BuildShards() {
   for (int d = 0; d < config_.num_devices; ++d) {
     auto shard = std::make_unique<Shard>(config_.queue_depth, config_.health);
     shard->index = d;
-    shard->sim = std::make_unique<Simulator>(config_.backend);
-    shard->dev = std::make_unique<FlashAbacus>(shard->sim.get(), ShardDeviceConfig(d));
+    if (!config_.synthetic_service) {
+      // Synthetic shards have no device simulation at all — constructing 64+
+      // full devices would dominate a scale-out run's footprint and startup.
+      shard->sim = std::make_unique<Simulator>(config_.backend);
+      shard->dev = std::make_unique<FlashAbacus>(shard->sim.get(), ShardDeviceConfig(d));
+    }
     shard->cache.resize(traffic_->mix().size());
+    shard->synthetic_installed.assign(traffic_->mix().size(), 0);
     shards_.push_back(std::move(shard));
   }
 }
@@ -976,15 +1124,24 @@ void FleetSim::ReadInstallCache(Shard* shard, StateReader& c) const {
 }
 
 SnapshotBuilder FleetSim::BuildSnapshot() const {
+  FAB_CHECK(!config_.synthetic_service)
+      << "synthetic fleets have no device state to snapshot";
   SnapshotBuilder b("fleet");
   b.SetMeta("policy", PlacementPolicyName(config_.policy));
   b.SetMeta("traffic_model", TrafficModelName(config_.traffic.model));
   b.SetMeta("scheduler", SchedulerKindName(config_.scheduler));
   b.SetMeta("num_devices", static_cast<double>(config_.num_devices));
   {
-    StateWriter& w = b.AddSection("fleet", 2);
+    // v3: adds the sketch-geometry fingerprint so a snapshot written with a
+    // different LogHistogram/BoundedTimeSeries layout is rejected up front
+    // instead of mis-parsing any embedded sketch state.
+    StateWriter& w = b.AddSection("fleet", 3);
     w.U32(static_cast<std::uint32_t>(config_.num_devices));
     w.U64(traffic_->mix().size());
+    w.I32(LogHistogram::kMinExp2);
+    w.I32(LogHistogram::kMaxExp2);
+    w.I32(LogHistogram::kSubBuckets);
+    w.U32(static_cast<std::uint32_t>(BoundedTimeSeries::kDefaultMaxBins));
     router_.SaveState(w);
     traffic_->SaveState(w);
   }
@@ -1016,16 +1173,23 @@ bool FleetSim::Resume(const SnapshotFile& snap, std::string* error) {
     return false;
   };
   FAB_CHECK(!ran_) << "resume into a fresh FleetSim";
+  if (config_.synthetic_service) {
+    return fail("synthetic fleets have no device state; resume needs real devices");
+  }
   if (snap.kind() != "fleet") {
     return fail("snapshot kind '" + snap.kind() + "' is not a fleet snapshot");
   }
   {
-    StateReader r = snap.Open("fleet", 2);
+    StateReader r = snap.Open("fleet", 3);
     if (!r.ok()) {
       return fail(r.error());
     }
     const std::uint32_t devices = r.U32();
     const std::uint64_t mix = r.U64();
+    const std::int32_t min_exp2 = r.I32();
+    const std::int32_t max_exp2 = r.I32();
+    const std::int32_t sub_buckets = r.I32();
+    const std::uint32_t ts_bins = r.U32();
     if (!r.ok()) {
       return fail("corrupt fleet section: " + r.error());
     }
@@ -1035,6 +1199,11 @@ bool FleetSim::Resume(const SnapshotFile& snap, std::string* error) {
     }
     if (mix != traffic_->mix().size()) {
       return fail("snapshot workload mix size mismatch");
+    }
+    if (min_exp2 != LogHistogram::kMinExp2 || max_exp2 != LogHistogram::kMaxExp2 ||
+        sub_buckets != LogHistogram::kSubBuckets ||
+        ts_bins != static_cast<std::uint32_t>(BoundedTimeSeries::kDefaultMaxBins)) {
+      return fail("snapshot sketch geometry mismatch (histogram/time-series layout changed)");
     }
     router_.LoadState(r);
     traffic_->LoadState(r);
@@ -1108,24 +1277,26 @@ FleetReport FleetSim::Run() {
   // The lazily-built registry must exist before any worker threads read it.
   WorkloadRegistry::Get();
 
-  std::deque<FleetRequest> pool;
-  for (FleetRequest& r : traffic_->InitialArrivals()) {
-    // A resumed fleet's shard clocks sit at the snapshot point; arrivals
-    // shift past it so the new serving window starts where the devices are.
-    r.arrival += resume_base_;
-    pool.push_back(r);
-  }
-  const std::size_t initial = pool.size();
+  agg_.served_by_workload.assign(traffic_->mix().size(), 0);
+  agg_.client_latency_ms.resize(static_cast<std::size_t>(config_.traffic.num_clients));
 
+  std::deque<FleetRequest> pool;
   const bool partitioned = config_.execution == FleetConfig::Execution::kPartitioned ||
                            (config_.execution == FleetConfig::Execution::kAuto &&
                             config_.CanPartition());
   if (partitioned) {
     FAB_CHECK(config_.CanPartition());
     // Oblivious routing: place the whole schedule up front, then serve every
-    // shard's slice independently on the sweep pool. Per-request outcomes
-    // merge in submission order, so the report is identical to lockstep
+    // shard's slice independently on the sweep pool. Aggregation happens
+    // post-hoc in request-id order; the streaming sketches are order-
+    // invariant, so the merged report is byte-identical to lockstep
     // execution at any thread count.
+    for (FleetRequest& r : traffic_->InitialArrivals()) {
+      // A resumed fleet's shard clocks sit at the snapshot point; arrivals
+      // shift past it so the new serving window starts where the devices are.
+      r.arrival += resume_base_;
+      pool.push_back(r);
+    }
     const std::vector<int> zeros(static_cast<std::size_t>(config_.num_devices), 0);
     std::vector<std::vector<FleetRequest*>> slices(
         static_cast<std::size_t>(config_.num_devices));
@@ -1143,6 +1314,11 @@ FleetReport FleetSim::Run() {
       }
       loop.Run();
     });
+    // Pool insertion order is id order: retire the whole schedule in the
+    // canonical sequence (none of these requests can be hedge duplicates).
+    for (const FleetRequest& r : pool) {
+      RetireRequest(r);
+    }
   } else {
     ServeLoop loop;
     loop.fleet = this;
@@ -1152,75 +1328,105 @@ FleetReport FleetSim::Run() {
     loop.router = &router_;
     loop.gen = traffic_.get();
     loop.pool = &pool;
+    loop.retire_inline = true;
     // Fault events go in first so a fault and an arrival at the same tick
     // resolve fault-first: the arrival routes around the freshly-down shard.
     loop.fault_events = config_.faults.Materialize(config_.num_devices);
     for (std::size_t i = 0; i < loop.fault_events.size(); ++i) {
       loop.PushFault(static_cast<int>(i), loop.fault_events[i].at);
     }
-    for (std::size_t i = 0; i < initial; ++i) {
-      loop.PushArrival(&pool[i]);
+    if (config_.traffic.model == TrafficConfig::Model::kOpenLoop) {
+      // Stream the open-loop schedule one arrival at a time instead of
+      // materializing total_requests up front, and — unless hedge timers may
+      // hold pointers past retirement — recycle retired pool slots. Peak
+      // memory becomes O(in-flight + queued), independent of request count.
+      loop.stream = traffic_.get();
+      loop.recycle = !config_.hedge_requests;
+      loop.stream_seq_lo = loop.seq;  // == number of fault events pushed
+      loop.stream_seq_hi =
+          loop.stream_seq_lo + static_cast<std::uint64_t>(traffic_->total_requests());
+      loop.seq = loop.stream_seq_hi;  // dynamic events sort after every arrival
+      loop.PushNextStreamArrival();
+    } else {
+      for (FleetRequest& r : traffic_->InitialArrivals()) {
+        r.arrival += resume_base_;
+        pool.push_back(r);
+      }
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        loop.PushArrival(&pool[i]);
+      }
     }
     loop.Run();
   }
-
-  std::vector<FleetRequest*> requests;
-  requests.reserve(pool.size());
-  for (FleetRequest& r : pool) {
-    requests.push_back(&r);
-  }
-  return Finalize(std::move(requests), partitioned ? "partitioned" : "lockstep");
+  return Finalize(partitioned ? "partitioned" : "lockstep");
 }
 
-FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
-                               const std::string& execution) {
-  std::sort(requests.begin(), requests.end(),
-            [](const FleetRequest* a, const FleetRequest* b) { return a->id < b->id; });
+void FleetSim::RetireRequest(const FleetRequest& r) {
+  FAB_CHECK(!r.is_hedge) << "hedge duplicates are not client load";
+  ++agg_.offered;
+  const std::size_t pri = static_cast<std::size_t>(r.priority);
+  ++agg_.offered_by_priority[pri];
+  agg_.route_retries += static_cast<std::uint64_t>(r.route_retries);
+  if (r.outcome == FleetRequest::Outcome::kShed) {
+    ++agg_.shed;
+    ++agg_.shed_by_priority[pri];
+    agg_.makespan = std::max(agg_.makespan, r.arrival);
+    return;
+  }
+  if (r.outcome == FleetRequest::Outcome::kFailed) {
+    ++agg_.failed;
+    ++agg_.failed_by_priority[pri];
+    agg_.makespan = std::max(agg_.makespan, std::max(r.arrival, r.complete));
+    return;
+  }
+  FAB_CHECK(r.outcome == FleetRequest::Outcome::kServed)
+      << "request " << r.id << " neither served, failed nor shed";
+  ++agg_.served;
+  ++agg_.served_by_priority[pri];
+  ++agg_.served_by_workload[static_cast<std::size_t>(r.workload_idx)];
+  agg_.makespan = std::max(agg_.makespan, r.complete);
+  const double lat_ms = TicksToMs(r.complete - r.arrival);
+  if (lat_ms > config_.slo_ms) {
+    ++agg_.slo_violations;
+  }
+  agg_.latency_ms.Record(lat_ms);
+  agg_.priority_latency_ms[pri].Record(lat_ms);
+  agg_.client_latency_ms[static_cast<std::size_t>(r.client_id)].Record(lat_ms);
+  shards_[static_cast<std::size_t>(r.device)]->stats.latency_ms.Record(lat_ms);
+}
 
+FleetReport FleetSim::Finalize(const std::string& execution) {
   FleetReport rep;
   rep.policy = PlacementPolicyName(config_.policy);
   rep.traffic_model = TrafficModelName(config_.traffic.model);
   rep.scheduler = SchedulerKindName(config_.scheduler);
   rep.execution = execution;
   rep.num_devices = config_.num_devices;
-  rep.client_latency_ms.resize(static_cast<std::size_t>(config_.traffic.num_clients));
 
+  rep.offered = agg_.offered;
+  rep.served = agg_.served;
+  rep.shed = agg_.shed;
+  rep.failed = agg_.failed;
+  rep.route_retries = agg_.route_retries;
+  rep.slo_violations = agg_.slo_violations;
+  rep.makespan = agg_.makespan;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    rep.offered_by_priority[p] = agg_.offered_by_priority[p];
+    rep.served_by_priority[p] = agg_.served_by_priority[p];
+    rep.shed_by_priority[p] = agg_.shed_by_priority[p];
+    rep.failed_by_priority[p] = agg_.failed_by_priority[p];
+    rep.priority_latency_ms[p] = agg_.priority_latency_ms[p];
+  }
+  rep.latency_ms = agg_.latency_ms;
+  rep.client_latency_ms = std::move(agg_.client_latency_ms);
+
+  // Served bytes reduce over per-workload served counts: an integer reduction
+  // in mix order, exact however the requests were retired.
   double served_bytes = 0.0;
-  for (FleetRequest* r : requests) {
-    if (r->is_hedge) {
-      continue;  // duplicates are an implementation detail, not client load
-    }
-    ++rep.offered;
-    const std::size_t pri = static_cast<std::size_t>(r->priority);
-    ++rep.offered_by_priority[pri];
-    rep.route_retries += static_cast<std::uint64_t>(r->route_retries);
-    if (r->outcome == FleetRequest::Outcome::kShed) {
-      ++rep.shed;
-      ++rep.shed_by_priority[pri];
-      rep.makespan = std::max(rep.makespan, r->arrival);
-      continue;
-    }
-    if (r->outcome == FleetRequest::Outcome::kFailed) {
-      ++rep.failed;
-      ++rep.failed_by_priority[pri];
-      rep.makespan = std::max(rep.makespan, std::max(r->arrival, r->complete));
-      continue;
-    }
-    FAB_CHECK(r->outcome == FleetRequest::Outcome::kServed)
-        << "request " << r->id << " neither served, failed nor shed";
-    ++rep.served;
-    ++rep.served_by_priority[pri];
-    rep.makespan = std::max(rep.makespan, r->complete);
-    const double lat_ms = TicksToMs(r->complete - r->arrival);
-    r->slo_violated = lat_ms > config_.slo_ms;
-    if (r->slo_violated) {
-      ++rep.slo_violations;
-    }
-    rep.latency_ms.Record(lat_ms);
-    rep.client_latency_ms[static_cast<std::size_t>(r->client_id)].Record(lat_ms);
-    shards_[static_cast<std::size_t>(r->device)]->stats.latency_ms.Record(lat_ms);
-    const KernelSpec& spec = traffic_->mix()[static_cast<std::size_t>(r->workload_idx)]->spec();
-    served_bytes += spec.model_input_mb * 1024.0 * 1024.0 * config_.device.model_scale;
+  for (std::size_t wi = 0; wi < agg_.served_by_workload.size(); ++wi) {
+    const KernelSpec& spec = traffic_->mix()[wi]->spec();
+    served_bytes += static_cast<double>(agg_.served_by_workload[wi]) * spec.model_input_mb *
+                    1024.0 * 1024.0 * config_.device.model_scale;
   }
   // A resumed fleet reports its serving window only: the clock floor
   // inherited from the snapshot is not time this run spent serving.
@@ -1253,7 +1459,8 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
             : 0.0;
     shard->stats.peak_queue_depth = shard->queue.peak_depth();
     shard->stats.queue_depth = shard->queue.depth_series();
-    shard->stats.events_executed = shard->sim->events_executed();
+    shard->stats.events_executed =
+        shard->sim != nullptr ? shard->sim->events_executed() : 0;
     shard->stats.dead = shard->dead;
     if ((shard->down || shard->dead) && horizon > shard->down_since) {
       // Still out at the end of the window: the outage runs to the horizon.
@@ -1309,6 +1516,12 @@ FleetReport FleetSim::Finalize(std::vector<FleetRequest*> requests,
   reg.RegisterGauge("fleet/throughput_rps", [&rep](Tick) { return rep.throughput_rps; });
   reg.RegisterGauge("fleet/availability", [&rep](Tick) { return rep.availability; });
   reg.RegisterHistogram("fleet/latency_ms", &rep.latency_ms);
+  for (int p = 0; p < kNumPriorities; ++p) {
+    reg.RegisterHistogram(std::string("fleet/priority/") +
+                              RequestPriorityName(static_cast<RequestPriority>(p)) +
+                              "/latency_ms",
+                          &rep.priority_latency_ms[p]);
+  }
   for (std::size_t d = 0; d < rep.devices.size(); ++d) {
     const std::string p = "fleet/device/" + std::to_string(d) + "/";
     const FleetDeviceStats& st = rep.devices[d];
@@ -1384,17 +1597,19 @@ void FleetReport::WriteJson(JsonWriter* w) const {
         .Field("served", static_cast<double>(served_by_priority[p]))
         .Field("shed", static_cast<double>(shed_by_priority[p]))
         .Field("failed", static_cast<double>(failed_by_priority[p]));
+    w->Key("latency_ms");
+    WriteHistogramSummary(w, priority_latency_ms[p].Summarize());
     w->EndObject();
   }
   w->EndArray();
 
   w->Key("latency_ms");
-  WriteHistogramSummary(w, latency_ms);
+  WriteHistogramSummary(w, latency_ms.Summarize());
 
   w->Key("clients").BeginArray();
   for (std::size_t c = 0; c < client_latency_ms.size(); ++c) {
     w->BeginObject().Field("client", static_cast<double>(c)).Key("latency_ms");
-    WriteHistogramSummary(w, client_latency_ms[c]);
+    WriteHistogramSummary(w, client_latency_ms[c].Summarize());
     w->EndObject();
   }
   w->EndArray();
@@ -1429,11 +1644,11 @@ void FleetReport::WriteJson(JsonWriter* w) const {
         .Field("health_latency_ewma_ms", st.health_latency_ewma_ms)
         .Field("health_error_ewma", st.health_error_ewma);
     w->Key("latency_ms");
-    WriteHistogramSummary(w, st.latency_ms);
+    WriteHistogramSummary(w, st.latency_ms.Summarize());
     w->Key("batch_ms");
-    WriteHistogramSummary(w, st.batch_ms);
+    WriteHistogramSummary(w, st.batch_ms.Summarize());
     w->Key("queue_depth").BeginObject();
-    w->Field("samples", static_cast<double>(st.queue_depth.samples().size()));
+    w->Field("samples", static_cast<double>(st.queue_depth.samples()));
     w->Key("series").BeginArray();
     if (!st.queue_depth.empty() && makespan > 0) {
       for (double v : st.queue_depth.Rebucket(makespan, kQueueDepthBuckets)) {

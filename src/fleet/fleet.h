@@ -79,6 +79,18 @@ struct FleetConfig {
   // overload degrades batch work before latency-class traffic.
   bool priority_shedding = false;
 
+  // Synthetic service mode: shards model batch service time analytically
+  // (workload bytes x a per-MB cost + deterministic per-request jitter)
+  // instead of running a full device simulation. The serving plane — routing,
+  // admission, batching, shedding, priorities, the whole report pipeline —
+  // is exercised unchanged, at microseconds per request instead of
+  // milliseconds, which is what lets bench_fleet_scaleout push the scenario
+  // axis to >=10M requests / 64 devices. Device faults need real devices and
+  // are rejected by Validate(); Snapshot/Resume are unavailable (there is no
+  // device state to checkpoint). Deterministic per (config, seed) like the
+  // real path.
+  bool synthetic_service = false;
+
   // kAuto picks kPartitioned when legal (open loop + oblivious policy +
   // max_route_attempts == 1), else kLockstep.
   Execution execution = Execution::kAuto;
@@ -103,9 +115,11 @@ struct FleetDeviceStats {
   double energy_j = 0.0;            // accelerator energy across its batches
   std::uint64_t events_executed = 0;
   std::size_t peak_queue_depth = 0;
-  Histogram latency_ms;   // client-perceived latency of requests it served
-  Histogram batch_ms;     // service window per batch
-  TimeSeries queue_depth; // admission-queue depth over time
+  // Bounded streaming sketches (constant memory per shard however many
+  // requests flow through; see docs/OBSERVABILITY.md "Streaming sketches").
+  LogHistogram latency_ms;       // client-perceived latency of requests it served
+  LogHistogram batch_ms;         // service window per batch
+  BoundedTimeSeries queue_depth; // admission-queue depth over time
 
   // --- Fault-tolerance slice (fleet/fault/* + fleet/health/* metrics) ------
   std::uint64_t failures = 0;       // request failures charged to this shard
@@ -162,10 +176,14 @@ struct FleetReport {
   std::uint64_t shed_by_priority[kNumPriorities] = {0, 0, 0};
   std::uint64_t failed_by_priority[kNumPriorities] = {0, 0, 0};
 
-  Histogram latency_ms;                    // all served requests
-  std::vector<FleetDeviceStats> devices;   // indexed by shard
-  std::vector<Histogram> client_latency_ms;  // indexed by client id
-  MetricsSnapshot metrics;                 // fleet/* hierarchy
+  // Latency sketches: bounded mergeable LogHistograms, O(1) memory per
+  // sketch regardless of request count. Percentiles carry the sketch's
+  // <=1/64 relative quantization error; count/min/max are exact.
+  LogHistogram latency_ms;                      // all served requests
+  LogHistogram priority_latency_ms[kNumPriorities];  // served, per class
+  std::vector<FleetDeviceStats> devices;        // indexed by shard
+  std::vector<LogHistogram> client_latency_ms;  // indexed by client id
+  MetricsSnapshot metrics;                      // fleet/* hierarchy
 
   void WriteJson(JsonWriter* w) const;
   std::string ToJson() const;
@@ -215,7 +233,13 @@ class FleetSim {
   // the per-shard crash-recovery checkpoints.
   static void WriteInstallCache(const Shard& shard, StateWriter& w);
   void ReadInstallCache(Shard* shard, StateReader& r) const;
-  FleetReport Finalize(std::vector<FleetRequest*> requests, const std::string& execution);
+  // Folds one finished (served / shed / failed) request into the streaming
+  // aggregates. Sketch counts, min/max and the fixed-point sums are all
+  // order-invariant, so the lockstep loop retiring in completion order and
+  // the partitioned path retiring in id order produce byte-identical
+  // reports. Single-threaded callers only.
+  void RetireRequest(const FleetRequest& r);
+  FleetReport Finalize(const std::string& execution);
 
   FleetConfig config_;
   std::unique_ptr<TrafficGenerator> traffic_;
@@ -237,6 +261,30 @@ class FleetSim {
     std::uint64_t hedges_cancelled = 0;
   };
   FaultTally tally_;
+  // Streaming request aggregates, fed one retired request at a time by
+  // RetireRequest. Replaces the old post-hoc walk over every retained
+  // request: memory is O(devices + clients + priorities), not O(requests).
+  struct Agg {
+    std::uint64_t offered = 0;
+    std::uint64_t served = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t route_retries = 0;
+    std::uint64_t slo_violations = 0;
+    std::uint64_t offered_by_priority[kNumPriorities] = {0, 0, 0};
+    std::uint64_t served_by_priority[kNumPriorities] = {0, 0, 0};
+    std::uint64_t shed_by_priority[kNumPriorities] = {0, 0, 0};
+    std::uint64_t failed_by_priority[kNumPriorities] = {0, 0, 0};
+    Tick makespan = 0;  // absolute last-activity tick
+    // Served-request count per mix workload: served bytes reduce to
+    // sum(count[w] * bytes[w]) in mix order — exact and order-invariant,
+    // where a per-request double sum would depend on retirement order.
+    std::vector<std::uint64_t> served_by_workload;
+    LogHistogram latency_ms;
+    LogHistogram priority_latency_ms[kNumPriorities];
+    std::vector<LogHistogram> client_latency_ms;  // indexed by client id
+  };
+  Agg agg_;
   // Clock floor of a resumed fleet: arrivals shift past it and report
   // windows subtract it, so a warm-started run reads like a fresh one.
   Tick resume_base_ = 0;

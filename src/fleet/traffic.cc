@@ -163,6 +163,24 @@ std::vector<FleetRequest> TrafficGenerator::InitialArrivals() {
   return out;
 }
 
+bool TrafficGenerator::NextArrival(FleetRequest* out) {
+  if (config_.model != TrafficConfig::Model::kOpenLoop) {
+    return false;
+  }
+  // One serving window emits total_requests arrivals — counted per window,
+  // not against next_id_, because a restored generator continues its id
+  // stream past total_requests (each resumed Run serves a fresh window).
+  if (open_emitted_ >= config_.total_requests) {
+    return false;
+  }
+  ++open_emitted_;
+  // Identical draws, ids and client assignment as one InitialArrivals() step.
+  const double mean_gap_ns = 1e9 / config_.arrival_rate_per_s;
+  open_clock_ += DrawExponential(mean_gap_ns);
+  *out = MakeRequest(next_id_ % config_.num_clients, open_clock_);
+  return true;
+}
+
 bool TrafficGenerator::NextForClient(int client, Tick now, FleetRequest* out) {
   if (config_.model == TrafficConfig::Model::kOpenLoop) {
     return false;

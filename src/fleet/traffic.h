@@ -122,6 +122,13 @@ class TrafficGenerator {
   // Closed loop: each client's first request.
   std::vector<FleetRequest> InitialArrivals();
 
+  // Open loop only: emits the next arrival of the exact same schedule
+  // InitialArrivals() materializes, one request at a time (O(1) memory for
+  // unbounded streams — the million-client path). Returns false once
+  // total_requests have been emitted, and always for closed loop. Do not mix
+  // with InitialArrivals() on one generator: both walk the same stream.
+  bool NextArrival(FleetRequest* out);
+
   // Closed loop only: the next request of `client` after its previous one
   // finished (served or shed) at `now`. Returns false when the client has
   // issued its full quota (and always for open loop).
@@ -144,6 +151,11 @@ class TrafficGenerator {
   void LoadState(StateReader& r) {
     rng_.set_state(r.U64());
     next_id_ = r.I32();
+    // The open-loop clock and window counter restart on restore: a resumed
+    // fleet serves a fresh total_requests window whose arrivals it offsets
+    // by resume_base_, exactly as InitialArrivals() behaves.
+    open_clock_ = 0;
+    open_emitted_ = 0;
     const std::uint64_t n = r.U64();
     if (r.ok() && n != emitted_per_client_.size()) {
       r.Fail("traffic generator client count mismatch");
@@ -165,6 +177,8 @@ class TrafficGenerator {
   std::vector<double> cumulative_weight_;  // normalized CDF over the mix
   Rng rng_;
   int next_id_ = 0;
+  Tick open_clock_ = 0;   // last open-loop arrival time (streaming path)
+  int open_emitted_ = 0;  // arrivals emitted in this window (streaming path)
   std::vector<int> emitted_per_client_;
 };
 

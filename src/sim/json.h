@@ -99,7 +99,10 @@ bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
 // (adding fields is compatible and does not require a bump; renaming or
 // removing does). Consumers (goldens, snapshot_ctl, external tooling) check
 // this single version instead of per-document ad-hoc ones.
-inline constexpr int kJsonSchemaVersion = 1;
+// v2: fleet reports moved latency/queue-depth aggregation onto bounded
+// mergeable sketches (LogHistogram / BoundedTimeSeries) and added per-
+// priority latency summaries; see docs/OBSERVABILITY.md "Streaming sketches".
+inline constexpr int kJsonSchemaVersion = 2;
 
 // Recursively walks `before` vs. `after`, appending one
 // "path: before -> after" line per leaf difference (object members compared

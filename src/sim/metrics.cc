@@ -88,6 +88,15 @@ void MetricsRegistry::RegisterHistogram(const std::string& name, const Histogram
   entries_.emplace(name, std::move(e));
 }
 
+void MetricsRegistry::RegisterHistogram(const std::string& name, const LogHistogram* sketch) {
+  CheckNew(name);
+  FAB_CHECK(sketch != nullptr) << name;
+  Entry e;
+  e.kind = MetricSample::Kind::kHistogram;
+  e.sketch = sketch;
+  entries_.emplace(name, std::move(e));
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot(Tick now) const {
   MetricsSnapshot snap;
   snap.samples_.reserve(entries_.size());
@@ -102,17 +111,23 @@ MetricsSnapshot MetricsRegistry::Snapshot(Tick now) const {
       case MetricSample::Kind::kGauge:
         s.value = e.gauge(now);
         break;
-      case MetricSample::Kind::kHistogram:
-        s.value = static_cast<double>(e.histogram->count());
-        if (e.histogram->count() > 0) {
-          s.min = e.histogram->Min();
-          s.mean = e.histogram->Mean();
-          s.p50 = e.histogram->Percentile(50.0);
-          s.p95 = e.histogram->Percentile(95.0);
-          s.p99 = e.histogram->Percentile(99.0);
-          s.max = e.histogram->Max();
+      case MetricSample::Kind::kHistogram: {
+        // Summarize() sorts the exact histogram once for all six statistics
+        // (and is free for sketches); values are identical to querying each
+        // statistic separately, so report bytes do not change.
+        const HistogramSummary sum =
+            e.sketch != nullptr ? e.sketch->Summarize() : e.histogram->Summarize();
+        s.value = static_cast<double>(sum.count);
+        if (sum.count > 0) {
+          s.min = sum.min;
+          s.mean = sum.mean;
+          s.p50 = sum.p50;
+          s.p95 = sum.p95;
+          s.p99 = sum.p99;
+          s.max = sum.max;
         }
         break;
+      }
     }
     snap.samples_.push_back(std::move(s));
   }

@@ -78,6 +78,9 @@ class MetricsRegistry {
   void RegisterCounter(const std::string& name, const Counter* counter);
   void RegisterGauge(const std::string& name, std::function<double(Tick)> fn);
   void RegisterHistogram(const std::string& name, const Histogram* histogram);
+  // LogHistogram sketches snapshot to the same sample shape (count/min/mean/
+  // p50/p95/p99/max) as exact histograms.
+  void RegisterHistogram(const std::string& name, const LogHistogram* sketch);
 
   bool Has(const std::string& name) const { return entries_.count(name) != 0; }
   std::size_t size() const { return entries_.size(); }
@@ -92,6 +95,7 @@ class MetricsRegistry {
     const Counter* counter = nullptr;
     std::function<double(Tick)> gauge;
     const Histogram* histogram = nullptr;
+    const LogHistogram* sketch = nullptr;
   };
   void CheckNew(const std::string& name) const;
 

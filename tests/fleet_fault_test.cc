@@ -398,6 +398,30 @@ TEST(FleetChaos, PermanentDeathServesOnSurvivors) {
   EXPECT_GT(rep.devices[0].served + rep.devices[1].served, 0u);
 }
 
+TEST(FleetChaos, DeathAtTickZeroEmitsEmptySketchesInsteadOfCrashing) {
+  // Regression: a shard that dies before serving anything leaves every latency
+  // sketch empty. Report building used to crash taking Min/Max/Percentile of
+  // zero samples; now empty distributions emit count=0 summaries.
+  FleetConfig cfg = ChaosFleet(1);
+  cfg.max_route_attempts = 1;
+  FleetFaultEvent death;
+  death.kind = FleetFaultEvent::Kind::kDeath;
+  death.shard = 0;
+  death.at = 0;
+  cfg.faults.plan.push_back(death);
+  const FleetReport rep = RunFleet(cfg);
+  CheckFaultConservation(rep, 96);
+  EXPECT_EQ(rep.served, 0u) << "the only shard is dead from tick 0";
+  EXPECT_EQ(rep.latency_ms.count(), 0u);
+  EXPECT_DOUBLE_EQ(rep.latency_ms.Percentile(99), 0.0);
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(ParseJson(rep.ToJson(), &v, &err)) << err;
+  EXPECT_EQ(v["latency_ms"]["count"].num_v, 0.0);
+  EXPECT_EQ(v["latency_ms"]["p99"].num_v, 0.0);
+  EXPECT_EQ(v["devices"].array_v.at(0)["latency_ms"]["count"].num_v, 0.0);
+}
+
 TEST(FleetChaos, BrownoutInflatesLatencyWithoutLosingRequests) {
   FleetConfig cfg = ChaosFleet(2);
   cfg.traffic.total_requests = 48;

@@ -242,7 +242,7 @@ TEST(FleetSim, ClosedLoopServesEveryClientQuota) {
   EXPECT_EQ(rep.execution, "lockstep") << "closed loop requires the global event loop";
   EXPECT_EQ(rep.shed, 0u) << "one-in-flight clients cannot overflow a depth-16 queue";
   ASSERT_EQ(rep.client_latency_ms.size(), 4u);
-  for (const Histogram& h : rep.client_latency_ms) {
+  for (const LogHistogram& h : rep.client_latency_ms) {
     EXPECT_EQ(h.count(), 3u) << "each client completes its full quota";
   }
 }
@@ -307,6 +307,41 @@ TEST(FleetSim, RepeatRunsAreByteIdentical) {
   const std::string first = RunFleet(cfg).ToJson();
   const std::string second = RunFleet(cfg).ToJson();
   EXPECT_EQ(first, second);
+}
+
+TEST(FleetSim, SyntheticServiceConservesAndRepeatsByteIdentically) {
+  // The synthetic service model (docs/FLEET.md "Scale-out mode") replaces the
+  // per-device simulators with a closed-form cost model so scale-out cells can
+  // run tens of millions of requests; it must keep the same accounting and
+  // determinism contracts as the simulated path.
+  FleetConfig cfg = SmallFleet(2);
+  cfg.synthetic_service = true;
+  cfg.traffic.total_requests = 64;
+  FleetReport rep = RunFleet(cfg);
+  CheckConservation(rep, 64);
+  EXPECT_GT(rep.served, 0u);
+  EXPECT_GT(rep.makespan, 0);
+  std::uint64_t installs = 0;
+  for (const FleetDeviceStats& d : rep.devices) {
+    installs += d.installs + d.install_hits;
+  }
+  EXPECT_EQ(installs, rep.served) << "synthetic serving still models dataset installs";
+  const std::string again = RunFleet(cfg).ToJson();
+  EXPECT_EQ(rep.ToJson(), again);
+}
+
+TEST(FleetSim, SyntheticServiceRejectsFaultPlans) {
+  FleetConfig cfg = SmallFleet(2);
+  cfg.synthetic_service = true;
+  EXPECT_TRUE(cfg.Validate().empty());
+  FleetFaultEvent crash;
+  crash.kind = FleetFaultEvent::Kind::kCrash;
+  crash.shard = 0;
+  crash.at = kMs;
+  crash.duration = kMs;
+  cfg.faults.plan.push_back(crash);
+  EXPECT_FALSE(cfg.Validate().empty())
+      << "the synthetic model has no device internals for faults to act on";
 }
 
 TEST(FleetConfig, ValidateCatchesContradictions) {

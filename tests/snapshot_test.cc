@@ -387,6 +387,26 @@ TEST(SnapshotFleet, ResumeIsDeterministicAndWarm) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotFleet, SketchGeometryMismatchIsRejected) {
+  // The v3 fleet section fingerprints the LogHistogram / BoundedTimeSeries
+  // layout; a snapshot from a binary with different bucket geometry must be
+  // refused up front instead of mis-parsing embedded sketch state.
+  SnapshotBuilder b("fleet");
+  StateWriter& w = b.AddSection("fleet", 3);
+  w.U32(2);   // num_devices matches SmallFleetConfig
+  w.U64(4);   // the default 4-workload mix
+  w.I32(LogHistogram::kMinExp2 + 1);  // foreign histogram layout
+  w.I32(LogHistogram::kMaxExp2);
+  w.I32(LogHistogram::kSubBuckets);
+  w.U32(static_cast<std::uint32_t>(BoundedTimeSeries::kDefaultMaxBins));
+  SnapshotFile snap;
+  std::string err;
+  ASSERT_TRUE(SnapshotFile::Parse(b.Serialize(), &snap, &err)) << err;
+  FleetSim fleet(SmallFleetConfig());
+  EXPECT_FALSE(fleet.Resume(snap, &err));
+  EXPECT_NE(err.find("sketch geometry"), std::string::npos) << err;
+}
+
 TEST(SnapshotFleet, DeviceCountMismatchIsRejected) {
   const FleetConfig cfg = SmallFleetConfig();
   const std::string path = TempSnapPath("fleet_mismatch");
