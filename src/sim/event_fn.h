@@ -7,9 +7,12 @@
 // trivially copyable (lambdas capturing pointers, ids and ticks — the common
 // case across the simulator), and falls back to a thread-local slab/freelist
 // for the rare oversized or non-trivial callables (e.g. ones capturing a
-// `std::function` continuation). The slab never touches malloc after warmup,
-// and being thread-local it is safe under SweepRunner's per-thread
-// simulators without any locking.
+// `std::function` continuation). The slab never touches malloc after warmup.
+// Each chunk is tagged with its owning pool, so an EventFn may be destroyed
+// on a different thread than the one that built it (the PDES engine moves
+// events across shard threads): a local free is a lock-free push onto the
+// owner's freelist, a remote free is a lock-free push onto the owner's
+// return stack, drained by the owner on its next refill.
 //
 // The inline budget is deliberately 32 and not larger: together with the two
 // dispatch pointers it makes EventFn 48 bytes, so a calendar-queue Event
@@ -23,6 +26,7 @@
 #ifndef SRC_SIM_EVENT_FN_H_
 #define SRC_SIM_EVENT_FN_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -41,7 +45,17 @@ namespace internal {
 // Thread-local fixed-chunk pool for callables that do not fit inline.
 // Chunks are carved from 64 KiB slabs and recycled through a freelist, so a
 // steady-state simulation performs no heap allocation per event. Chunks
-// larger than kChunkBytes (rare: very fat captures) go straight to new[].
+// larger than kChunkBytes (rare: very fat captures) go straight to new[],
+// which is cross-thread-safe by construction.
+//
+// Cross-thread free: every chunk carries a header naming its owning pool.
+// Freeing on the owner thread is the original freelist push; freeing
+// anywhere else CAS-pushes the chunk onto the owner's lock-free return
+// stack, which the owner splices back into its freelist before growing.
+// Pools are heap-allocated and reference-counted (one ref per outstanding
+// chunk plus one for the owning thread), so a chunk freed after its
+// allocating thread has exited still lands on a live pool; whoever drops
+// the last reference deletes the pool and its slabs wholesale.
 class EventSlabPool {
  public:
   static constexpr std::size_t kChunkBytes = 128;
@@ -51,13 +65,7 @@ class EventSlabPool {
     if (n > kChunkBytes) {
       return ::operator new(n, std::align_val_t{alignof(std::max_align_t)});
     }
-    EventSlabPool& pool = Local();
-    if (pool.free_ == nullptr) {
-      pool.Refill();
-    }
-    FreeNode* node = pool.free_;
-    pool.free_ = node->next;
-    return node;
+    return Local()->AllocChunk();
   }
 
   static void Free(void* p, std::size_t n) {
@@ -65,52 +73,134 @@ class EventSlabPool {
       ::operator delete(p, std::align_val_t{alignof(std::max_align_t)});
       return;
     }
-    EventSlabPool& pool = Local();
-    FreeNode* node = static_cast<FreeNode*>(p);
-    node->next = pool.free_;
-    pool.free_ = node;
+    Header* h = reinterpret_cast<Header*>(static_cast<unsigned char*>(p) - kHeaderBytes);
+    EventSlabPool* owner = h->owner;
+    if (owner == tl_pool_) {
+      owner->FreeLocal(h);
+    } else {
+      owner->FreeRemote(h);
+    }
   }
 
-  // Outstanding chunks currently handed out (test/diagnostic hook).
+  // Outstanding chunks handed out by this thread's pool and not yet freed on
+  // any thread (test/diagnostic hook).
   static std::size_t LiveChunks() {
-    EventSlabPool& pool = Local();
-    std::size_t free_chunks = 0;
-    for (FreeNode* n = pool.free_; n != nullptr; n = n->next) {
-      ++free_chunks;
-    }
-    return pool.total_chunks_ - free_chunks;
+    return Local()->refs_.load(std::memory_order_relaxed) - 1;
   }
 
  private:
-  struct FreeNode {
-    FreeNode* next;
+  // Per-chunk header. `owner` stays valid for the chunk's whole lifetime
+  // (it holds a pool reference); `next` is freelist/return-stack linkage,
+  // dead while the chunk is handed out.
+  struct Header {
+    EventSlabPool* owner;
+    Header* next;
   };
+  // Payload offset: big enough for the header, aligned for any capture.
+  static constexpr std::size_t kHeaderBytes =
+      ((sizeof(Header) + alignof(std::max_align_t) - 1) / alignof(std::max_align_t)) *
+      alignof(std::max_align_t);
+  static constexpr std::size_t kStride = kHeaderBytes + kChunkBytes;
+  static_assert(kStride % alignof(std::max_align_t) == 0,
+                "chunk stride must preserve payload alignment");
 
-  static EventSlabPool& Local() {
-    thread_local EventSlabPool pool;
-    return pool;
+  static EventSlabPool* Local() {
+    // The holder pins tl_pool_ for the thread's lifetime; on thread exit it
+    // drops the owner reference, after which the last in-flight remote free
+    // deletes the pool.
+    struct Holder {
+      EventSlabPool* pool = new EventSlabPool();
+      Holder() { tl_pool_ = pool; }
+      ~Holder() {
+        tl_pool_ = nullptr;
+        pool->OnOwnerExit();
+      }
+    };
+    thread_local Holder holder;
+    return holder.pool;
+  }
+
+  void* AllocChunk() {
+    if (free_ == nullptr) {
+      DrainRemote();
+      if (free_ == nullptr) {
+        Refill();
+      }
+    }
+    Header* h = free_;
+    free_ = h->next;
+    h->owner = this;
+    refs_.fetch_add(1, std::memory_order_relaxed);
+    return reinterpret_cast<unsigned char*>(h) + kHeaderBytes;
+  }
+
+  void FreeLocal(Header* h) {
+    h->next = free_;
+    free_ = h;
+    // Cannot hit zero: the owner reference is still held by this thread.
+    refs_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void FreeRemote(Header* h) {
+    // Publish the chunk before dropping its reference, so a concurrent
+    // pool deletion (owner already gone, refs hitting zero) reclaims it.
+    Header* old = remote_free_.load(std::memory_order_relaxed);
+    do {
+      h->next = old;
+    } while (!remote_free_.compare_exchange_weak(old, h, std::memory_order_release,
+                                                 std::memory_order_relaxed));
+    Unref();
+  }
+
+  void DrainRemote() {
+    // Acquire pairs with FreeRemote's release: the remote thread's final
+    // writes to the chunk happen-before its reuse here.
+    Header* list = remote_free_.exchange(nullptr, std::memory_order_acquire);
+    while (list != nullptr) {
+      Header* next = list->next;
+      list->next = free_;
+      free_ = list;
+      list = next;
+    }
+  }
+
+  void OnOwnerExit() {
+    DrainRemote();
+    Unref();
+  }
+
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+    }
   }
 
   void Refill() {
     slabs_.push_back(std::make_unique<AlignedSlab>());
     unsigned char* base = slabs_.back()->bytes;
-    const std::size_t chunks = kSlabBytes / kChunkBytes;
+    const std::size_t chunks = kSlabBytes / kStride;
     for (std::size_t i = 0; i < chunks; ++i) {
-      FreeNode* node = reinterpret_cast<FreeNode*>(base + i * kChunkBytes);
-      node->next = free_;
-      free_ = node;
+      Header* h = reinterpret_cast<Header*>(base + i * kStride);
+      h->owner = this;
+      h->next = free_;
+      free_ = h;
     }
-    total_chunks_ += chunks;
   }
 
   struct AlignedSlab {
     alignas(std::max_align_t) unsigned char bytes[kSlabBytes];
   };
 
-  FreeNode* free_ = nullptr;
-  std::size_t total_chunks_ = 0;
+  Header* free_ = nullptr;                      // owner-thread freelist
+  std::atomic<Header*> remote_free_{nullptr};   // cross-thread return stack
+  // Outstanding chunks + 1 for the owning thread; see class comment.
+  std::atomic<std::size_t> refs_{1};
   std::vector<std::unique_ptr<AlignedSlab>> slabs_;
+
+  static thread_local EventSlabPool* tl_pool_;
 };
+
+inline thread_local EventSlabPool* EventSlabPool::tl_pool_ = nullptr;
 
 }  // namespace internal
 

@@ -60,6 +60,8 @@ class BasicHeapEventQueue {
   std::size_t size() const { return heap_.size(); }
   // True when no non-daemon events are pending.
   bool OnlyDaemonsLeft() const { return non_daemon_count_ == 0; }
+  // Pending non-daemon events (the PDES engine's daemon-gating input).
+  std::size_t non_daemon_count() const { return non_daemon_count_; }
 
   // Time of the earliest pending event; only valid when !empty().
   Tick NextTime() const {
@@ -176,6 +178,7 @@ class CalendarEventQueue {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
   bool OnlyDaemonsLeft() const { return non_daemon_count_ == 0; }
+  std::size_t non_daemon_count() const { return non_daemon_count_; }
 
   Tick NextTime() {
     FAB_CHECK(size_ > 0);
@@ -322,6 +325,10 @@ class EventQueue {
   bool OnlyDaemonsLeft() const {
     return backend_ == Backend::kCalendar ? calendar_.OnlyDaemonsLeft()
                                           : heap_.OnlyDaemonsLeft();
+  }
+  std::size_t non_daemon_count() const {
+    return backend_ == Backend::kCalendar ? calendar_.non_daemon_count()
+                                          : heap_.non_daemon_count();
   }
   Tick NextTime() {
     return backend_ == Backend::kCalendar ? calendar_.NextTime() : heap_.NextTime();

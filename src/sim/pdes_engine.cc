@@ -1,0 +1,474 @@
+#include "src/sim/pdes_engine.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+
+namespace fabacus {
+
+thread_local PdesEngine::ExecContext PdesEngine::tls_ctx_;
+
+PdesEngine::PdesEngine(const Options& opt) {
+  FAB_CHECK_GE(opt.shards, 1);
+  FAB_CHECK_GE(opt.lookahead, Tick{1}) << "conservative window needs positive lookahead";
+  threads_ = std::max(1, std::min(opt.threads, opt.shards));
+  lookahead_ = opt.lookahead;
+  shards_.reserve(static_cast<std::size_t>(opt.shards));
+  for (int s = 0; s < opt.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(opt.backend));
+  }
+  const std::size_t n = shards_.size() * shards_.size();
+  mailboxes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto mb = std::make_unique<Mailbox>();
+    mb->ring.resize(std::max<std::size_t>(opt.mailbox_capacity, 2));
+    mailboxes_.push_back(std::move(mb));
+  }
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back(&PdesEngine::WorkerMain, this, w);
+  }
+}
+
+PdesEngine::~PdesEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+// --- Mailbox ---------------------------------------------------------------
+
+void PdesEngine::Mailbox::Push(Message&& m) {
+  const std::size_t h = head.load(std::memory_order_acquire);
+  const std::size_t t = tail.load(std::memory_order_relaxed);
+  if (t - h >= ring.size()) {
+    // The consumer only drains at window barriers, so a full ring stays full
+    // for the rest of the window; every later message spills. Merge order is
+    // unaffected — the drain sorts by (when, stamp, src, seq) regardless.
+    std::lock_guard<std::mutex> lk(spill_mu);
+    spill.push_back(std::move(m));
+    return;
+  }
+  ring[t % ring.size()] = std::move(m);
+  tail.store(t + 1, std::memory_order_release);
+}
+
+void PdesEngine::Mailbox::DrainInto(std::vector<Message>* out) {
+  std::size_t h = head.load(std::memory_order_relaxed);
+  const std::size_t t = tail.load(std::memory_order_acquire);
+  while (h != t) {
+    out->push_back(std::move(ring[h % ring.size()]));
+    ++h;
+  }
+  head.store(h, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(spill_mu);
+  for (auto& m : spill) {
+    out->push_back(std::move(m));
+  }
+  spill.clear();
+}
+
+bool PdesEngine::Mailbox::DrainEmptyUnsynchronized() const {
+  return head.load(std::memory_order_relaxed) == tail.load(std::memory_order_relaxed) &&
+         spill.empty();
+}
+
+// --- Scheduling ------------------------------------------------------------
+
+void PdesEngine::Schedule(int shard, Tick when, Callback fn, bool daemon) {
+  const bool in_event = tls_ctx_.engine == this;
+  const int cur = in_event ? tls_ctx_.shard : 0;
+  const int dst = shard < 0 ? cur : shard;
+  FAB_CHECK_GE(dst, 0);
+  FAB_CHECK_LT(dst, shards());
+  if (in_event) {
+    FAB_CHECK_EQ(dst, cur) << "cross-shard Schedule from a running event; use SendCross";
+    Shard& sh = *shards_[static_cast<std::size_t>(cur)];
+    FAB_CHECK_GE(when, sh.now) << "event scheduled in the past";
+    sh.q.Push(when, std::move(fn), daemon);
+  } else {
+    FAB_CHECK(!running_) << "Schedule from a foreign thread while the engine runs";
+    FAB_CHECK_GE(when, unified_now_) << "event scheduled in the past";
+    shards_[static_cast<std::size_t>(dst)]->q.Push(when, std::move(fn), daemon);
+  }
+}
+
+void PdesEngine::SendCross(int dst_shard, Tick when, std::uint64_t stamp, Callback fn,
+                           bool daemon) {
+  FAB_CHECK_GE(dst_shard, 0);
+  FAB_CHECK_LT(dst_shard, shards());
+  const bool in_event = tls_ctx_.engine == this;
+  const int src = in_event ? tls_ctx_.shard : 0;
+  if (!in_event || dst_shard == src) {
+    Schedule(dst_shard, when, std::move(fn), daemon);
+    return;
+  }
+  Shard& sh = *shards_[static_cast<std::size_t>(src)];
+  // The conservative contract: the destination has been promised nothing
+  // lands below its committed horizon, and that promise is exactly the
+  // sender's clock + lookahead. Firing below it would corrupt the window.
+  FAB_CHECK_GE(when, sh.now + lookahead_)
+      << "lookahead violation: cross-shard event below the neighbor's committed horizon"
+      << " (src shard " << src << " now=" << sh.now << " lookahead=" << lookahead_
+      << " dst shard " << dst_shard << " when=" << when << ")";
+  Mailbox& mb = mailbox(src, dst_shard);
+  Message m;
+  m.when = when;
+  m.stamp = stamp;
+  m.seq = mb.next_seq++;
+  m.src = src;
+  m.daemon = daemon;
+  m.fn = std::move(fn);
+  mb.Push(std::move(m));
+  ++sh.stats.sent;
+}
+
+void PdesEngine::FlashRelay(int dst_shard, Tick done) {
+  FAB_CHECK_GE(dst_shard, 1);
+  FAB_CHECK_LT(dst_shard, shards());
+  const bool in_event = tls_ctx_.engine == this;
+  if (in_event && tls_ctx_.shard != 0) {
+    return;  // only shard-0 device logic relays
+  }
+  const Tick now = Now();
+  if (done < now + 2 * lookahead_) {
+    return;  // not enough slack to hop out and back; keep the op local
+  }
+  const Tick hop = done - lookahead_;
+  const std::uint64_t stamp = relay_stamp_++;
+  PdesEngine* eng = this;
+  auto hop_fn = [eng, done, stamp] {
+    eng->NoteInternalExecuted();
+    eng->SendCross(0, done, stamp, [eng] { eng->NoteInternalExecuted(); },
+                   /*daemon=*/true);
+  };
+  if (in_event) {
+    SendCross(dst_shard, hop, stamp, std::move(hop_fn), /*daemon=*/true);
+  } else {
+    shards_[static_cast<std::size_t>(dst_shard)]->q.Push(hop, std::move(hop_fn),
+                                                         /*daemon=*/true);
+  }
+}
+
+void PdesEngine::NoteInternalExecuted() {
+  if (tls_ctx_.engine != this) {
+    return;
+  }
+  ++shards_[static_cast<std::size_t>(tls_ctx_.shard)]->stats.internal_executed;
+}
+
+// --- Run loop --------------------------------------------------------------
+
+Tick PdesEngine::Run() { return RunLoop(/*bounded=*/false, /*deadline=*/0); }
+
+Tick PdesEngine::RunUntil(Tick deadline) { return RunLoop(/*bounded=*/true, deadline); }
+
+Tick PdesEngine::RunLoop(bool bounded, Tick deadline) {
+  FAB_CHECK(tls_ctx_.engine == nullptr) << "re-entrant Run from inside an event";
+  running_ = true;
+  for (;;) {
+    if (clear_requested_.load(std::memory_order_acquire)) {
+      ApplyDeferredClear();
+    }
+    const Tick gmin = GlobalMinNextTime();
+    if (gmin == kNoEvent) {
+      break;
+    }
+    if (!bounded && GlobalNonDaemons() == 0) {
+      break;  // only daemons remain — they stay queued, like the sequential Run
+    }
+    if (bounded && gmin > deadline) {
+      break;
+    }
+    // Safety valve, checked per window rather than per event: close enough
+    // for a storm guard (a single window holds at most lookahead's worth).
+    FAB_CHECK_LT(events_executed(), max_events_) << "event budget exhausted";
+    Tick w_end = gmin > kNoEvent - lookahead_ ? kNoEvent : gmin + lookahead_;
+    if (bounded && w_end > deadline) {
+      w_end = deadline + 1;  // the window is half-open; deadline-exact events fire
+    }
+    const Tick horizon = DaemonHorizon();
+    ExecuteWindow(w_end, horizon, /*daemons_unconditional=*/bounded);
+    ++windows_;
+    DrainMailboxes();
+  }
+  if (clear_requested_.load(std::memory_order_acquire)) {
+    ApplyDeferredClear();
+  }
+  Tick final_now = unified_now_;
+  for (auto& sh : shards_) {
+    final_now = std::max(final_now, sh->now);
+  }
+  if (bounded) {
+    // Sequential RunUntil parks the clock on the deadline; everything at or
+    // below it has fired (daemons included), so no shard clock regresses.
+    final_now = std::max(final_now, deadline);
+    for (auto& sh : shards_) {
+      sh->now = final_now;
+    }
+  }
+  unified_now_ = final_now;
+  running_ = false;
+  return unified_now_;
+}
+
+void PdesEngine::ExecuteWindow(Tick w_end, Tick daemon_horizon,
+                               bool daemons_unconditional) {
+  if (threads_ == 1) {
+    for (int s = 0; s < shards(); ++s) {
+      RunShard(s, w_end, daemon_horizon, daemons_unconditional);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    window_end_ = w_end;
+    window_daemon_horizon_ = daemon_horizon;
+    window_daemons_unconditional_ = daemons_unconditional;
+    windows_done_ = 0;
+    ++window_gen_;
+  }
+  cv_work_.notify_all();
+  for (int s = 0; s < shards(); s += threads_) {
+    RunShard(s, w_end, daemon_horizon, daemons_unconditional);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return windows_done_ == threads_ - 1; });
+}
+
+void PdesEngine::WorkerMain(int worker_id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Tick w_end = 0;
+    Tick horizon = 0;
+    bool uncond = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stopping_ || window_gen_ != seen; });
+      if (stopping_) {
+        return;
+      }
+      seen = window_gen_;
+      w_end = window_end_;
+      horizon = window_daemon_horizon_;
+      uncond = window_daemons_unconditional_;
+    }
+    for (int s = worker_id; s < shards(); s += threads_) {
+      RunShard(s, w_end, horizon, uncond);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++windows_done_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void PdesEngine::RunShard(int shard, Tick w_end, Tick daemon_horizon,
+                          bool daemons_unconditional) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  const ExecContext prev = tls_ctx_;
+  tls_ctx_ = ExecContext{this, shard};
+  while (!sh.q.empty()) {
+    if (clear_requested_.load(std::memory_order_acquire)) {
+      break;  // a power failure elsewhere; stop popping, barrier cleans up
+    }
+    const Tick t = sh.q.NextTime();
+    if (t >= w_end) {
+      break;
+    }
+    // Daemon gating (sequential parity): once this shard holds only daemons,
+    // one fires only while it provably precedes the next non-daemon anywhere
+    // (daemon_horizon is a lower bound on that). Everything left here is a
+    // daemon at >= t, so holding means breaking.
+    if (!daemons_unconditional && sh.q.non_daemon_count() == 0 && t >= daemon_horizon) {
+      break;
+    }
+    Tick when = 0;
+    Callback fn = sh.q.Pop(&when);
+    FAB_CHECK_GE(when, sh.now);
+    sh.now = when;
+    ++sh.stats.executed;
+    fn();
+  }
+  tls_ctx_ = prev;
+}
+
+void PdesEngine::DrainMailboxes() {
+  std::vector<Message> batch;
+  for (int dst = 0; dst < shards(); ++dst) {
+    batch.clear();
+    for (int src = 0; src < shards(); ++src) {
+      if (src == dst) {
+        continue;
+      }
+      mailbox(src, dst).DrainInto(&batch);
+    }
+    if (batch.empty()) {
+      continue;
+    }
+    // Deterministic merge: a total order over the stamps, independent of
+    // which thread produced what first. The destination queue then assigns
+    // its own tie-break seqs in this order.
+    std::sort(batch.begin(), batch.end(), [](const Message& a, const Message& b) {
+      if (a.when != b.when) {
+        return a.when < b.when;
+      }
+      if (a.stamp != b.stamp) {
+        return a.stamp < b.stamp;
+      }
+      if (a.src != b.src) {
+        return a.src < b.src;
+      }
+      return a.seq < b.seq;
+    });
+    Shard& sh = *shards_[static_cast<std::size_t>(dst)];
+    for (auto& m : batch) {
+      sh.q.Push(m.when, std::move(m.fn), m.daemon);
+      ++sh.stats.received;
+    }
+  }
+}
+
+// --- Clear / power failure -------------------------------------------------
+
+void PdesEngine::Clear() {
+  if (tls_ctx_.engine == this) {
+    const int s = tls_ctx_.shard;
+    Shard& sh = *shards_[static_cast<std::size_t>(s)];
+    // Synchronous for the requesting shard: anything the current callback
+    // schedules after this call lands in a fresh queue and survives, exactly
+    // like the sequential engine's Halt. Seq counters reset with the queue,
+    // so a post-crash run re-derives identical (when, seq) ordering.
+    sh.q.Clear();
+    clear_now_.store(sh.now, std::memory_order_relaxed);
+    clear_shard_.store(s, std::memory_order_relaxed);
+    clear_requested_.store(true, std::memory_order_release);
+    return;
+  }
+  // Outside the run loop (Resume/Halt): synchronous everywhere.
+  for (auto& sh : shards_) {
+    sh->q.Clear();
+  }
+  std::vector<Message> scratch;
+  for (auto& mb : mailboxes_) {
+    mb->DrainInto(&scratch);
+    scratch.clear();
+    mb->next_seq = 0;
+  }
+}
+
+void PdesEngine::ApplyDeferredClear() {
+  const int requester = clear_shard_.load(std::memory_order_relaxed);
+  const Tick t = clear_now_.load(std::memory_order_relaxed);
+  for (int s = 0; s < shards(); ++s) {
+    if (s != requester) {
+      shards_[static_cast<std::size_t>(s)]->q.Clear();
+    }
+  }
+  std::vector<Message> scratch;
+  for (auto& mb : mailboxes_) {
+    mb->DrainInto(&scratch);
+    scratch.clear();
+    mb->next_seq = 0;
+  }
+  // Shards that raced ahead of the failure tick executed only inert
+  // cross-shard events (the shard-safety contract); collapse every clock to
+  // the requester's so recovery sees the sequential power-loss time.
+  for (auto& sh : shards_) {
+    sh->now = t;
+  }
+  unified_now_ = t;
+  clear_shard_.store(-1, std::memory_order_relaxed);
+  clear_requested_.store(false, std::memory_order_release);
+}
+
+// --- Introspection ---------------------------------------------------------
+
+Tick PdesEngine::Now() const {
+  if (tls_ctx_.engine == this) {
+    return shards_[static_cast<std::size_t>(tls_ctx_.shard)]->now;
+  }
+  return unified_now_;
+}
+
+int PdesEngine::CurrentShard() const {
+  return tls_ctx_.engine == this ? tls_ctx_.shard : 0;
+}
+
+bool PdesEngine::empty() const {
+  for (const auto& sh : shards_) {
+    if (!sh->q.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t PdesEngine::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->q.size();
+  }
+  return n;
+}
+
+bool PdesEngine::OnlyDaemonsLeft() const { return GlobalNonDaemons() == 0; }
+
+std::uint64_t PdesEngine::events_executed() const {
+  std::uint64_t n = base_events_;
+  for (const auto& sh : shards_) {
+    n += sh->stats.executed - sh->stats.internal_executed;
+  }
+  return n;
+}
+
+void PdesEngine::RestoreClock(Tick now, std::uint64_t events) {
+  for (auto& sh : shards_) {
+    FAB_CHECK(sh->q.empty()) << "RestoreClock with pending events; Halt first";
+    sh->now = now;
+    sh->stats = ShardStats{};
+  }
+  unified_now_ = now;
+  base_events_ = events;
+}
+
+PdesEngine::ShardStats PdesEngine::shard_stats(int shard) const {
+  FAB_CHECK_GE(shard, 0);
+  FAB_CHECK_LT(shard, shards());
+  return shards_[static_cast<std::size_t>(shard)]->stats;
+}
+
+std::size_t PdesEngine::GlobalNonDaemons() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->q.non_daemon_count();
+  }
+  return n;
+}
+
+Tick PdesEngine::GlobalMinNextTime() {
+  Tick m = kNoEvent;
+  for (auto& sh : shards_) {
+    if (!sh->q.empty()) {
+      m = std::min(m, sh->q.NextTime());
+    }
+  }
+  return m;
+}
+
+Tick PdesEngine::DaemonHorizon() {
+  Tick h = kNoEvent;
+  for (auto& sh : shards_) {
+    if (sh->q.non_daemon_count() > 0) {
+      h = std::min(h, sh->q.NextTime());
+    }
+  }
+  return h;
+}
+
+}  // namespace fabacus

@@ -1,0 +1,244 @@
+// Conservative parallel discrete-event engine: per-shard event queues that
+// advance in lookahead-bounded windows (docs/PERFORMANCE.md, "Parallel DES").
+//
+// The event population is partitioned into S shards, each owning a private
+// EventQueue (calendar or heap backend — the same (when, seq) contract the
+// sequential Simulator runs on). Execution proceeds in *conservative
+// windows*: every shard may safely execute all events strictly below
+//
+//   W_end = min over shards of NextTime() + lookahead
+//
+// because any event a shard sends to a neighbour must land at least
+// `lookahead` past the sender's clock (CHECK-enforced; see SendCross), so no
+// in-window event can receive a cross-shard event inside the same window.
+// This is the classic bounded-lag / null-message-free synchronization: with
+// lookahead derived from ONFi flash timings (81 us tR is the floor —
+// NandConfig::OnfiLookahead()) a window holds thousands of events, which
+// amortizes the barrier.
+//
+// Cross-shard events travel through bounded per-(src,dst) SPSC mailboxes as
+// (when, stamp, src, seq)-stamped messages. Mailboxes are written only by
+// the owning shard's thread during a window and drained only by the
+// coordinator between windows; the drain merges all arrivals in
+// (when, stamp, src, seq) order before pushing them into destination queues,
+// so the destination's tie-break sequence numbers — and therefore the whole
+// execution — are a pure function of the event data, never of thread timing.
+//
+// Determinism contract:
+//  * Identical results for any thread count (1..S): windows, merges and
+//    per-shard pop order depend only on queue contents.
+//  * Identical results to the sequential single-queue engine whenever events
+//    that share mutable state share a shard (cross-shard events must commute
+//    with concurrent windows). FlashAbacus satisfies this by keeping all
+//    device logic on shard 0 and sending only self-contained flash-timing
+//    relay events to the per-channel shards, which is how PDES device runs
+//    byte-match sequential runs (tests/sweep_determinism_test.cc).
+//
+// Daemon semantics mirror the sequential engine: Run() stops when only
+// daemons remain globally; a daemon fires only while its own shard still
+// holds a non-daemon, or while some other shard's earliest pending event —
+// a lower bound on the next non-daemon anywhere — lies beyond it.
+#ifndef SRC_SIM_PDES_ENGINE_H_
+#define SRC_SIM_PDES_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace fabacus {
+
+class PdesEngine {
+ public:
+  using Callback = EventQueue::Callback;
+
+  struct Options {
+    int shards = 1;
+    // Worker threads executing shard windows (the calling thread is one of
+    // them). Clamped to [1, shards]; shard s runs on thread s % threads, so
+    // shard 0 always executes on the Run() caller's thread.
+    int threads = 1;
+    // Conservative window slack. Cross-shard sends must land at least this
+    // far past the sending shard's clock; must be > 0.
+    Tick lookahead = 1;
+    EventQueue::Backend backend = EventQueue::Backend::kCalendar;
+    // Per-(src,dst) mailbox ring capacity. One window's cross-traffic bounds
+    // occupancy; overflow spills to a locked side vector (correct, slower).
+    std::size_t mailbox_capacity = 1024;
+  };
+
+  explicit PdesEngine(const Options& opt);
+  ~PdesEngine();
+  PdesEngine(const PdesEngine&) = delete;
+  PdesEngine& operator=(const PdesEngine&) = delete;
+
+  // --- Scheduling ----------------------------------------------------------
+  // Pushes onto `shard`'s queue. shard < 0 resolves to the current shard:
+  // the shard whose event is executing on this thread, or shard 0 when
+  // called from outside the run loop. Targeting another shard's queue while
+  // the engine is running is not allowed (that is what SendCross is for).
+  void Schedule(int shard, Tick when, Callback fn, bool daemon = false);
+
+  // Sends an event to another shard, stamped (when, stamp). Must satisfy
+  // when >= sender's clock + lookahead (CHECK-fails otherwise: scheduling
+  // below a neighbour's committed horizon would break conservatism). Same-
+  // shard sends degrade to Schedule. `stamp` orders same-tick arrivals at
+  // the destination ahead of (src, per-pair seq); any deterministic value
+  // works, and 0 is fine when same-tick cross-traffic cannot collide.
+  void SendCross(int dst_shard, Tick when, std::uint64_t stamp, Callback fn,
+                 bool daemon = false);
+
+  // Flash-completion relay used by the device integration (see Simulator::
+  // NoteFlashCompletion): when `done` lies at least two lookaheads out,
+  // bounce an inert marker through `dst_shard` (hop out at done - lookahead,
+  // marker back onto shard 0 at `done`). Both hops are daemons and are
+  // excluded from events_executed(), so reports and snapshots stay
+  // byte-identical to sequential runs. Call only from shard 0's context.
+  void FlashRelay(int dst_shard, Tick done);
+
+  // Marks the currently-executing event as engine-internal bookkeeping: it
+  // is subtracted from events_executed(). Only meaningful inside a callback.
+  void NoteInternalExecuted();
+
+  // --- Run loop (call only from the owning thread, never from an event) ----
+  Tick Run();
+  Tick RunUntil(Tick deadline);
+
+  // Drops every pending event and mailbox message. Callable from inside an
+  // executing event (power-failure modelling): the requesting shard's queue
+  // clears immediately — events the current callback schedules afterwards
+  // survive, exactly like the sequential engine — and every other shard
+  // stops at its next pop and is cleared at the window barrier, with all
+  // clocks collapsing to the requester's. Cross-shard events racing the
+  // requester's window are dropped or executed depending on shard progress,
+  // which is why only commuting/internal events may cross shards.
+  void Clear();
+
+  // --- Introspection -------------------------------------------------------
+  Tick Now() const;  // executing shard's clock, or the unified clock outside
+  int CurrentShard() const;
+  bool empty() const;
+  std::size_t size() const;
+  bool OnlyDaemonsLeft() const;
+  // Externally-visible events executed (internal relay hops excluded) —
+  // matches the sequential engine's count for a shard-safe workload.
+  std::uint64_t events_executed() const;
+  void set_max_events(std::uint64_t n) { max_events_ = n; }
+
+  // Snapshot restore hook: collapses every shard clock to `now` and resets
+  // the executed counter to `events` (queues must be empty — Halt first).
+  void RestoreClock(Tick now, std::uint64_t events);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int threads() const { return threads_; }
+  Tick lookahead() const { return lookahead_; }
+  std::uint64_t windows() const { return windows_; }
+
+  struct ShardStats {
+    std::uint64_t executed = 0;           // all pops, relay hops included
+    std::uint64_t internal_executed = 0;  // relay/marker hops only
+    std::uint64_t sent = 0;               // cross-shard messages produced
+    std::uint64_t received = 0;           // cross-shard messages merged in
+  };
+  ShardStats shard_stats(int shard) const;
+
+ private:
+  struct Message {
+    Tick when = 0;
+    std::uint64_t stamp = 0;
+    std::uint64_t seq = 0;  // per-(src,dst) producer sequence
+    int src = 0;
+    bool daemon = false;
+    Callback fn;
+  };
+
+  // Single-producer (source shard's thread, during a window) / single-
+  // consumer (coordinator, between windows) ring. The window barrier
+  // provides the cross-thread ordering; the atomics keep the in-window
+  // publication race-free for the post-barrier drain under TSan.
+  struct Mailbox {
+    std::vector<Message> ring;
+    std::atomic<std::size_t> head{0};
+    std::atomic<std::size_t> tail{0};
+    std::mutex spill_mu;
+    std::vector<Message> spill;  // ring-full overflow (rare)
+    std::uint64_t next_seq = 0;  // producer-side
+
+    void Push(Message&& m);
+    void DrainInto(std::vector<Message>* out);
+    bool DrainEmptyUnsynchronized() const;
+  };
+
+  struct alignas(64) Shard {
+    explicit Shard(EventQueue::Backend backend) : q(backend) {}
+    EventQueue q;
+    Tick now = 0;
+    ShardStats stats;
+  };
+
+  struct ExecContext {
+    PdesEngine* engine = nullptr;
+    int shard = 0;
+  };
+  static thread_local ExecContext tls_ctx_;
+
+  Mailbox& mailbox(int src, int dst) {
+    return *mailboxes_[static_cast<std::size_t>(src) * shards_.size() +
+                       static_cast<std::size_t>(dst)];
+  }
+
+  std::size_t GlobalNonDaemons() const;
+  // Non-const: CalendarEventQueue::NextTime() advances its bucket cursor.
+  Tick GlobalMinNextTime();  // kNoEvent when all queues are empty
+  Tick DaemonHorizon();
+  Tick RunLoop(bool bounded, Tick deadline);
+  void ExecuteWindow(Tick w_end, Tick daemon_horizon, bool daemons_unconditional);
+  void RunShard(int shard, Tick w_end, Tick daemon_horizon, bool daemons_unconditional);
+  void DrainMailboxes();
+  void ApplyDeferredClear();
+  void WorkerMain(int worker_id);
+
+  static constexpr Tick kNoEvent = std::numeric_limits<Tick>::max();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // src * S + dst
+  int threads_ = 1;
+  Tick lookahead_ = 1;
+  std::uint64_t max_events_ = std::numeric_limits<std::uint64_t>::max();
+
+  Tick unified_now_ = 0;
+  std::uint64_t base_events_ = 0;  // snapshot-restored offset
+  std::uint64_t windows_ = 0;
+  std::uint64_t relay_stamp_ = 0;  // FlashRelay's deterministic stamp source
+  bool running_ = false;
+
+  // Deferred power-failure clear (set from an executing event).
+  std::atomic<bool> clear_requested_{false};
+  std::atomic<Tick> clear_now_{0};
+  std::atomic<int> clear_shard_{-1};
+
+  // Window barrier: the coordinator publishes (w_end, horizon, flags) under
+  // mu_, bumps the generation, runs its own shards, then waits for the
+  // workers; workers wake per generation, run their shards, and report done.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t window_gen_ = 0;
+  int windows_done_ = 0;
+  bool stopping_ = false;
+  Tick window_end_ = 0;
+  Tick window_daemon_horizon_ = 0;
+  bool window_daemons_unconditional_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fabacus
+
+#endif  // SRC_SIM_PDES_ENGINE_H_

@@ -5,8 +5,10 @@
 //     backend produces byte-identical reports to the calendar engine.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -113,10 +115,12 @@ FaultConfig RandomFaultConfig(std::uint64_t seed, const NandConfig& nand) {
   return f;
 }
 
-std::string RunFaultySystem(std::uint64_t cfg_seed, EventQueue::Backend backend) {
+std::string RunFaultySystem(std::uint64_t cfg_seed, EventQueue::Backend backend,
+                            int pdes_threads = 0) {
   BenchOptions opt;
   opt.backend = backend;
   FlashAbacusConfig cfg = FlashAbacusConfig::Small();
+  cfg.pdes_threads = pdes_threads;
   cfg.nand.fault = RandomFaultConfig(cfg_seed, cfg.nand);
   // The scheduler under test is itself part of the drawn config.
   Rng pick(cfg_seed ^ 0xabcdULL);
@@ -157,9 +161,10 @@ TEST(SweepDeterminismSlow, RandomFaultConfigsMatchAcrossBackends) {
 // signature string covering the recovery report, the crash/recovery metrics
 // and the post-recovery RunReport JSON — byte-compared across backends.
 std::string CrashRecoverySignature(std::uint64_t seed, Tick crash_after, bool with_faults,
-                                   EventQueue::Backend backend) {
+                                   EventQueue::Backend backend, int pdes_threads = 0) {
   Simulator sim(backend);
   FlashAbacusConfig cfg = FlashAbacusConfig::Small();
+  cfg.pdes_threads = pdes_threads;
   if (with_faults) {
     cfg.nand.fault.seed = seed;
     cfg.nand.fault.read_error_base = 0.02;
@@ -217,6 +222,125 @@ std::string CrashRecoverySignature(std::uint64_t seed, Tick crash_after, bool wi
       << "post-recovery outputs failed verification (seed " << seed << ")";
   sig += "\n" + rerun.ToJson();
   return sig;
+}
+
+// ---------------------------------------------------------------------------
+// Conservative-PDES determinism (docs/PERFORMANCE.md, "Parallel DES"): a
+// device run with pdes_threads > 0 shards the event population across
+// 1 + channels per-channel queues, yet must reproduce the sequential
+// RunReport byte for byte at any thread count and on either sequential
+// baseline backend.
+// ---------------------------------------------------------------------------
+
+TEST(SweepDeterminism, PdesMatchesSequentialQuick) {
+  const std::string sequential =
+      RunFaultySystem(/*cfg_seed=*/3, EventQueue::Backend::kCalendar, /*pdes_threads=*/0);
+  for (int threads : {1, 2}) {
+    EXPECT_EQ(sequential,
+              RunFaultySystem(3, EventQueue::Backend::kCalendar, threads))
+        << "PDES run at " << threads << " threads diverged from sequential";
+  }
+}
+
+// Snapshots taken at the same quiescent point must also be byte-identical
+// across modes, and a snapshot taken under either mode must resume under
+// either (the "sim" section carries only the unified clock and the external
+// event count).
+std::string PdesSnapshotBytesAndRerun(int pdes_threads) {
+  FlashAbacusConfig cfg = FlashAbacusConfig::Small();
+  cfg.pdes_threads = pdes_threads;
+  const Workload* wl = WorkloadRegistry::Get().Find("ATAX");
+  Rng rng(11);
+  AppInstance inst(0, 0, &wl->spec(), cfg.model_scale);
+  wl->Prepare(inst, rng);
+
+  Simulator sim;
+  FlashAbacus dev(&sim, cfg);
+  dev.InstallData(&inst, [](Tick) {});
+  sim.Run();
+  RunReport report;
+  dev.Run({&inst}, SchedulerKind::kInterDynamic, [&](RunReport r) { report = std::move(r); });
+  sim.Run();
+  const std::vector<std::uint8_t> bytes = dev.BuildSnapshot().Serialize();
+
+  // Cross-mode resume: restore into a device running the *other* mode and
+  // make sure it accepts the snapshot and lands on the same clock.
+  FlashAbacusConfig other = cfg;
+  other.pdes_threads = pdes_threads == 0 ? 2 : 0;
+  Simulator sim2;
+  FlashAbacus dev2(&sim2, other);
+  SnapshotFile snap;
+  std::string err;
+  EXPECT_TRUE(SnapshotFile::Parse(bytes, &snap, &err)) << err;
+  EXPECT_TRUE(dev2.Resume(snap, &err)) << err;
+  EXPECT_EQ(sim2.Now(), sim.Now());
+  EXPECT_EQ(sim2.events_executed(), sim.events_executed());
+
+  std::string sig(bytes.begin(), bytes.end());
+  sig += "\n" + report.ToJson();
+  return sig;
+}
+
+TEST(SweepDeterminism, PdesSnapshotsAreByteIdentical) {
+  const std::string sequential = PdesSnapshotBytesAndRerun(0);
+  EXPECT_EQ(sequential, PdesSnapshotBytesAndRerun(1));
+  EXPECT_EQ(sequential, PdesSnapshotBytesAndRerun(4));
+}
+
+TEST(SweepDeterminismSlow, RandomFaultConfigsMatchPdesAcrossThreadCounts) {
+  constexpr int kConfigs = 20;
+  constexpr std::uint64_t kSeedBase = 5000;
+  // Per seed: sequential calendar + heap baselines, PDES on the calendar
+  // backend at 1/2/4 threads, and PDES on the heap backend at 2 threads —
+  // all six must be byte-identical.
+  struct Variant {
+    EventQueue::Backend backend;
+    int pdes_threads;
+    const char* name;
+  };
+  const std::vector<Variant> variants = {
+      {EventQueue::Backend::kCalendar, 0, "seq/calendar"},
+      {EventQueue::Backend::kHeap, 0, "seq/heap"},
+      {EventQueue::Backend::kCalendar, 1, "pdes/calendar/1"},
+      {EventQueue::Backend::kCalendar, 2, "pdes/calendar/2"},
+      {EventQueue::Backend::kCalendar, 4, "pdes/calendar/4"},
+      {EventQueue::Backend::kHeap, 2, "pdes/heap/2"},
+  };
+  std::vector<std::function<std::string()>> jobs;
+  for (const Variant& v : variants) {
+    for (int i = 0; i < kConfigs; ++i) {
+      const std::uint64_t seed = kSeedBase + static_cast<std::uint64_t>(i);
+      jobs.emplace_back([seed, v] { return RunFaultySystem(seed, v.backend, v.pdes_threads); });
+    }
+  }
+  const std::vector<std::string> reports = SweepRunner().Run(std::move(jobs));
+  for (std::size_t vi = 1; vi < variants.size(); ++vi) {
+    for (int i = 0; i < kConfigs; ++i) {
+      EXPECT_EQ(reports[static_cast<std::size_t>(i)],
+                reports[vi * kConfigs + static_cast<std::size_t>(i)])
+          << "fault config seed " << (kSeedBase + static_cast<std::uint64_t>(i))
+          << ": " << variants[vi].name << " diverged from " << variants[0].name;
+    }
+  }
+}
+
+TEST(SweepDeterminismSlow, CrashRecoveryMatchesPdesAcrossThreadCounts) {
+  // The full power-loss drill — mid-run Halt, FTL rebuild, rerun — under the
+  // sharded engine. Exercises the deferred-clear path (Clear from inside an
+  // executing event with worker threads live).
+  const std::vector<Tick> crash_offsets = {400 * kUs, 1700 * kUs, 3800 * kUs};
+  for (std::size_t i = 0; i < crash_offsets.size(); ++i) {
+    const bool with_faults = i % 2 == 0;
+    const std::string sequential = CrashRecoverySignature(
+        7, crash_offsets[i], with_faults, EventQueue::Backend::kCalendar, /*pdes_threads=*/0);
+    for (int threads : {1, 2, 4}) {
+      EXPECT_EQ(sequential,
+                CrashRecoverySignature(7, crash_offsets[i], with_faults,
+                                       EventQueue::Backend::kCalendar, threads))
+          << "crash at +" << crash_offsets[i] / kUs << "us, faults=" << with_faults
+          << " diverged under PDES with " << threads << " threads";
+    }
+  }
 }
 
 TEST(SweepDeterminismSlow, CrashRecoveryMatchesAcrossBackends) {
