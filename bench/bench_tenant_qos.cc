@@ -1,0 +1,228 @@
+// bench_tenant_qos: multi-tenant QoS ablation (docs/QOS.md).
+//
+// Two scenarios, each run under the paper-default arbitration and the
+// weighted-fair tenant scheduler, across the four paper scheduling policies:
+//
+//  1. Noisy neighbor — a fleet of compute/write-heavy "bully" kernels
+//     (tenant 0) contends with a small latency-sensitive "probe" tenant
+//     (tenant 1, latency class). The headline metric is the probe's p99
+//     kernel latency relative to its solo (uncontended) p99: the paper
+//     schedulers are FIFO and let the bullies starve the probe; the
+//     weighted-fair scheduler prefers the latency class at every dispatch
+//     and preemption point.
+//  2. Fair share — three tenants with weights 1/2/4 running the same
+//     workload; Jain's index over the weighted throughput rates shows
+//     convergence to the configured shares under weighted-fair.
+//
+// Machine-parsable output:
+//     PERF <metric> <label> <value>
+// Gates (each skipped with a note when unset):
+//     FABACUS_TENANT_P99_GATE   — max allowed probe p99 inflation (contended
+//                                 weighted-fair vs solo) on InterDy; also
+//                                 requires the paper-default inflation to be
+//                                 at least twice that bound (the regression
+//                                 the QoS layer exists to fix must stay
+//                                 visible). Skipped below 4 hardware threads.
+//     FABACUS_MIN_FAIRNESS_INDEX — min Jain's throughput index for the
+//                                 weighted-fair fair-share scenario on
+//                                 IntraO3. Skipped below 4 hardware threads.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workloads/tenant_mix.h"
+
+namespace fabacus {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr || v[0] == '\0' ? fallback : std::atof(v);
+}
+
+const TenantQosReport* FindTenant(const RunReport& r, std::uint32_t id) {
+  for (const TenantQosReport& t : r.tenants) {
+    if (t.id == id) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+FlashAbacusConfig QosConfig(const TenantSchedConfig& tenants) {
+  FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
+  cfg.model_scale = kBenchScale;
+  cfg.tenant_sched = tenants;
+  return cfg;
+}
+
+struct NoisyResult {
+  double solo_p99 = 0.0;
+  double paper_p99 = 0.0;
+  double wf_p99 = 0.0;
+  bool verified = true;
+};
+
+// One noisy-neighbor ablation under `kind`: solo probe, contended paper,
+// contended weighted-fair. Returns the probe's p99 in each.
+NoisyResult RunNoisyNeighbor(SchedulerKind kind, BenchSweep* sweep, BenchJson* json) {
+  auto bully = MakeBullyWriter();
+  auto probe = MakeLatencyProbe();
+  // Eight bully kernels against two probes; the bullies are listed first so
+  // FIFO arbitration queues them ahead of the probes.
+  std::vector<const Workload*> contended_apps = {bully.get(), bully.get(), bully.get(),
+                                                 bully.get(), probe.get()};
+  const std::vector<TenantId> contended_tenants = {0, 0, 0, 0, 1};
+  std::vector<const Workload*> solo_apps = {probe.get()};
+  const std::vector<TenantId> solo_tenants = {1};
+
+  BenchOptions opt;
+  const std::size_t i_solo = sweep->Add([=]() {
+    return RunFlashAbacusSystemTenants(
+        solo_apps, solo_tenants, 2, kind,
+        QosConfig(NoisyNeighborTenants(TenantSchedPolicy::kWeightedFair)), opt);
+  });
+  const std::size_t i_paper = sweep->Add([=]() {
+    return RunFlashAbacusSystemTenants(
+        contended_apps, contended_tenants, 2, kind,
+        QosConfig(NoisyNeighborTenants(TenantSchedPolicy::kPaper)), opt);
+  });
+  const std::size_t i_wf = sweep->Add([=]() {
+    return RunFlashAbacusSystemTenants(
+        contended_apps, contended_tenants, 2, kind,
+        QosConfig(NoisyNeighborTenants(TenantSchedPolicy::kWeightedFair)), opt);
+  });
+  sweep->Run();
+
+  const BenchRun& solo = sweep->Get(i_solo);
+  const BenchRun& paper = sweep->Get(i_paper);
+  const BenchRun& wf = sweep->Get(i_wf);
+  NoisyResult res;
+  res.verified = solo.verified && paper.verified && wf.verified;
+  const TenantQosReport* t;
+  if ((t = FindTenant(solo.result, 1)) != nullptr) {
+    res.solo_p99 = t->latency_ms.p99;
+  }
+  if ((t = FindTenant(paper.result, 1)) != nullptr) {
+    res.paper_p99 = t->latency_ms.p99;
+  }
+  if ((t = FindTenant(wf.result, 1)) != nullptr) {
+    res.wf_p99 = t->latency_ms.p99;
+  }
+
+  const std::string label = std::string(SchedulerKindName(kind));
+  json->AddScalarRow("noisy_" + label, label,
+                     {{"probe_solo_p99_ms", res.solo_p99},
+                      {"probe_paper_p99_ms", res.paper_p99},
+                      {"probe_wf_p99_ms", res.wf_p99},
+                      {"paper_inflation", res.solo_p99 > 0 ? res.paper_p99 / res.solo_p99 : 0},
+                      {"wf_inflation", res.solo_p99 > 0 ? res.wf_p99 / res.solo_p99 : 0}});
+  return res;
+}
+
+}  // namespace
+}  // namespace fabacus
+
+int main() {
+  using namespace fabacus;
+  BenchJson json("tenant_qos");
+  int rc = 0;
+
+  PrintHeader("Multi-tenant QoS: noisy neighbor (probe p99, ms)");
+  PrintRow({"scheduler", "solo", "paper", "wf", "paper_x", "wf_x"});
+  const SchedulerKind kinds[] = {SchedulerKind::kInterStatic, SchedulerKind::kInterDynamic,
+                                 SchedulerKind::kIntraInOrder,
+                                 SchedulerKind::kIntraOutOfOrder};
+  double gate_paper_x = 0.0;
+  double gate_wf_x = 0.0;
+  bool all_verified = true;
+  BenchSweep sweep;
+  for (SchedulerKind kind : kinds) {
+    const NoisyResult r = RunNoisyNeighbor(kind, &sweep, &json);
+    all_verified = all_verified && r.verified;
+    const double paper_x = r.solo_p99 > 0 ? r.paper_p99 / r.solo_p99 : 0.0;
+    const double wf_x = r.solo_p99 > 0 ? r.wf_p99 / r.solo_p99 : 0.0;
+    PrintRow({SchedulerKindName(kind), Fmt(r.solo_p99, 3), Fmt(r.paper_p99, 3),
+              Fmt(r.wf_p99, 3), Fmt(paper_x, 2), Fmt(wf_x, 2)});
+    std::printf("PERF probe_p99_inflation_paper %s %.3f\n", SchedulerKindName(kind), paper_x);
+    std::printf("PERF probe_p99_inflation_wf %s %.3f\n", SchedulerKindName(kind), wf_x);
+    if (kind == SchedulerKind::kInterDynamic) {
+      gate_paper_x = paper_x;
+      gate_wf_x = wf_x;
+    }
+  }
+
+  PrintHeader("Multi-tenant QoS: fair share (weights 1/2/4, Jain over rates)");
+  auto worker = MakeBullyWriter(16.0);
+  std::vector<const Workload*> fair_apps = {worker.get(), worker.get(), worker.get()};
+  const std::vector<TenantId> fair_tenants = {0, 1, 2};
+  const std::vector<double> weights = {1.0, 2.0, 4.0};
+  BenchOptions opt;
+  BenchSweep fair_sweep;
+  const std::size_t i_fp = fair_sweep.Add([&]() {
+    return RunFlashAbacusSystemTenants(
+        fair_apps, fair_tenants, 4, SchedulerKind::kIntraOutOfOrder,
+        QosConfig(FairShareTenants(TenantSchedPolicy::kPaper, weights)), opt);
+  });
+  const std::size_t i_fw = fair_sweep.Add([&]() {
+    return RunFlashAbacusSystemTenants(
+        fair_apps, fair_tenants, 4, SchedulerKind::kIntraOutOfOrder,
+        QosConfig(FairShareTenants(TenantSchedPolicy::kWeightedFair, weights)), opt);
+  });
+  fair_sweep.Run();
+  const BenchRun& fair_paper = fair_sweep.Get(i_fp);
+  const BenchRun& fair_wf = fair_sweep.Get(i_fw);
+  all_verified = all_verified && fair_paper.verified && fair_wf.verified;
+  const double jain_paper = fair_paper.result.fairness.jain_throughput;
+  const double jain_wf = fair_wf.result.fairness.jain_throughput;
+  PrintRow({"policy", "jain_tput", "jain_p99"});
+  PrintRow({"paper", Fmt(jain_paper, 4), Fmt(fair_paper.result.fairness.jain_p99, 4)});
+  PrintRow({"wf", Fmt(jain_wf, 4), Fmt(fair_wf.result.fairness.jain_p99, 4)});
+  std::printf("PERF fairness_jain_throughput paper %.4f\n", jain_paper);
+  std::printf("PERF fairness_jain_throughput wf %.4f\n", jain_wf);
+  json.AddScalarRow("fair_share", "IntraO3",
+                    {{"jain_paper", jain_paper},
+                     {"jain_wf", jain_wf},
+                     {"jain_p99_paper", fair_paper.result.fairness.jain_p99},
+                     {"jain_p99_wf", fair_wf.result.fairness.jain_p99}});
+
+  if (!all_verified) {
+    std::fprintf(stderr, "PERF GATE FAILED: functional verification failed\n");
+    rc = 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double p99_gate = EnvDouble("FABACUS_TENANT_P99_GATE", 0.0);
+  if (p99_gate > 0.0) {
+    if (hw < 4) {
+      std::printf("tenant p99 gate skipped: %u hardware threads < 4\n", hw);
+    } else {
+      if (gate_wf_x > p99_gate) {
+        std::fprintf(stderr,
+                     "PERF GATE FAILED: weighted-fair probe p99 inflation %.2fx > %.2fx\n",
+                     gate_wf_x, p99_gate);
+        rc = 1;
+      }
+      if (gate_paper_x < 2.0 * p99_gate) {
+        std::fprintf(stderr,
+                     "PERF GATE FAILED: paper-default probe p99 inflation %.2fx < %.2fx — "
+                     "the noisy-neighbor regression the gate guards is gone\n",
+                     gate_paper_x, 2.0 * p99_gate);
+        rc = 1;
+      }
+    }
+  }
+  const double min_jain = EnvDouble("FABACUS_MIN_FAIRNESS_INDEX", 0.0);
+  if (min_jain > 0.0) {
+    if (hw < 4) {
+      std::printf("fairness gate skipped: %u hardware threads < 4\n", hw);
+    } else if (jain_wf < min_jain) {
+      std::fprintf(stderr, "PERF GATE FAILED: weighted-fair Jain index %.4f < %.4f\n",
+                   jain_wf, min_jain);
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -104,6 +104,51 @@ BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int inst
   return run;
 }
 
+BenchRun RunFlashAbacusSystemTenants(const std::vector<const Workload*>& apps,
+                                     const std::vector<TenantId>& app_tenants,
+                                     int instances_per_app, SchedulerKind kind,
+                                     const FlashAbacusConfig& cfg, const BenchOptions& opt) {
+  FAB_CHECK_EQ(apps.size(), app_tenants.size());
+  BenchRun run;
+  RunMeter meter(&run);
+  Simulator sim(opt.backend);
+  FlashAbacus dev(&sim, cfg);
+  InstanceSet set = BuildInstances(apps, instances_per_app, cfg.model_scale, opt.seed);
+  std::vector<AppInstance*> admitted;
+  for (AppInstance* inst : set.raw) {
+    inst->tenant = app_tenants[static_cast<std::size_t>(inst->app_id())];
+    if (dev.InstallData(inst, [](Tick) {})) {
+      admitted.push_back(inst);
+    }
+  }
+  sim.Run();
+  run.system = SchedulerKindName(kind);
+  bool done = false;
+  if (!admitted.empty()) {
+    dev.Run(admitted, kind, [&](RunReport r) {
+      run.result = std::move(r);
+      done = true;
+    });
+    sim.Run();
+  } else {
+    // Every instance was quota-denied; report the tenant rows anyway.
+    run.result.system = SchedulerKindName(kind);
+    run.result.tenants = dev.tenants().BuildReport();
+    run.result.fairness = TenantManager::ComputeFairness(run.result.tenants);
+    done = true;
+  }
+  if (!done) {
+    std::fprintf(stderr, "ERROR: %s tenant run did not complete\n", run.system.c_str());
+  }
+  run.verified = true;
+  for (const AppInstance* inst : admitted) {
+    run.verified =
+        run.verified && apps[static_cast<std::size_t>(inst->app_id())]->Verify(*inst);
+  }
+  meter.Finish(sim);
+  return run;
+}
+
 BenchRun RunSimdSystem(const std::vector<const Workload*>& apps, int instances_per_app,
                        const BenchOptions& opt) {
   BenchRun run;

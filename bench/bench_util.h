@@ -67,6 +67,15 @@ BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int inst
 BenchRun RunFlashAbacusSystem(const std::vector<const Workload*>& apps, int instances_per_app,
                               SchedulerKind kind, const FlashAbacusConfig& cfg,
                               const BenchOptions& opt = {});
+// Multi-tenant variant (docs/QOS.md): instances of apps[i] are tagged with
+// tenant app_tenants[i] (one entry per app). Instances denied by a flash
+// quota at install are excluded from the run (and from verification); the
+// denial shows up in the report's tenant rows.
+BenchRun RunFlashAbacusSystemTenants(const std::vector<const Workload*>& apps,
+                                     const std::vector<TenantId>& app_tenants,
+                                     int instances_per_app, SchedulerKind kind,
+                                     const FlashAbacusConfig& cfg,
+                                     const BenchOptions& opt = {});
 BenchRun RunSimdSystem(const std::vector<const Workload*>& apps, int instances_per_app,
                        const BenchOptions& opt = {});
 

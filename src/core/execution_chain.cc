@@ -72,6 +72,29 @@ bool ExecutionChain::NextReadyScreenInOrder(ScreenRef* out) {
   return false;
 }
 
+bool ExecutionChain::NextReadyScreenOrdered(const std::vector<int>& order, ScreenRef* out) {
+  FAB_CHECK_EQ(order.size(), apps_.size());
+  for (int i : order) {
+    if (ReadyScreenOfApp(apps_[static_cast<std::size_t>(i)], i, out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExecutionChain::NextReadyScreenInOrderOrdered(const std::vector<int>& order,
+                                                   ScreenRef* out) {
+  FAB_CHECK_EQ(order.size(), apps_.size());
+  for (int i : order) {
+    App& app = apps_[static_cast<std::size_t>(i)];
+    if (app.current >= static_cast<int>(app.nodes.size())) {
+      continue;  // app finished; the barrier moves to the next preferred app
+    }
+    return ReadyScreenOfApp(app, 0, out);
+  }
+  return false;
+}
+
 void ExecutionChain::OnDispatched(const ScreenRef& ref) {
   App& app = apps_[static_cast<std::size_t>(FindApp(ref.inst))];
   FAB_CHECK_EQ(ref.mblk, app.current);

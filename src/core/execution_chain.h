@@ -39,6 +39,14 @@ class ExecutionChain {
   // incomplete microblock (strict barrier across apps).
   bool NextReadyScreenInOrder(ScreenRef* out);
 
+  // Weighted-fair variants (docs/QOS.md): same dependency rules, but apps
+  // are visited in the caller-supplied preference `order` (a permutation of
+  // arrival indices) instead of arrival order. The in-order variant keeps
+  // its strict barrier — only the first unfinished app in preference order
+  // may dispatch.
+  bool NextReadyScreenOrdered(const std::vector<int>& order, ScreenRef* out);
+  bool NextReadyScreenInOrderOrdered(const std::vector<int>& order, ScreenRef* out);
+
   void OnDispatched(const ScreenRef& ref);
   // Returns true when this completion finished the instance's last microblock.
   bool OnScreenComplete(const ScreenRef& ref);

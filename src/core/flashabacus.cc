@@ -67,6 +67,13 @@ const char* SchedulerKindName(SchedulerKind kind) {
   return "?";
 }
 
+// An inter-kernel queue entry. `resume_mblk` is 0 for fresh kernels and the
+// next microblock for kernels a weighted-fair preemption point re-queued.
+struct FlashAbacus::PendingKernel {
+  AppInstance* inst = nullptr;
+  int resume_mblk = 0;
+};
+
 struct FlashAbacus::RunState {
   SchedulerKind kind = SchedulerKind::kIntraOutOfOrder;
   std::vector<AppInstance*> instances;
@@ -75,8 +82,8 @@ struct FlashAbacus::RunState {
   Tick start_time = 0;
 
   std::vector<bool> worker_free;
-  std::vector<std::deque<AppInstance*>> static_queues;  // per worker
-  std::deque<AppInstance*> dynamic_queue;
+  std::vector<std::deque<PendingKernel>> static_queues;  // per worker
+  std::deque<PendingKernel> dynamic_queue;
 
   // Inter-kernel: worker stalled waiting for an instance's load.
   std::unordered_map<AppInstance*, int> waiting_worker;
@@ -118,6 +125,8 @@ FlashAbacus::FlashAbacus(Simulator* sim, const FlashAbacusConfig& config)
   });
   flashvisor_ = std::make_unique<Flashvisor>(sim_, backbone_.get(), dram_.get(),
                                              scratchpad_.get(), config_.flashvisor);
+  tenants_ = std::make_unique<TenantManager>(config_.tenant_sched);
+  flashvisor_->set_tenants(tenants_.get());
   storengine_ = std::make_unique<Storengine>(sim_, flashvisor_.get(), config_.storengine);
   storengine_->set_trace(&trace_);
   pcie_ = std::make_unique<BandwidthResource>("pcie", config_.pcie_gb_per_s,
@@ -153,6 +162,8 @@ void FlashAbacus::RegisterMetrics() {
   metrics_.RegisterCounter("device/recovery_torn_groups", &recovery_torn_groups_);
   metrics_.RegisterGauge("device/last_recovery_ns",
                          [this](Tick) { return static_cast<double>(last_recovery_ns_); });
+  // Per-tenant metrics register lazily as tenants first become active.
+  tenants_->AttachMetrics(&metrics_);
 }
 
 void FlashAbacus::SubmitIoReliable(Flashvisor::IoRequest req, int attempt) {
@@ -196,6 +207,9 @@ std::string FlashAbacus::ConfigFingerprint() const {
   fp += ";dram=" + std::to_string(config_.dram.banks);
   fp += ";spad=" + std::to_string(config_.scratchpad.capacity_bytes);
   fp += ";xbar=" + std::to_string(config_.tier1.ports);
+  // Multi-tenant configs shape serialized tenant/quota state; single-tenant
+  // devices keep the historical fingerprint (empty suffix).
+  fp += tenants_->ConfigSuffix();
   return fp;
 }
 
@@ -212,7 +226,8 @@ SnapshotBuilder FlashAbacus::BuildSnapshot() const {
   b.SetMeta("crashed", crashed_ ? "true" : "false");
 
   b.AddComponent(*sim_);
-  StateWriter& w = b.AddSection("device", 1);
+  // v2: the device section is followed by the tenant-QoS component.
+  StateWriter& w = b.AddSection("device", 2);
   w.Str(ConfigFingerprint());
   w.Bool(crashed_);
   pcie_->SaveState(w);
@@ -237,6 +252,7 @@ SnapshotBuilder FlashAbacus::BuildSnapshot() const {
   b.AddComponent(flashvisor_->mapping());
   b.AddComponent(flashvisor_->blocks());
   b.AddComponent(flashvisor_->range_lock());
+  b.AddComponent(*tenants_);
   b.AddComponent(*storengine_);
   for (const auto& worker : workers_) {
     b.AddComponent(*worker);
@@ -261,7 +277,7 @@ bool FlashAbacus::Resume(const SnapshotFile& snap, std::string* error) {
   }
   // Gate on the config fingerprint before touching any state.
   {
-    StateReader r = snap.Open("device", 1);
+    StateReader r = snap.Open("device", 2);
     if (!r.ok()) {
       return fail(r.error());
     }
@@ -294,7 +310,7 @@ bool FlashAbacus::Resume(const SnapshotFile& snap, std::string* error) {
   }
   if (!restore(flashvisor_.get()) || !restore(&flashvisor_->mapping()) ||
       !restore(&flashvisor_->blocks()) || !restore(&flashvisor_->range_lock()) ||
-      !restore(storengine_.get())) {
+      !restore(tenants_.get()) || !restore(storengine_.get())) {
     return fail(err);
   }
   for (const auto& worker : workers_) {
@@ -303,7 +319,7 @@ bool FlashAbacus::Resume(const SnapshotFile& snap, std::string* error) {
     }
   }
 
-  StateReader r = snap.Open("device", 1);
+  StateReader r = snap.Open("device", 2);
   r.Str();  // fingerprint, validated above
   crashed_ = r.Bool();
   pcie_->LoadState(r);
@@ -386,10 +402,12 @@ std::uint64_t FlashAbacus::SectionFuncBytes(const AppInstance& inst,
   return inst.buffer(s.spec->buffer_index).size() * sizeof(float);
 }
 
-void FlashAbacus::InstallData(AppInstance* inst, std::function<void(Tick)> done) {
+bool FlashAbacus::InstallData(AppInstance* inst, std::function<void(Tick)> done) {
   // Materialize the instance's data sections: allocate logical flash extents
-  // and stream the input buffers in through Flashvisor's normal write path.
+  // (charged against the tenant's flash-space quota, all-or-nothing) and
+  // stream the input buffers in through Flashvisor's normal write path.
   inst->sections().clear();
+  std::vector<std::uint64_t> sizes;
   for (const DataSectionSpec& spec : inst->spec().sections) {
     DataSection s;
     s.spec = &spec;
@@ -400,8 +418,16 @@ void FlashAbacus::InstallData(AppInstance* inst, std::function<void(Tick)> done)
     const double model = inst->model_input_bytes() * spec.model_fraction;
     s.model_bytes = std::max<std::uint64_t>(static_cast<std::uint64_t>(model), func_bytes);
     s.model_bytes = std::max<std::uint64_t>(s.model_bytes, 1);
-    s.flash_addr = flashvisor_->AllocLogicalExtent(s.model_bytes);
+    sizes.push_back(s.model_bytes);
     inst->sections().push_back(s);
+  }
+  std::vector<std::uint64_t> addrs;
+  if (!flashvisor_->TryAllocTenantExtents(inst->tenant, sizes, &addrs)) {
+    inst->sections().clear();  // quota denial: nothing allocated, done never fires
+    return false;
+  }
+  for (std::size_t i = 0; i < inst->sections().size(); ++i) {
+    inst->sections()[i].flash_addr = addrs[i];
   }
 
   auto pending = std::make_shared<int>(0);
@@ -415,6 +441,7 @@ void FlashAbacus::InstallData(AppInstance* inst, std::function<void(Tick)> done)
     req.type = Flashvisor::IoRequest::Type::kWrite;
     req.flash_addr = s.flash_addr;
     req.model_bytes = s.model_bytes;
+    req.tenant = inst->tenant;
     if (s.spec->buffer_index >= 0) {
       req.func_data = inst->buffer(s.spec->buffer_index).data();
       req.func_bytes = SectionFuncBytes(*inst, s);
@@ -430,6 +457,7 @@ void FlashAbacus::InstallData(AppInstance* inst, std::function<void(Tick)> done)
   if (*pending == 0) {
     sim_->Schedule(0, [done, latest]() { done(*latest); });
   }
+  return true;
 }
 
 void FlashAbacus::ReadSectionFromFlash(AppInstance* inst, int section_idx,
@@ -442,6 +470,7 @@ void FlashAbacus::ReadSectionFromFlash(AppInstance* inst, int section_idx,
   req.type = Flashvisor::IoRequest::Type::kRead;
   req.flash_addr = s.flash_addr;
   req.model_bytes = s.model_bytes;
+  req.tenant = inst->tenant;
   req.func_data = out->data();
   req.func_bytes = func_bytes;
   req.on_complete = [done = std::move(done)](Tick t, IoStatus) { done(t); };
@@ -472,6 +501,7 @@ void FlashAbacus::Run(std::vector<AppInstance*> instances, SchedulerKind kind,
   for (AppInstance* inst : rs->instances) {
     rs->chain.AddApp(inst, fanout);
     inst->submit_time = sim_->Now();
+    tenants_->OnSubmit(inst->tenant, sim_->Now());
     OffloadKernel(rs, inst);
   }
 }
@@ -500,13 +530,33 @@ void FlashAbacus::OffloadKernel(RunState* rs, AppInstance* inst) {
     FAB_CHECK_EQ(parsed.num_microblocks(), inst->spec().num_microblocks());
     FAB_CHECK_EQ(parsed.sections.size(), inst->spec().sections.size());
     StartLoad(rs, inst);
+    if (tenants_->weighted_fair()) {
+      // Activation clamp: a tenant that was idle must not bank credit — its
+      // virtual time jumps forward to the floor of the currently-active set,
+      // so it competes fairly from "now" instead of replaying its idle past.
+      double floor_vt = 0.0;
+      bool have_floor = false;
+      for (const AppInstance* other : rs->instances) {
+        if (other->tenant == inst->tenant || other->done) {
+          continue;
+        }
+        const double vt = tenants_->virtual_time(other->tenant);
+        if (!have_floor || vt < floor_vt) {
+          floor_vt = vt;
+          have_floor = true;
+        }
+      }
+      if (have_floor) {
+        tenants_->ClampVirtualTime(inst->tenant, floor_vt);
+      }
+    }
     switch (rs->kind) {
       case SchedulerKind::kInterStatic:
         rs->static_queues[static_cast<std::size_t>(inst->app_id()) % workers_.size()]
-            .push_back(inst);
+            .push_back(PendingKernel{inst, 0});
         break;
       case SchedulerKind::kInterDynamic:
-        rs->dynamic_queue.push_back(inst);
+        rs->dynamic_queue.push_back(PendingKernel{inst, 0});
         break;
       default:
         break;
@@ -576,6 +626,7 @@ void FlashAbacus::StartLoad(RunState* rs, AppInstance* inst) {
     req.type = Flashvisor::IoRequest::Type::kRead;
     req.flash_addr = p.addr;
     req.model_bytes = p.model_bytes;
+    req.tenant = inst->tenant;
     req.func_data = p.func_data;
     req.func_bytes = p.func_bytes;
     req.hold_lock = true;
@@ -617,6 +668,7 @@ void FlashAbacus::StreamTail(RunState* rs, AppInstance* inst, DataSection* secti
   req.type = Flashvisor::IoRequest::Type::kRead;
   req.flash_addr = addr;
   req.model_bytes = chunk;
+  req.tenant = inst->tenant;
   req.func_data = func_remaining > 0 ? func_data : nullptr;
   req.func_bytes = std::min(func_remaining, chunk);
   req.hold_lock = true;
@@ -660,50 +712,126 @@ void FlashAbacus::TryDispatch(RunState* rs) {
   }
 }
 
+std::vector<int> FlashAbacus::TenantDispatchOrder(const RunState* rs) const {
+  // Preference order over the run's instances: latency-class tenants first,
+  // then least tenant virtual time, then tenant id; stable sort keeps the
+  // submission order within a tenant.
+  std::vector<int> order(rs->instances.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [this, rs](int a, int b) {
+    const TenantId ta = rs->instances[static_cast<std::size_t>(a)]->tenant;
+    const TenantId tb = rs->instances[static_cast<std::size_t>(b)]->tenant;
+    if (ta == tb) {
+      return false;
+    }
+    const bool la = tenants_->latency_class(ta);
+    const bool lb = tenants_->latency_class(tb);
+    if (la != lb) {
+      return la;
+    }
+    const double va = tenants_->virtual_time(ta);
+    const double vb = tenants_->virtual_time(tb);
+    if (va != vb) {
+      return va < vb;
+    }
+    return ta < tb;
+  });
+  return order;
+}
+
+std::size_t FlashAbacus::PickPendingKernel(const RunState* rs,
+                                           const std::deque<PendingKernel>& q) const {
+  (void)rs;
+  // Same key as TenantDispatchOrder, applied to one inter-kernel queue:
+  // latency class, then least virtual time, then tenant id, then FIFO.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    const TenantId ti = q[i].inst->tenant;
+    const TenantId tb = q[best].inst->tenant;
+    if (ti == tb) {
+      continue;  // FIFO within a tenant
+    }
+    const bool li = tenants_->latency_class(ti);
+    const bool lb = tenants_->latency_class(tb);
+    if (li != lb) {
+      if (li) {
+        best = i;
+      }
+      continue;
+    }
+    const double vi = tenants_->virtual_time(ti);
+    const double vb = tenants_->virtual_time(tb);
+    if (vi != vb) {
+      if (vi < vb) {
+        best = i;
+      }
+      continue;
+    }
+    if (ti < tb) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool FlashAbacus::ShouldPreemptInter(const RunState* rs, const AppInstance* inst,
+                                     int worker) const {
+  if (!tenants_->weighted_fair() || tenants_->latency_class(inst->tenant)) {
+    return false;
+  }
+  const std::deque<PendingKernel>& q = rs->kind == SchedulerKind::kInterStatic
+                                           ? rs->static_queues[static_cast<std::size_t>(worker)]
+                                           : rs->dynamic_queue;
+  for (const PendingKernel& pk : q) {
+    if (tenants_->latency_class(pk.inst->tenant) && rs->chain.IsLoadDone(pk.inst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void FlashAbacus::DispatchInterKernel(RunState* rs) {
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     if (!rs->worker_free[w]) {
       continue;
     }
-    AppInstance* inst = nullptr;
-    if (rs->kind == SchedulerKind::kInterStatic) {
-      if (!rs->static_queues[w].empty()) {
-        inst = rs->static_queues[w].front();
-        rs->static_queues[w].pop_front();
-      }
-    } else {
-      if (!rs->dynamic_queue.empty()) {
-        inst = rs->dynamic_queue.front();
-        rs->dynamic_queue.pop_front();
-      }
-    }
-    if (inst == nullptr) {
+    std::deque<PendingKernel>& q =
+        rs->kind == SchedulerKind::kInterStatic ? rs->static_queues[w] : rs->dynamic_queue;
+    if (q.empty()) {
       continue;
     }
+    const std::size_t pick = tenants_->weighted_fair() ? PickPendingKernel(rs, q) : 0;
+    const PendingKernel pk = q[pick];
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
     rs->worker_free[w] = false;
     const int worker = static_cast<int>(w);
-    flashvisor_->RunSchedulingTask([this, rs, inst, worker](Tick t) {
+    flashvisor_->RunSchedulingTask([this, rs, pk, worker](Tick t) {
       trace_.Add(TraceTag::kSchedule, t - flashvisor_->config().scheduling_cost, t);
-      RunWholeKernel(rs, inst, worker);
+      RunWholeKernel(rs, pk.inst, worker, pk.resume_mblk);
     });
   }
 }
 
-void FlashAbacus::RunWholeKernel(RunState* rs, AppInstance* inst, int worker) {
+void FlashAbacus::RunWholeKernel(RunState* rs, AppInstance* inst, int worker, int start_mblk) {
   // PSC wake/boot sequence, then execute the kernel as a single instruction
-  // stream: every microblock in order on this one LWP.
+  // stream: every microblock in order on this one LWP. A preempted kernel
+  // resumes at the microblock boundary where it yielded.
   workers_[static_cast<std::size_t>(worker)]->BootKernel(sim_->Now());
   if (!rs->chain.IsLoadDone(inst)) {
     // Stall (occupied but not utilized) until the data sections arrive.
+    FAB_CHECK_EQ(start_mblk, 0);  // a preempted kernel already had its data
     rs->waiting_worker[inst] = worker;
     return;
   }
-  RunKernelMicroblock(rs, inst, worker, 0);
+  RunKernelMicroblock(rs, inst, worker, start_mblk);
 }
 
 void FlashAbacus::RunKernelMicroblock(RunState* rs, AppInstance* inst, int worker, int mblk) {
   Lwp& lwp = *workers_[static_cast<std::size_t>(worker)];
   const ScreenWork work = ComputeScreenWork(*inst, mblk, 0, 1);
+  tenants_->ChargeWork(inst->tenant, work.instructions);
   const Lwp::ScreenTiming t = lwp.ExecuteScreen(sim_->Now(), work);
   trace_.Add(TraceTag::kLwpCompute, t.start, t.end, t.avg_fus_busy, lwp.id());
   ScreenRef ref{inst, mblk, 0, 1};
@@ -715,6 +843,18 @@ void FlashAbacus::RunKernelMicroblock(RunState* rs, AppInstance* inst, int worke
     }
     const bool kernel_done = rs->chain.OnScreenComplete(ref);
     if (!kernel_done) {
+      if (ShouldPreemptInter(rs, inst, worker)) {
+        // Weighted-fair preemption point: yield the LWP to a queued
+        // latency-class kernel; this one re-queues at its next microblock.
+        std::deque<PendingKernel>& q =
+            rs->kind == SchedulerKind::kInterStatic
+                ? rs->static_queues[static_cast<std::size_t>(worker)]
+                : rs->dynamic_queue;
+        q.push_back(PendingKernel{inst, mblk + 1});
+        rs->worker_free[static_cast<std::size_t>(worker)] = true;
+        TryDispatch(rs);
+        return;
+      }
       RunKernelMicroblock(rs, inst, worker, mblk + 1);
       return;
     }
@@ -737,13 +877,25 @@ void FlashAbacus::DispatchIntraKernel(RunState* rs) {
       return;
     }
     ScreenRef ref;
-    const bool found = rs->kind == SchedulerKind::kIntraInOrder
-                           ? rs->chain.NextReadyScreenInOrder(&ref)
-                           : rs->chain.NextReadyScreen(&ref);
+    bool found;
+    if (tenants_->weighted_fair()) {
+      // Re-rank every iteration: each dispatch advances the tenant's virtual
+      // time, which can flip the preference before the next free worker.
+      const std::vector<int> order = TenantDispatchOrder(rs);
+      found = rs->kind == SchedulerKind::kIntraInOrder
+                  ? rs->chain.NextReadyScreenInOrderOrdered(order, &ref)
+                  : rs->chain.NextReadyScreenOrdered(order, &ref);
+    } else {
+      found = rs->kind == SchedulerKind::kIntraInOrder ? rs->chain.NextReadyScreenInOrder(&ref)
+                                                       : rs->chain.NextReadyScreen(&ref);
+    }
     if (!found) {
       return;
     }
     rs->chain.OnDispatched(ref);
+    tenants_->ChargeWork(
+        ref.inst->tenant,
+        ComputeScreenWork(*ref.inst, ref.mblk, ref.screen, ref.num_screens).instructions);
     rs->worker_free[static_cast<std::size_t>(worker)] = false;
     // Each screen dispatch is a Flashvisor decision plus queue round trips —
     // the fine-granularity overhead the paper measures against IntraO3.
@@ -805,6 +957,7 @@ void FlashAbacus::StartWriteback(RunState* rs, AppInstance* inst) {
     req.type = Flashvisor::IoRequest::Type::kWrite;
     req.flash_addr = s.flash_addr;
     req.model_bytes = s.model_bytes;
+    req.tenant = inst->tenant;
     if (s.spec->buffer_index >= 0) {
       req.func_data = inst->buffer(s.spec->buffer_index).data();
       req.func_bytes = SectionFuncBytes(*inst, s);
@@ -823,6 +976,7 @@ void FlashAbacus::FinishInstance(RunState* rs, AppInstance* inst, Tick when) {
   inst->done = true;
   rs->result.completion_times.push_back(when - rs->start_time);
   rs->result.kernel_latency_ms.Record(TicksToMs(when - inst->submit_time));
+  tenants_->OnComplete(inst->tenant, TicksToMs(when - inst->submit_time), when);
   --rs->instances_remaining;
   MaybeFinishRun(rs);
 }
@@ -844,6 +998,8 @@ void FlashAbacus::FinalizeResult(RunState* rs) {
   RunReport& res = rs->result;
   const Tick end = sim_->Now();
   res.metrics = metrics_.Snapshot(end);
+  res.tenants = tenants_->BuildReport();
+  res.fairness = TenantManager::ComputeFairness(res.tenants);
   res.makespan = end - rs->start_time;
   double input_bytes = 0.0;
   for (const AppInstance* inst : rs->instances) {

@@ -10,6 +10,7 @@
 #ifndef SRC_CORE_FLASHABACUS_H_
 #define SRC_CORE_FLASHABACUS_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -83,6 +84,10 @@ struct FlashAbacusConfig {
   // byte-identical to sequential at any thread count, so this knob is
   // deliberately excluded from ConfigFingerprint().
   int pdes_threads = 0;
+  // Multi-tenant QoS (docs/QOS.md): tenant specs, per-tenant flash quotas and
+  // the scheduling policy layered under the four paper schedulers. Empty
+  // tenants = single-tenant mode, byte-identical to the pre-tenant device.
+  TenantSchedConfig tenant_sched;
 
   // The Table-1 device of the paper (the defaults above).
   static FlashAbacusConfig Paper();
@@ -107,8 +112,10 @@ class FlashAbacus {
 
   // Allocates flash extents for the instance's data sections and writes the
   // input buffers to flash (device-resident dataset). `done` fires when the
-  // data is accepted; durable after DrainWrites().
-  void InstallData(AppInstance* inst, std::function<void(Tick)> done);
+  // data is accepted; durable after DrainWrites(). Returns false (and `done`
+  // never fires, nothing is allocated) when the instance's tenant is over
+  // its flash-space quota — the denial is counted in the tenant's metrics.
+  bool InstallData(AppInstance* inst, std::function<void(Tick)> done);
 
   // Offloads and executes the instances under `kind`; `done` receives the
   // report when every instance has completed (including output writeback to
@@ -163,6 +170,7 @@ class FlashAbacus {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
   Flashvisor& flashvisor() { return *flashvisor_; }
+  TenantManager& tenants() { return *tenants_; }
   Storengine& storengine() { return *storengine_; }
   FlashBackbone& backbone() { return *backbone_; }
   Dram& dram() { return *dram_; }
@@ -176,6 +184,7 @@ class FlashAbacus {
 
  private:
   struct RunState;
+  struct PendingKernel;
 
   void RegisterMetrics();
   // Submits through Flashvisor with host-side retry: an uncorrectable
@@ -189,8 +198,16 @@ class FlashAbacus {
   void TryDispatch(RunState* rs);
   void DispatchInterKernel(RunState* rs);
   void DispatchIntraKernel(RunState* rs);
-  void RunWholeKernel(RunState* rs, AppInstance* inst, int worker);
+  void RunWholeKernel(RunState* rs, AppInstance* inst, int worker, int start_mblk = 0);
   void RunKernelMicroblock(RunState* rs, AppInstance* inst, int worker, int mblk);
+  // Weighted-fair helpers (docs/QOS.md). The preference order ranks run
+  // instances latency-class first, then least virtual time, then tenant id,
+  // then arrival. PickPendingKernel applies the same key to an inter queue;
+  // ShouldPreemptInter decides whether a worker yields at a microblock
+  // boundary to a queued latency-class kernel.
+  std::vector<int> TenantDispatchOrder(const RunState* rs) const;
+  std::size_t PickPendingKernel(const RunState* rs, const std::deque<PendingKernel>& q) const;
+  bool ShouldPreemptInter(const RunState* rs, const AppInstance* inst, int worker) const;
   void ExecuteScreenOn(RunState* rs, const ScreenRef& ref, int worker);
   void StreamTail(RunState* rs, AppInstance* inst, DataSection* section, std::uint64_t addr,
                   std::uint64_t remaining, std::uint8_t* func_data,
@@ -210,6 +227,7 @@ class FlashAbacus {
   std::unique_ptr<FlashBackbone> backbone_;
   std::unique_ptr<Flashvisor> flashvisor_;
   std::unique_ptr<Storengine> storengine_;
+  std::unique_ptr<TenantManager> tenants_;
   std::unique_ptr<BandwidthResource> pcie_;
   std::vector<std::unique_ptr<Lwp>> workers_;
   RunTrace trace_;

@@ -78,10 +78,91 @@ std::uint64_t Flashvisor::AllocLogicalExtent(std::uint64_t bytes) {
   return addr;
 }
 
+void Flashvisor::set_tenants(TenantManager* tenants) {
+  tenants_ = tenants;
+  if (tenants_ != nullptr) {
+    lock_.set_contention_observer([this](std::uint16_t waiter, std::uint16_t holder) {
+      tenants_->RecordLockBlocked(static_cast<TenantId>(waiter),
+                                  static_cast<TenantId>(holder));
+    });
+  } else {
+    lock_.set_contention_observer(nullptr);
+  }
+}
+
+bool Flashvisor::TryAllocTenantExtents(TenantId tenant, const std::vector<std::uint64_t>& sizes,
+                                       std::vector<std::uint64_t>* addrs) {
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  if (tenants_ != nullptr) {
+    std::uint64_t aligned_total = 0;
+    for (std::uint64_t b : sizes) {
+      aligned_total += (b + group_bytes - 1) / group_bytes * group_bytes;
+    }
+    if (!tenants_->TryChargeQuota(tenant, aligned_total, group_bytes)) {
+      return false;
+    }
+  }
+  addrs->clear();
+  addrs->reserve(sizes.size());
+  for (std::uint64_t b : sizes) {
+    addrs->push_back(AllocLogicalExtent(b));
+  }
+  return true;
+}
+
+void Flashvisor::RefundTenantExtents(TenantId tenant, const std::vector<std::uint64_t>& sizes) {
+  if (tenants_ == nullptr) {
+    return;
+  }
+  const std::uint64_t group_bytes = backbone_->config().GroupBytes();
+  std::uint64_t aligned_total = 0;
+  for (std::uint64_t b : sizes) {
+    aligned_total += (b + group_bytes - 1) / group_bytes * group_bytes;
+  }
+  tenants_->RefundQuota(tenant, aligned_total);
+}
+
+TenantId Flashvisor::SlotOwner(std::uint32_t phys_group) const {
+  return phys_group < slot_tenant_.size()
+             ? static_cast<TenantId>(slot_tenant_[phys_group])
+             : kDefaultTenant;
+}
+
+void Flashvisor::SetSlotOwner(std::uint32_t phys_group, TenantId tenant) {
+  // Attribution only matters (and only costs memory) in multi-tenant mode.
+  if (tenants_ == nullptr || !tenants_->configured()) {
+    return;
+  }
+  if (phys_group >= slot_tenant_.size()) {
+    slot_tenant_.resize(phys_group + 1, 0);
+  }
+  slot_tenant_[phys_group] = tenant;
+}
+
+void Flashvisor::NoteMigration(std::uint32_t phys_old, std::uint32_t phys_new) {
+  if (tenants_ == nullptr || !tenants_->configured()) {
+    return;
+  }
+  const TenantId owner = SlotOwner(phys_old);
+  tenants_->RecordGcDrag(owner, 1);
+  SetSlotOwner(phys_new, owner);
+}
+
 void Flashvisor::SubmitIo(IoRequest req) {
   FAB_CHECK(req.on_complete) << "IoRequest without completion callback";
   FAB_CHECK_EQ(req.flash_addr % backbone_->config().GroupBytes(), 0u)
       << "flash address must be group aligned";
+  // Latency-class tenants ride the express lane of the inbound queue under
+  // weighted-fair QoS (docs/QOS.md): their I/O is serviced ahead of queued
+  // throughput-class requests instead of FIFO behind a noisy neighbor's
+  // streaming loads.
+  const bool express = tenants_ != nullptr && tenants_->configured() &&
+                       tenants_->weighted_fair() && tenants_->latency_class(req.tenant);
+  if (express) {
+    FAB_CHECK(inbound_.TrySendPriority(std::move(req)))
+        << "flashvisor inbound queue overflow";
+    return;
+  }
   FAB_CHECK(inbound_.TrySend(std::move(req))) << "flashvisor inbound queue overflow";
 }
 
@@ -122,9 +203,14 @@ void Flashvisor::DoRead(IoRequest req, Tick service_end) {
   const std::uint64_t last_lg = first_lg + n_groups - 1;
 
   // Shared state captured for the (possibly deferred) grant continuation.
+  const TenantId tenant = req.tenant;
+  const Tick acquire_time = sim_->Now();
   auto work = [this, req = std::move(req), first_lg, n_groups,
-               group_bytes](RangeLock::LockId lock_id) mutable {
+               group_bytes, acquire_time](RangeLock::LockId lock_id) mutable {
     const Tick start = sim_->Now();
+    if (tenants_ != nullptr && start > acquire_time) {
+      tenants_->RecordLockWait(req.tenant, start - acquire_time);
+    }
     Tick flash_done = start;
     IoStatus status = IoStatus::kOk;
     int primary_ch = -1;  // critical-path channel of the slowest group
@@ -188,7 +274,7 @@ void Flashvisor::DoRead(IoRequest req, Tick service_end) {
 
   (void)service_end;
   lock_.Acquire(first_lg, last_lg, LockMode::kRead,
-                [work = std::move(work)](RangeLock::LockId id) mutable { work(id); });
+                [work = std::move(work)](RangeLock::LockId id) mutable { work(id); }, tenant);
 }
 
 void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
@@ -198,9 +284,17 @@ void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
       std::max<std::uint64_t>(1, (req.model_bytes + group_bytes - 1) / group_bytes);
   const std::uint64_t last_lg = first_lg + n_groups - 1;
 
+  const TenantId tenant = req.tenant;
+  const Tick acquire_time = sim_->Now();
   auto work = [this, req = std::move(req), first_lg, n_groups,
-               group_bytes](RangeLock::LockId lock_id) mutable {
+               group_bytes, acquire_time](RangeLock::LockId lock_id) mutable {
     const Tick start = sim_->Now();
+    if (tenants_ != nullptr && start > acquire_time) {
+      tenants_->RecordLockWait(req.tenant, start - acquire_time);
+    }
+    // Any foreground reclaim this write triggers stalls *this* tenant; the
+    // dragged valid data is attributed to its own owners (docs/QOS.md).
+    active_io_tenant_ = req.tenant;
     // Stage the data out of the kernel's data section in DDR3L.
     const Tick staged = dram_->BulkAccess(start, static_cast<double>(req.model_bytes));
     Tick flash_done = staged;
@@ -228,13 +322,20 @@ void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
       const std::uint32_t old = map_.Update(lg, phys);
       if (old != MappingTable::kUnmapped) {
         blocks_.MarkInvalid(BlockGroupOf(old), SlotOf(old));
+        if (tenants_ != nullptr) {
+          // Overwrite garbage is the overwriter's doing, whoever owned the
+          // stale copy: GC pressure is charged to who creates it.
+          tenants_->RecordGarbageCreated(req.tenant, 1);
+        }
       }
       blocks_.MarkValid(BlockGroupOf(phys), SlotOf(phys));
+      SetSlotOwner(phys, req.tenant);
       if (prog_done >= flash_done) {
         primary_ch = prog_ch;
       }
       flash_done = std::max(flash_done, prog_done);
     }
+    active_io_tenant_ = kDefaultTenant;
     write_drain_horizon_ = std::max(write_drain_horizon_, flash_done);
     writes_served_.Add();
     // The caller sees completion once the DDR3L write buffer holds the data
@@ -253,7 +354,7 @@ void Flashvisor::DoWrite(IoRequest req, Tick service_end) {
 
   (void)service_end;
   lock_.Acquire(first_lg, last_lg, LockMode::kWrite,
-                [work = std::move(work)](RangeLock::LockId id) mutable { work(id); });
+                [work = std::move(work)](RangeLock::LockId id) mutable { work(id); }, tenant);
 }
 
 Tick Flashvisor::AdmitWrite(Tick staged, std::uint64_t bytes, Tick flash_done) {
@@ -311,6 +412,10 @@ void Flashvisor::ForegroundReclaim(Tick now) {
   // Inline reclamation monopolizes the Flashvisor core (the overhead the
   // Storengine split exists to avoid): queued requests wait behind it.
   core_.Occupy(now, 20 * kUs);
+  if (tenants_ != nullptr) {
+    // The stall lands on whichever tenant's write forced the inline reclaim.
+    tenants_->RecordGcStall(active_io_tenant_, 20 * kUs);
+  }
   // This runs atomically within one simulation event (Flashvisor's own
   // context), so no kernel mapping can interleave: the range lock is not
   // needed here. Valid groups migrate to the active write point; device time
@@ -338,6 +443,7 @@ void Flashvisor::ForegroundReclaim(Tick now) {
     map_.Update(lg, phys_new);
     blocks_.MarkInvalid(victim, slot);
     blocks_.MarkValid(BlockGroupOf(phys_new), SlotOf(phys_new));
+    NoteMigration(phys_old, phys_new);
   }
   // The per-package busy horizon already serializes this erase behind the
   // reads above, so issuing it "now" is safe.
@@ -593,6 +699,21 @@ void Flashvisor::SaveState(StateWriter& w) const {
   program_failure_reallocs_.SaveState(w);
   retired_block_groups_.SaveState(w);
   foreground_reclaims_.SaveState(w);
+  // v2: sparse per-physical-group tenant ownership (non-default only,
+  // ascending physical group) for GC attribution across resume.
+  std::uint64_t owned = 0;
+  for (std::uint16_t t : slot_tenant_) {
+    if (t != 0) {
+      ++owned;
+    }
+  }
+  w.U64(owned);
+  for (std::uint32_t i = 0; i < slot_tenant_.size(); ++i) {
+    if (slot_tenant_[i] != 0) {
+      w.U32(i);
+      w.U32(slot_tenant_[i]);
+    }
+  }
 }
 
 void Flashvisor::LoadState(StateReader& r) {
@@ -627,6 +748,20 @@ void Flashvisor::LoadState(StateReader& r) {
   retired_block_groups_.LoadState(r);
   foreground_reclaims_.LoadState(r);
   reclaim_depth_ = 0;
+  slot_tenant_.clear();
+  const std::uint64_t owned = r.U64();
+  for (std::uint64_t i = 0; i < owned && r.ok(); ++i) {
+    const std::uint32_t phys = r.U32();
+    const std::uint32_t t = r.U32();
+    if (t > 65535) {
+      r.Fail("flashvisor: slot tenant out of range");
+      return;
+    }
+    if (phys >= slot_tenant_.size()) {
+      slot_tenant_.resize(phys + 1, 0);
+    }
+    slot_tenant_[phys] = static_cast<std::uint16_t>(t);
+  }
 }
 
 void Flashvisor::RegisterMetrics(MetricsRegistry* reg, const std::string& prefix) const {

@@ -24,6 +24,7 @@
 #include "src/core/mapping_table.h"
 #include "src/core/range_lock.h"
 #include "src/core/serial_core.h"
+#include "src/core/tenant.h"
 #include "src/flash/flash_backbone.h"
 #include "src/mem/dram.h"
 #include "src/mem/scratchpad.h"
@@ -68,6 +69,9 @@ class Flashvisor : public Snapshottable {
     // programs land.
     bool hold_lock = false;
     std::function<void(RangeLock::LockId)> lock_holder;
+    // Owning tenant: range-lock contention, lock-wait time, GC stalls and
+    // created garbage are attributed to it (docs/QOS.md).
+    TenantId tenant = kDefaultTenant;
   };
 
   Flashvisor(Simulator* sim, FlashBackbone* backbone, Dram* dram, Scratchpad* scratchpad,
@@ -88,6 +92,27 @@ class Flashvisor : public Snapshottable {
 
   // Simple logical-extent allocator for data sections (group aligned).
   std::uint64_t AllocLogicalExtent(std::uint64_t bytes);
+
+  // Tenant-aware variant: atomically admits the whole extent list against
+  // the tenant's flash-space quota (all-or-nothing — a denial allocates
+  // nothing and counts one quota denial), then allocates each extent.
+  // `addrs` receives one group-aligned logical address per requested size.
+  // Without an attached TenantManager the quota check is skipped.
+  bool TryAllocTenantExtents(TenantId tenant, const std::vector<std::uint64_t>& sizes,
+                             std::vector<std::uint64_t>* addrs);
+  // Rolls back the quota charge of a TryAllocTenantExtents reservation whose
+  // extents were abandoned before any IO (install aborted).
+  void RefundTenantExtents(TenantId tenant, const std::vector<std::uint64_t>& sizes);
+
+  // Attaches per-tenant QoS accounting (quota admission, lock-wait and GC
+  // attribution). Optional: a null manager keeps all paths tenant-blind.
+  void set_tenants(TenantManager* tenants);
+  TenantManager* tenants() const { return tenants_; }
+
+  // GC attribution hook shared with Storengine: valid-data migration moves
+  // the slot's tenant ownership to the new physical group and credits one
+  // dragged group to the owner.
+  void NoteMigration(std::uint32_t phys_old, std::uint32_t phys_new);
 
   MappingTable& mapping() { return map_; }
   BlockManager& blocks() { return blocks_; }
@@ -172,6 +197,7 @@ class Flashvisor : public Snapshottable {
   // mapping()/blocks()/range_lock() accessors); the inbound message queue
   // must be idle (closures cannot be serialized).
   std::string StateName() const override { return "flashvisor"; }
+  int StateVersion() const override { return 2; }  // v2: + sparse slot tenants
   void SaveState(StateWriter& w) const override;
   void LoadState(StateReader& r) override;
   // True when no queued/undelivered I/O message is outstanding — a
@@ -189,6 +215,10 @@ class Flashvisor : public Snapshottable {
   // Admits a staged write into the finite DDR3L write buffer; returns the
   // time the caller may consider the write accepted.
   Tick AdmitWrite(Tick staged, std::uint64_t bytes, Tick flash_done);
+  // Tenant ownership of a physical group's data (attribution only; 0 when
+  // untracked). The backing vector stays empty until tenants are configured.
+  TenantId SlotOwner(std::uint32_t phys_group) const;
+  void SetSlotOwner(std::uint32_t phys_group, TenantId tenant);
 
   Simulator* sim_;
   FlashBackbone* backbone_;
@@ -221,6 +251,12 @@ class Flashvisor : public Snapshottable {
   Counter foreground_reclaims_;
   int reclaim_depth_ = 0;
   std::function<void(Tick)> gc_trigger_;
+  TenantManager* tenants_ = nullptr;
+  // Tenant of the write being serviced when a foreground reclaim fires (the
+  // victim of the GC stall). Set/cleared within one DoWrite event.
+  TenantId active_io_tenant_ = kDefaultTenant;
+  // Per-physical-group owner, sized lazily on first multi-tenant write.
+  std::vector<std::uint16_t> slot_tenant_;
 };
 
 }  // namespace fabacus

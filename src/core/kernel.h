@@ -119,6 +119,10 @@ class AppInstance {
   std::vector<std::int32_t>& int_state() { return int_state_; }
   const std::vector<std::int32_t>& int_state() const { return int_state_; }
 
+  // Owning tenant (docs/QOS.md). Indexes FlashAbacusConfig::tenant_sched
+  // .tenants when tenants are configured; 0 (the default tenant) otherwise.
+  std::uint16_t tenant = 0;
+
   // Timeline (filled in by the execution engine).
   Tick submit_time = 0;
   Tick load_done_time = 0;

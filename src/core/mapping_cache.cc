@@ -5,12 +5,17 @@ namespace fabacus {
 MappingCache::MappingCache(std::uint64_t total_entries, const MappingCacheConfig& config)
     : config_(config), table_(total_entries, kUnmapped) {
   FAB_CHECK_GT(config_.entries_per_page, 0u);
-  FAB_CHECK_GT(config_.cache_pages, 0u);
+  // cache_pages == 0 is the degenerate always-miss cache: every Lookup pays
+  // the miss cost and every Update pays miss + write-back (nothing can stay
+  // resident to absorb the dirty bit).
 }
 
 void MappingCache::FetchPage(std::uint64_t page_index, Tick* cost) {
   ++misses_;
   *cost += config_.miss_cost;
+  if (config_.cache_pages == 0) {
+    return;  // nowhere to cache the fetched page
+  }
   if (lru_.size() >= config_.cache_pages) {
     const CachedPage victim = lru_.back();
     if (victim.dirty) {
@@ -50,7 +55,13 @@ void MappingCache::Update(std::uint64_t logical_group, std::uint32_t physical_gr
   } else {
     FetchPage(page, cost);
   }
-  lru_.begin()->dirty = true;
+  if (lru_.empty()) {
+    // Zero-capacity cache: the dirtied page flushes straight back out.
+    ++writebacks_;
+    *cost += config_.writeback_cost;
+  } else {
+    lru_.begin()->dirty = true;
+  }
   table_[logical_group] = physical_group;
 }
 

@@ -22,7 +22,8 @@ namespace fabacus {
 struct MappingCacheConfig {
   // Entries per cached translation page (DFTL: one flash page of mappings).
   std::uint32_t entries_per_page = 2048;
-  // Cached translation pages (SRAM budget / page size).
+  // Cached translation pages (SRAM budget / page size). 0 is legal and means
+  // an always-miss cache: every access pays the slow-memory price.
   std::uint32_t cache_pages = 64;
   Tick hit_cost = 150;        // ns: SRAM lookup
   Tick miss_cost = 81 * kUs;  // ns: fetch the translation page from flash

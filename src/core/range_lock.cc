@@ -133,8 +133,8 @@ void RangeLock::InsertFixup(Node* z) {
 }
 
 RangeLock::Node* RangeLock::InsertRange(std::uint64_t first, std::uint64_t last, LockMode mode,
-                                        LockId id) {
-  Node* z = new Node{first, last, last, mode, id};
+                                        LockId id, std::uint16_t tenant) {
+  Node* z = new Node{first, last, last, mode, id, tenant};
   Node* parent = nullptr;
   Node* cur = root_;
   while (cur != nullptr) {
@@ -328,13 +328,48 @@ bool RangeLock::Conflicts(std::uint64_t first, std::uint64_t last, LockMode mode
   return false;
 }
 
-bool RangeLock::TryAcquire(std::uint64_t first, std::uint64_t last, LockMode mode, LockId* id) {
+std::vector<std::uint16_t> RangeLock::CollectBlockingTenants(std::uint64_t first,
+                                                             std::uint64_t last,
+                                                             LockMode mode) const {
+  std::vector<std::uint16_t> blockers;
+  std::vector<const Node*> stack;
+  if (root_ != nullptr) {
+    stack.push_back(root_);
+  }
+  while (!stack.empty()) {
+    const Node* cur = stack.back();
+    stack.pop_back();
+    if (cur->max_last < first) {
+      continue;
+    }
+    if (Overlaps(cur->first, cur->last, first, last) && ModesConflict(cur->mode, mode)) {
+      blockers.push_back(cur->tenant);
+    }
+    if (cur->left != nullptr) {
+      stack.push_back(cur->left);
+    }
+    if (cur->right != nullptr && cur->first <= last) {
+      stack.push_back(cur->right);
+    }
+  }
+  for (const Waiter& w : waiters_) {
+    if (Overlaps(w.first, w.last, first, last) && ModesConflict(w.mode, mode)) {
+      blockers.push_back(w.tenant);
+    }
+  }
+  std::sort(blockers.begin(), blockers.end());
+  blockers.erase(std::unique(blockers.begin(), blockers.end()), blockers.end());
+  return blockers;
+}
+
+bool RangeLock::TryAcquire(std::uint64_t first, std::uint64_t last, LockMode mode, LockId* id,
+                           std::uint16_t tenant) {
   FAB_CHECK_LE(first, last);
   if (Conflicts(first, last, mode)) {
     return false;
   }
   const LockId new_id = next_id_++;
-  Node* node = InsertRange(first, last, mode, new_id);
+  Node* node = InsertRange(first, last, mode, new_id, tenant);
   by_id_.emplace(new_id, node);
   ++held_;
   ++total_grants_;
@@ -343,7 +378,7 @@ bool RangeLock::TryAcquire(std::uint64_t first, std::uint64_t last, LockMode mod
 }
 
 void RangeLock::Acquire(std::uint64_t first, std::uint64_t last, LockMode mode,
-                        Granted granted) {
+                        Granted granted, std::uint16_t tenant) {
   FAB_CHECK_LE(first, last);
   // FIFO fairness: even if the range is currently free, queue behind any
   // earlier conflicting waiter.
@@ -355,12 +390,18 @@ void RangeLock::Acquire(std::uint64_t first, std::uint64_t last, LockMode mode,
     }
   }
   LockId id = 0;
-  if (!behind_waiter && TryAcquire(first, last, mode, &id)) {
+  if (!behind_waiter && TryAcquire(first, last, mode, &id, tenant)) {
     granted(id);
     return;
   }
+  if (observer_) {
+    // Attribute the wait before queueing, so the blocker set excludes us.
+    for (std::uint16_t holder : CollectBlockingTenants(first, last, mode)) {
+      observer_(tenant, holder);
+    }
+  }
   ++total_waits_;
-  waiters_.push_back(Waiter{first, last, mode, std::move(granted)});
+  waiters_.push_back(Waiter{first, last, mode, tenant, std::move(granted)});
 }
 
 void RangeLock::Release(LockId id) {
@@ -394,7 +435,7 @@ void RangeLock::DispatchWaiters() {
         }
       }
       LockId id = 0;
-      if (!blocked_by_earlier && TryAcquire(w.first, w.last, w.mode, &id)) {
+      if (!blocked_by_earlier && TryAcquire(w.first, w.last, w.mode, &id, w.tenant)) {
         to_grant.emplace_back(id, std::move(w.granted));
         progressed = true;
       } else {

@@ -21,6 +21,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/sim/log.h"
 #include "src/sim/snapshot.h"
@@ -43,12 +44,20 @@ class RangeLock : public Snapshottable {
   // Requests [first_group, last_group] (inclusive) in `mode`. If compatible
   // with all held locks (and no conflicting earlier waiter), `granted` runs
   // before Acquire returns; otherwise it runs during a later Release().
+  // `tenant` tags the request for contention attribution (docs/QOS.md).
   void Acquire(std::uint64_t first_group, std::uint64_t last_group, LockMode mode,
-               Granted granted);
+               Granted granted, std::uint16_t tenant = 0);
 
   // Non-blocking variant: returns true and sets *id on success.
   bool TryAcquire(std::uint64_t first_group, std::uint64_t last_group, LockMode mode,
-                  LockId* id);
+                  LockId* id, std::uint16_t tenant = 0);
+
+  // QoS attribution hook: fired once per (queued request, distinct blocking
+  // tenant) at the moment a request has to wait — the holder set is every
+  // tenant holding or already queued for a conflicting overlapping range,
+  // deduplicated and tenant-sorted for determinism.
+  using ContentionObserver = std::function<void(std::uint16_t waiter, std::uint16_t holder)>;
+  void set_contention_observer(ContentionObserver obs) { observer_ = std::move(obs); }
 
   // Releases a held lock; may synchronously grant queued waiters.
   void Release(LockId id);
@@ -100,6 +109,7 @@ class RangeLock : public Snapshottable {
     std::uint64_t max_last;  // max `last` in this subtree
     LockMode mode;
     LockId id;
+    std::uint16_t tenant = 0;
     Color color = kRed;
     Node* left = nullptr;
     Node* right = nullptr;
@@ -110,6 +120,7 @@ class RangeLock : public Snapshottable {
     std::uint64_t first;
     std::uint64_t last;
     LockMode mode;
+    std::uint16_t tenant = 0;
     Granted granted;
   };
 
@@ -125,8 +136,13 @@ class RangeLock : public Snapshottable {
   static std::uint64_t MaxLastOf(const Node* n);
   void FreeSubtree(Node* n);
 
-  Node* InsertRange(std::uint64_t first, std::uint64_t last, LockMode mode, LockId id);
+  Node* InsertRange(std::uint64_t first, std::uint64_t last, LockMode mode, LockId id,
+                    std::uint16_t tenant);
   void DispatchWaiters();
+  // Distinct tenants currently blocking [first, last] in `mode`: conflicting
+  // overlapping holders plus earlier conflicting queued waiters, sorted.
+  std::vector<std::uint16_t> CollectBlockingTenants(std::uint64_t first, std::uint64_t last,
+                                                    LockMode mode) const;
 
   bool CheckNode(const Node* n, int* black_height) const;
 
@@ -138,6 +154,7 @@ class RangeLock : public Snapshottable {
   std::uint64_t total_grants_ = 0;
   std::uint64_t total_waits_ = 0;
   bool dispatching_ = false;
+  ContentionObserver observer_;
 };
 
 }  // namespace fabacus

@@ -13,10 +13,7 @@ constexpr TraceTag kSummaryTags[] = {
     TraceTag::kGc,         TraceTag::kFlashChan,
 };
 
-void WriteHistogramSummary(JsonWriter* w, const Histogram& h) {
-  // Summarize() sorts once for all six statistics; values are identical to
-  // per-statistic queries, so goldens only see the schema_version change.
-  const HistogramSummary s = h.Summarize();
+void WriteSummary(JsonWriter* w, const HistogramSummary& s) {
   w->BeginObject();
   w->Field("count", static_cast<double>(s.count));
   if (s.count > 0) {
@@ -28,6 +25,12 @@ void WriteHistogramSummary(JsonWriter* w, const Histogram& h) {
         .Field("max", s.max);
   }
   w->EndObject();
+}
+
+void WriteHistogramSummary(JsonWriter* w, const Histogram& h) {
+  // Summarize() sorts once for all six statistics; values are identical to
+  // per-statistic queries, so goldens only see the schema_version change.
+  WriteSummary(w, h.Summarize());
 }
 
 }  // namespace
@@ -58,6 +61,51 @@ void RunReport::WriteJson(JsonWriter* w) const {
     w->Value(TicksToMs(t));
   }
   w->EndArray();
+
+  // Per-tenant QoS rows (docs/QOS.md). Always present since schema v3; an
+  // empty array means the device ran single-tenant.
+  w->Key("tenants").BeginArray();
+  for (const TenantQosReport& t : tenants) {
+    w->BeginObject();
+    w->Field("id", static_cast<double>(t.id));
+    w->Field("name", t.name);
+    w->Field("weight", t.weight);
+    w->Field("latency_class", t.latency_class);
+    w->Field("kernels_submitted", static_cast<double>(t.kernels_submitted));
+    w->Field("kernels_completed", static_cast<double>(t.kernels_completed));
+    w->Key("latency_ms");
+    WriteSummary(w, t.latency_ms);
+    w->Field("work_instructions", t.work_instructions);
+    w->Field("first_submit_ns", static_cast<double>(t.first_submit));
+    w->Field("last_complete_ns", static_cast<double>(t.last_complete));
+    w->Key("quota").BeginObject();
+    w->Field("limit_bytes", static_cast<double>(t.quota_bytes))
+        .Field("used_bytes", static_cast<double>(t.quota_used_bytes))
+        .Field("denials", static_cast<double>(t.quota_denials))
+        .EndObject();
+    w->Key("locks").BeginObject();
+    w->Field("waits", static_cast<double>(t.lock_waits))
+        .Field("wait_ns", static_cast<double>(t.lock_wait_ns));
+    w->Key("blocked_by").BeginObject();
+    for (const auto& [holder, count] : t.blocked_by) {
+      w->Field(std::to_string(holder), static_cast<double>(count));
+    }
+    w->EndObject();
+    w->EndObject();
+    w->Key("gc").BeginObject();
+    w->Field("stall_ns", static_cast<double>(t.gc_stall_ns))
+        .Field("garbage_created_groups", static_cast<double>(t.garbage_created_groups))
+        .Field("dragged_groups", static_cast<double>(t.gc_dragged_groups))
+        .EndObject();
+    w->EndObject();
+  }
+  w->EndArray();
+
+  w->Key("fairness").BeginObject();
+  w->Field("jain_throughput", fairness.jain_throughput)
+      .Field("jain_p99", fairness.jain_p99)
+      .Field("active_tenants", static_cast<double>(fairness.active_tenants))
+      .EndObject();
 
   const EnergyBreakdown e = EnergySummary();
   w->Key("energy").BeginObject();

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/tenant.h"
 #include "src/core/trace.h"
 #include "src/power/energy_meter.h"
 #include "src/sim/metrics.h"
@@ -36,6 +37,10 @@ struct RunReport {
   Histogram kernel_latency_ms;         // per-instance submit->complete
   std::vector<Tick> completion_times;  // for the Fig-12 CDFs
   double worker_utilization = 0.0;     // mean across worker LWPs
+  // Per-tenant QoS rows (docs/QOS.md) and the Jain's-index fairness summary.
+  // Empty / identity values on single-tenant devices.
+  std::vector<TenantQosReport> tenants;
+  TenantFairness fairness;
   EnergyMeter energy;
   RunTrace trace;
   MetricsSnapshot metrics;  // every component counter/gauge at run end

@@ -220,6 +220,7 @@ void Storengine::MigrateRange(std::uint64_t victim, std::uint32_t slot, Tick bar
         fv_->mapping().Update(lg, phys_new);
         fv_->blocks().MarkInvalid(victim, slot);
         fv_->blocks().MarkValid(fv_->BlockGroupOf(phys_new), fv_->SlotOf(phys_new));
+        fv_->NoteMigration(phys_old, phys_new);
         migrated->Add();
         const Tick slot_done = prog_done;
         sim_->ScheduleAt(slot_done, [this, victim, slot, slot_done, lock_id, migrated,

@@ -53,11 +53,28 @@ class MessageQueue {
     return true;
   }
 
+  // Express-lane enqueue: the message goes ahead of every queued normal-lane
+  // message (Navigator queues support multiple priority levels). Used by the
+  // tenant QoS layer for latency-class I/O (docs/QOS.md); express messages
+  // among themselves stay FIFO.
+  bool TrySendPriority(T msg) {
+    if (pending_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    pending_.insert(pending_.begin() + static_cast<std::ptrdiff_t>(express_), std::move(msg));
+    ++express_;
+    ++sent_;
+    MaybeDeliver();
+    return true;
+  }
+
   // Drops queued messages and the busy latch. For crash recovery: after
   // Simulator::Halt() the scheduled redelivery event is gone, so `busy_`
   // would otherwise stick forever and wedge the queue.
   void Reset() {
     pending_.clear();
+    express_ = 0;
     busy_ = false;
   }
 
@@ -94,6 +111,9 @@ class MessageQueue {
     busy_ = true;
     T msg = std::move(pending_.front());
     pending_.pop_front();
+    if (express_ > 0) {
+      --express_;
+    }
     sim_->Schedule(delivery_latency_, [this, msg = std::move(msg)]() mutable {
       FAB_CHECK(sink_) << "message queue " << name_ << " has no sink";
       ++delivered_;
@@ -112,6 +132,7 @@ class MessageQueue {
   std::size_t capacity_;
   Sink sink_;
   std::deque<T> pending_;
+  std::size_t express_ = 0;  // prefix of pending_ holding express messages
   bool busy_ = false;
   std::uint64_t sent_ = 0;
   std::uint64_t rejected_ = 0;

@@ -102,7 +102,9 @@ bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
 // v2: fleet reports moved latency/queue-depth aggregation onto bounded
 // mergeable sketches (LogHistogram / BoundedTimeSeries) and added per-
 // priority latency summaries; see docs/OBSERVABILITY.md "Streaming sketches".
-inline constexpr int kJsonSchemaVersion = 2;
+// v3: RunReport gained the per-tenant QoS rows ("tenants") and the Jain's-
+// index "fairness" object; see docs/QOS.md.
+inline constexpr int kJsonSchemaVersion = 3;
 
 // Recursively walks `before` vs. `after`, appending one
 // "path: before -> after" line per leaf difference (object members compared

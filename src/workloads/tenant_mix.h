@@ -1,0 +1,46 @@
+// Multi-tenant QoS scenario building blocks (docs/QOS.md):
+//  * BullyWriter — a compute-heavy, write-heavy kernel that monopolizes LWPs
+//    and generates flash write pressure (the noisy neighbor).
+//  * LatencyProbe — a small, latency-sensitive kernel whose p99 the QoS
+//    experiments track.
+//  * TenantSchedConfig builders for the three canonical scenarios: noisy
+//    neighbor (bully vs latency-class probe), N-way fair share, and quota
+//    exhaustion.
+// All kernels are functionally verifiable, like every other workload.
+#ifndef SRC_WORKLOADS_TENANT_MIX_H_
+#define SRC_WORKLOADS_TENANT_MIX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/tenant.h"
+#include "src/workloads/workload.h"
+
+namespace fabacus {
+
+// Compute-heavy bully: bki ~1 (deep compute per byte) over sixteen parallel
+// microblocks, with a full-size output section so it also stresses the write
+// path and GC. `scale` multiplies the modelled input volume.
+std::unique_ptr<Workload> MakeBullyWriter(double input_mb = 8.0);
+
+// Latency-sensitive probe: shallow compute (bki ~60), one parallel
+// microblock. Load-dominated, so its completion time tracks how quickly the
+// device serves its flash reads under contention.
+std::unique_ptr<Workload> MakeLatencyProbe(double input_mb = 32.0);
+
+// Two tenants: 0 = "bully" (throughput class), 1 = "probe" (latency class).
+// `policy` selects paper-default or weighted-fair arbitration.
+TenantSchedConfig NoisyNeighborTenants(TenantSchedPolicy policy);
+
+// `weights.size()` tenants with the given weights, none latency-class.
+TenantSchedConfig FairShareTenants(TenantSchedPolicy policy,
+                                   const std::vector<double>& weights);
+
+// Two tenants where tenant 1 has a flash-space quota of `quota_bytes`
+// (tenant 0 unlimited). Used by the quota-exhaustion scenarios.
+TenantSchedConfig QuotaTenants(std::uint64_t quota_bytes);
+
+}  // namespace fabacus
+
+#endif  // SRC_WORKLOADS_TENANT_MIX_H_

@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.h"
 #include "src/sim/json.h"
+#include "src/workloads/tenant_mix.h"
 
 #ifndef FABACUS_GOLDEN_DIR
 #error "build must define FABACUS_GOLDEN_DIR (see tests/CMakeLists.txt)"
@@ -37,6 +38,18 @@ BenchRun RunCanonical(const std::string& system) {
   const std::vector<const Workload*> apps = {reg.Find("ATAX"), reg.Find("GEMM")};
   if (system == "SIMD") {
     return RunSimdSystem(apps, 1, opt);
+  }
+  if (system == "TenantQoS") {
+    // Two-tenant noisy neighbor under weighted-fair arbitration: pins the
+    // schema-v3 "tenants" rows and "fairness" object (docs/QOS.md).
+    auto bully = MakeBullyWriter(2.0);
+    auto probe = MakeLatencyProbe(2.0);
+    const std::vector<const Workload*> tenant_apps = {bully.get(), probe.get()};
+    FlashAbacusConfig cfg = FlashAbacusConfig::Paper();
+    cfg.model_scale = opt.model_scale;
+    cfg.tenant_sched = NoisyNeighborTenants(TenantSchedPolicy::kWeightedFair);
+    return RunFlashAbacusSystemTenants(tenant_apps, {0, 1}, 2,
+                                       SchedulerKind::kInterDynamic, cfg, opt);
   }
   for (SchedulerKind kind : {SchedulerKind::kInterStatic, SchedulerKind::kInterDynamic,
                              SchedulerKind::kIntraInOrder, SchedulerKind::kIntraOutOfOrder}) {
@@ -117,7 +130,8 @@ TEST_P(GoldenReport, MatchesCheckedInReport) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSystems, GoldenReport,
-                         ::testing::Values("SIMD", "InterSt", "InterDy", "IntraIo", "IntraO3"),
+                         ::testing::Values("SIMD", "InterSt", "InterDy", "IntraIo", "IntraO3",
+                                           "TenantQoS"),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });

@@ -67,6 +67,78 @@ TEST(MappingCache, SequentialScanHitsWithinPages) {
   EXPECT_GT(cache.HitRatio(), 0.999);
 }
 
+// --- Coverage gaps (docs/QOS.md PR): capacity pressure + zero capacity -----
+
+// Under sustained capacity pressure every resident page is dirty, so each
+// eviction pays exactly one write-back; residency never exceeds the budget.
+TEST(MappingCache, EvictionUnderCapacityPressureChargesEveryWriteback) {
+  MappingCacheConfig cfg;
+  cfg.entries_per_page = 16;
+  cfg.cache_pages = 2;
+  MappingCache cache(1024, cfg);
+  Tick cost = 0;
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    cache.Update(p * 16, static_cast<std::uint32_t>(p + 1), &cost);
+    EXPECT_LE(cache.cached_pages(), cfg.cache_pages);
+  }
+  // 8 dirty pages through a 2-page cache: 6 evictions, all dirty.
+  EXPECT_EQ(cache.writebacks(), 6u);
+  EXPECT_EQ(cache.misses(), 8u);
+  // Every mapping survives its eviction via the backing table.
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(cache.Lookup(p * 16, &cost), p + 1);
+  }
+}
+
+// cache_pages == 0 is the degenerate always-miss cache: legal, never
+// resident, every lookup pays the miss and every update flushes straight
+// through — and translations stay correct throughout.
+TEST(MappingCache, ZeroCapacityCacheAlwaysMissesButStaysCorrect) {
+  MappingCacheConfig cfg;
+  cfg.entries_per_page = 16;
+  cfg.cache_pages = 0;
+  MappingCache cache(1024, cfg);
+  Tick cost = 0;
+  cache.Update(5, 42, &cost);
+  EXPECT_EQ(cost, cfg.hit_cost + cfg.miss_cost + cfg.writeback_cost);
+  EXPECT_EQ(cache.cached_pages(), 0u);
+  EXPECT_EQ(cache.writebacks(), 1u);
+  EXPECT_EQ(cache.Lookup(5, &cost), 42u);
+  EXPECT_EQ(cost, cfg.hit_cost + cfg.miss_cost) << "nothing can stay resident";
+  // Re-touching the same translation page still misses: zero hits ever.
+  cache.Lookup(5, &cost);
+  cache.Lookup(6, &cost);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.HitRatio(), 0.0);
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+// Randomized oracle check at tiny capacities (including 0): Lookup always
+// returns the latest Update regardless of eviction pattern.
+TEST(MappingCache, RandomizedTinyCapacityMatchesOracle) {
+  for (std::uint32_t pages = 0; pages <= 2; ++pages) {
+    MappingCacheConfig cfg;
+    cfg.entries_per_page = 4;
+    cfg.cache_pages = pages;
+    MappingCache cache(256, cfg);
+    std::vector<std::uint32_t> oracle(256, MappingCache::kUnmapped);
+    Rng rng(17 + pages);
+    Tick cost = 0;
+    for (int step = 0; step < 4000; ++step) {
+      const std::uint64_t g = rng.NextBelow(256);
+      if (rng.NextDouble() < 0.5) {
+        const auto phys = static_cast<std::uint32_t>(rng.Next() & 0xFFFF);
+        cache.Update(g, phys, &cost);
+        oracle[g] = phys;
+      } else {
+        ASSERT_EQ(cache.Lookup(g, &cost), oracle[g])
+            << "pages=" << pages << " step=" << step << " group=" << g;
+      }
+      ASSERT_LE(cache.cached_pages(), pages);
+    }
+  }
+}
+
 TEST(MappingCache, RandomScanOverLargeSpaceThrashes) {
   MappingCacheConfig cfg;
   cfg.entries_per_page = 2048;

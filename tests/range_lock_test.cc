@@ -194,5 +194,97 @@ TEST_P(RangeLockPropertyTest, MatchesBruteForceOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RangeLockPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 
+// --- Overlapping-range fairness ordering (docs/QOS.md coverage gap) ---------
+
+// A chain of transitively overlapping waiters drains strictly FIFO: a waiter
+// that conflicts only with an *earlier waiter* (not with any holder) still
+// may not jump the queue.
+TEST(RangeLockFairness, TransitiveOverlapChainDrainsFifo) {
+  RangeLock lock;
+  RangeLock::LockId held = 0;
+  ASSERT_TRUE(lock.TryAcquire(0, 10, LockMode::kWrite, &held));
+  std::vector<int> grant_order;
+  RangeLock::LockId b_id = 0;
+  RangeLock::LockId c_id = 0;
+  // B overlaps the holder; C overlaps only B.
+  lock.Acquire(5, 15, LockMode::kWrite, [&](RangeLock::LockId id) {
+    grant_order.push_back(1);
+    b_id = id;
+  });
+  lock.Acquire(12, 20, LockMode::kWrite, [&](RangeLock::LockId id) {
+    grant_order.push_back(2);
+    c_id = id;
+  });
+  EXPECT_TRUE(grant_order.empty());
+  EXPECT_EQ(lock.waiter_count(), 2u);
+  lock.Release(held);
+  // B granted; C conflicts with the now-held B and keeps waiting.
+  ASSERT_EQ(grant_order.size(), 1u);
+  EXPECT_EQ(grant_order[0], 1);
+  lock.Release(b_id);
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[1], 2);
+  lock.Release(c_id);
+  EXPECT_EQ(lock.held_count(), 0u);
+}
+
+// A request disjoint from every holder AND every queued waiter is granted
+// immediately — the FIFO queue holds back only conflicting requests.
+TEST(RangeLockFairness, DisjointRequestBypassesUnrelatedWaiters) {
+  RangeLock lock;
+  RangeLock::LockId held = 0;
+  ASSERT_TRUE(lock.TryAcquire(0, 10, LockMode::kWrite, &held));
+  bool waiter_granted = false;
+  lock.Acquire(0, 10, LockMode::kWrite,
+               [&](RangeLock::LockId) { waiter_granted = true; });
+  ASSERT_FALSE(waiter_granted);
+  bool disjoint_granted = false;
+  RangeLock::LockId disjoint_id = 0;
+  lock.Acquire(100, 110, LockMode::kWrite, [&](RangeLock::LockId id) {
+    disjoint_granted = true;
+    disjoint_id = id;
+  });
+  EXPECT_TRUE(disjoint_granted) << "disjoint range must not queue behind strangers";
+  EXPECT_FALSE(waiter_granted);
+  lock.Release(disjoint_id);
+  lock.Release(held);
+  EXPECT_TRUE(waiter_granted);
+}
+
+// The QoS contention observer fires once per (waiter, distinct blocking
+// tenant), holders and earlier conflicting waiters alike, tenant-sorted.
+TEST(RangeLockFairness, ContentionObserverReportsDistinctSortedBlockers) {
+  RangeLock lock;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> events;
+  lock.set_contention_observer([&](std::uint16_t waiter, std::uint16_t holder) {
+    events.emplace_back(waiter, holder);
+  });
+  RangeLock::LockId a = 0;
+  RangeLock::LockId b = 0;
+  // Tenant 7 and tenant 3 hold adjacent read ranges; tenant 3 also holds a
+  // second range (dedup check).
+  ASSERT_TRUE(lock.TryAcquire(0, 10, LockMode::kRead, &a, /*tenant=*/7));
+  ASSERT_TRUE(lock.TryAcquire(11, 20, LockMode::kRead, &b, /*tenant=*/3));
+  RangeLock::LockId b2 = 0;
+  ASSERT_TRUE(lock.TryAcquire(21, 30, LockMode::kRead, &b2, /*tenant=*/3));
+  // Tenant 5's write overlaps all three held ranges: one event per distinct
+  // blocking tenant, ascending tenant order.
+  lock.Acquire(0, 30, LockMode::kWrite, [](RangeLock::LockId) {}, /*tenant=*/5);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<std::uint16_t, std::uint16_t>{5, 3}));
+  EXPECT_EQ(events[1], (std::pair<std::uint16_t, std::uint16_t>{5, 7}));
+  // A later waiter overlapping only the queued tenant-5 writer blames 5.
+  events.clear();
+  lock.Acquire(25, 40, LockMode::kWrite, [](RangeLock::LockId) {}, /*tenant=*/9);
+  ASSERT_EQ(events.size(), 2u);  // blocked by holder 3 (range b2) and waiter 5
+  EXPECT_EQ(events[0], (std::pair<std::uint16_t, std::uint16_t>{9, 3}));
+  EXPECT_EQ(events[1], (std::pair<std::uint16_t, std::uint16_t>{9, 5}));
+  // Immediate grants never fire the observer.
+  events.clear();
+  RangeLock::LockId free_id = 0;
+  ASSERT_TRUE(lock.TryAcquire(100, 110, LockMode::kWrite, &free_id, /*tenant=*/2));
+  EXPECT_TRUE(events.empty());
+}
+
 }  // namespace
 }  // namespace fabacus
